@@ -1,0 +1,68 @@
+// Ablation (DESIGN.md): how the work-group size — the amortization factor of
+// Gravel's §4.1 reservation scheme — propagates from the queue
+// microbenchmark (Figure 6) to end-to-end application time.
+//
+// Each row is a real functional GUPS run at 8 nodes with the given
+// work-group size; the modeled time replays its exact counts. The
+// per-message reservation cost falls as 1/wg, so end-to-end time improves
+// until the network pipeline, not the GPU, is the bottleneck — the
+// diminishing-returns point Figure 6 can't show.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace gravel;
+  using namespace gravel::bench;
+
+  printHeader("Work-group size ablation on end-to-end GUPS (8 nodes)",
+              "extends Figure 6 to application level");
+
+  TextTable table({"wg size", "wavefronts", "arrivals/msg", "RMW/msg",
+                   "modeled ms", "vs 256"});
+  double base = 0;
+  std::vector<std::vector<std::string>> rows;
+  for (std::uint32_t wg : {64u, 128u, 256u}) {
+    rt::ClusterConfig cc = benchCluster(8);
+    rt::Cluster cluster(cc);
+    apps::GupsConfig cfg;
+    cfg.table_size = 1 << 18;
+    cfg.updates_per_node = std::uint64_t(benchScale() * (1 << 18));
+    cfg.wg_size = wg;
+    const auto report = apps::runGups(cluster, cfg);
+    if (!report.validated) {
+      std::fprintf(stderr, "GUPS failed validation at wg=%u\n", wg);
+      return 1;
+    }
+    const auto demand = perf::demandFromCluster(cluster);
+    perf::SimConfig sc;
+    sc.style = perf::Style::kGravel;
+    sc.wg_size = wg;
+    const double t = perf::simulateApp(sc, demand, 1);
+    if (wg == 256) base = t;
+    double arrivals = 0, msgs = 0, rmws = 0;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      arrivals += double(cluster.node(i).device().stats().collective_arrivals);
+      rmws += double(cluster.node(i).queue().atomicRmwCount());
+    }
+    msgs = double(report.stats.opsTotal());
+    rows.push_back({std::to_string(wg), std::to_string(wg / 64),
+                    TextTable::num(arrivals / msgs, 2),
+                    TextTable::num(rmws / msgs, 4), TextTable::num(t * 1e3, 3),
+                    ""});
+    std::fflush(stdout);
+  }
+  for (auto& r : rows) {
+    const double t = std::atof(r[4].c_str());
+    r[5] = TextTable::num(t / (base * 1e3), 2) + "x";
+    table.addRow(r);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nthe 1-WF configuration pays ~3x the GPU-side cost per message "
+      "(Figure 6) but end-to-end GUPS is network/resolver bound at 8 "
+      "nodes, so the application-level gap is smaller — the reason Gravel "
+      "runs 4-WF work-groups and stops there.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension bench (paper §10, future work): flat vs two-level hierarchical
+// aggregation as the cluster grows past the paper's eight nodes.
+//
+// The paper's closing argument: per-destination aggregation stops working
+// once per-destination traffic no longer fills a 64 kB queue, and "a two
+// level hierarchy with each level doing a 16-node aggregation supports 256
+// nodes with one indirect hop". This bench quantifies that crossover for a
+// GUPS-like all-to-all stream with the Table-3 machine model.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "perf/hierarchy.hpp"
+
+int main() {
+  using namespace gravel;
+  using namespace gravel::perf;
+
+  std::printf(
+      "==================================================================\n"
+      "Flat vs two-level (16-node groups) aggregation at scale\n"
+      "(paper artifact: section 10 future-work proposal, quantified)\n"
+      "==================================================================\n");
+
+  // Per-round traffic of an iterative application (messages between two
+  // synchronization points). The interesting regime is where a round's
+  // per-destination traffic stops filling a 64 kB queue as the cluster
+  // grows — exactly the situation §10's hierarchy proposal targets.
+  constexpr double kMsgsPerNodeRound = 3e4;
+
+  TextTable table({"nodes", "flat GUPS", "2-level GUPS", "2-level / flat",
+                   "flat batches/node", "2-level batches/node"});
+  for (std::uint32_t nodes : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    HierarchyConfig flat;
+    flat.nodes = nodes;
+    flat.group = 1;
+    flat.msgs_per_node = kMsgsPerNodeRound;
+    HierarchyConfig two = flat;
+    two.group = 16;
+
+    const double tFlat = hierarchicalRoundSeconds(flat);
+    const double tTwo = hierarchicalRoundSeconds(two);
+    // Weak-scaling throughput: msgs_per_node * nodes / time.
+    const double gupsFlat = flat.msgs_per_node * nodes / tFlat / 1e9;
+    const double gupsTwo = two.msgs_per_node * nodes / tTwo / 1e9;
+    // Structural batch counts (network messages per node per round).
+    const double batchMsgs = flat.pernode_queue_bytes / flat.msg_bytes;
+    const double flatBatches =
+        (nodes - 1) *
+        std::max(1.0, kMsgsPerNodeRound / nodes / batchMsgs);
+    const double groups = double(nodes) / two.group;
+    const double remoteOut = kMsgsPerNodeRound * (groups - 1) / groups;
+    const double twoBatches =
+        (groups - 1) * std::max(1.0, remoteOut / (groups - 1) / batchMsgs) +
+        two.group * std::max(1.0, remoteOut / two.group / batchMsgs);
+    table.addRow({std::to_string(nodes), TextTable::num(gupsFlat, 2),
+                  TextTable::num(gupsTwo, 2),
+                  TextTable::num(gupsFlat > 0 ? gupsTwo / gupsFlat : 0, 2),
+                  TextTable::num(flatBatches, 0),
+                  TextTable::num(twoBatches, 0)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected shape: flat wins while per-destination traffic still "
+      "fills 64 kB queues; once it does not (hundreds of nodes), the "
+      "two-level hierarchy's fuller batches out-amortize its extra "
+      "forwarding hop.\n");
+  return 0;
+}

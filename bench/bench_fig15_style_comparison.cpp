@@ -1,0 +1,64 @@
+// Figure 15: style comparison at eight nodes — every workload timed under
+// the six configurations the paper plots:
+//
+//   coprocessor, coprocessor + extra buffering (1 MB per-node queues),
+//   msg-per-lane, coalesced APIs, coalesced APIs + Gravel aggregation,
+//   Gravel.
+//
+// Bars are speedups normalized to the coprocessor model (first bar = 1).
+// Paper shape: Gravel >= everything; coalesced+aggregation ~ Gravel;
+// msg-per-lane collapses on all-remote fine-grain traffic (~0.01 on GUPS).
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace gravel;
+  using namespace gravel::bench;
+
+  printHeader("Style comparison at 8 nodes (speedup vs coprocessor)",
+              "Figure 15");
+
+  struct StyleCol {
+    const char* label;
+    perf::Style style;
+    double queueBytes;
+  };
+  const std::vector<StyleCol> styles{
+      {"coprocessor", perf::Style::kCoprocessor, 64.0 * 1024},
+      {"coproc+buf", perf::Style::kCoprocessor, 1024.0 * 1024},
+      {"msg-per-lane", perf::Style::kMsgPerLane, 64.0 * 1024},
+      {"coalesced", perf::Style::kCoalesced, 64.0 * 1024},
+      {"coal+agg", perf::Style::kCoalescedAgg, 64.0 * 1024},
+      {"Gravel", perf::Style::kGravel, 64.0 * 1024},
+  };
+
+  TextTable table({"workload", "coprocessor", "coproc+buf", "msg-per-lane",
+                   "coalesced", "coal+agg", "Gravel"});
+  std::vector<std::vector<double>> columns(styles.size());
+
+  for (const auto& name : workloadNames()) {
+    const WorkloadRun run = runWorkload(name, 8);
+    std::vector<std::string> row{name};
+    const double base = timeRun(run, styles[0].style, styles[0].queueBytes);
+    for (std::size_t s = 0; s < styles.size(); ++s) {
+      const double t = timeRun(run, styles[s].style, styles[s].queueBytes);
+      const double speedup = base / t;
+      columns[s].push_back(speedup);
+      row.push_back(TextTable::num(speedup));
+    }
+    table.addRow(row);
+    std::fflush(stdout);
+  }
+
+  std::vector<std::string> geo{"geo. mean"};
+  for (auto& col : columns) geo.push_back(TextTable::num(geomean(col)));
+  table.addRow(geo);
+  table.print(std::cout);
+  std::printf(
+      "\npaper shape: Gravel >= all styles on every workload; "
+      "coalesced+aggregation close behind; msg-per-lane worst on "
+      "remote-heavy fine-grain traffic.\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Figure 8: producer/consumer queue bandwidth vs message size — Gravel's
+// slotted queue against the CPU-only SPSC and MPMC baselines, with the
+// 56 Gb/s (7 GB/s) network-bandwidth reference line.
+//
+// These are real wall-clock measurements of the real concurrent data
+// structures, in the paper's thread configuration (Gravel: 1 producer +
+// 4 consumers; MPMC: 2+2; SPSC: 1+1). On a single-core host the absolute
+// numbers are scheduling-bound; the cache-line accounting that drives the
+// paper's small-message gap (padded cells vs packed rows) is also printed,
+// since it is host-independent.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/table.hpp"
+#include "queue/gravel_queue.hpp"
+#include "queue/mpmc_queue.hpp"
+#include "queue/spsc_queue.hpp"
+
+namespace {
+using namespace gravel;
+
+constexpr double kRunSeconds = 0.20;
+
+/// Defeats dead-code elimination of consumer reads.
+void benchmarkSink(std::uint64_t v) {
+  static std::atomic<std::uint64_t> sink{0};
+  sink.fetch_add(v, std::memory_order_relaxed);
+}
+
+double measureGravel(std::size_t msgBytes) {
+  const std::uint32_t rows = std::uint32_t(std::max<std::size_t>(1, msgBytes / 8));
+  const std::uint32_t lanes = 256;
+  GravelQueue q(GravelQueueConfig{1 << 20, lanes, rows});
+  std::atomic<bool> stopped{false};
+  std::atomic<std::uint64_t> consumedSlots{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      GravelQueue::SlotRef r;
+      std::uint64_t sink = 0;
+      while (q.acquireRead(r, stopped)) {
+        for (std::uint32_t row = 0; row < rows; ++row)
+          for (std::uint32_t l = 0; l < r.count; ++l)
+            sink += q.wordAt(r, row, l);
+        q.release(r);
+        consumedSlots.fetch_add(1, std::memory_order_relaxed);
+      }
+      benchmarkSink(sink);
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t producedSlots = 0;
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count() < kRunSeconds) {
+    auto w = q.acquireWrite(lanes);
+    for (std::uint32_t row = 0; row < rows; ++row)
+      for (std::uint32_t l = 0; l < lanes; ++l)
+        q.wordAt(w, row, l) = row + l;
+    q.publish(w);
+    ++producedSlots;
+  }
+  stopped.store(true);
+  for (auto& t : consumers) t.join();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return double(producedSlots) * lanes * msgBytes / dt / 1e9;
+}
+
+double measureSpsc(std::size_t msgBytes) {
+  SpscQueue q(1 << 20, msgBytes);
+  std::atomic<bool> stopped{false};
+  std::vector<std::byte> msg(msgBytes, std::byte{7});
+  std::thread consumer([&] {
+    std::vector<std::byte> out(msgBytes);
+    while (q.pop(out.data(), stopped)) {
+    }
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sent = 0;
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count() < kRunSeconds) {
+    q.push(msg.data());
+    ++sent;
+  }
+  stopped.store(true);
+  consumer.join();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return double(sent) * msgBytes / dt / 1e9;
+}
+
+double measureMpmc(std::size_t msgBytes) {
+  MpmcQueue q(1 << 20, msgBytes);
+  std::atomic<bool> stopped{false};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<std::byte> out(msgBytes);
+      while (q.pop(out.data(), stopped)) {
+      }
+    });
+  }
+  std::atomic<std::uint64_t> sent{0};
+  std::vector<std::thread> producers;
+  std::atomic<bool> produce{true};
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&] {
+      std::vector<std::byte> msg(msgBytes, std::byte{7});
+      while (produce.load(std::memory_order_relaxed)) {
+        q.push(msg.data());
+        sent.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(kRunSeconds));
+  produce.store(false);
+  for (auto& t : producers) t.join();
+  stopped.store(true);
+  for (auto& t : consumers) t.join();
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return double(sent.load()) * msgBytes / dt / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gravel;
+
+  std::printf(
+      "==================================================================\n"
+      "Producer/consumer queue bandwidth vs message size\n"
+      "(paper artifact: Figure 8 — Gravel ~7 GB/s at 32 B; CPU-only SPSC/"
+      "MPMC collapse on small messages)\n"
+      "==================================================================\n");
+
+  TextTable table({"msg bytes", "Gravel GB/s", "SPSC GB/s", "MPMC GB/s",
+                   "lines/msg Gravel", "lines/msg padded"});
+  for (std::size_t bytes : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u,
+                            4096u, 16384u, 65536u}) {
+    const double g = measureGravel(bytes);
+    const double s = measureSpsc(bytes);
+    const double m = measureMpmc(bytes);
+    // Cache-line accounting (§4.3): Gravel packs a work-group's messages
+    // into shared lines; the CPU designs pay >= 1 padded line per message
+    // plus the padded index lines.
+    const double gravelLines =
+        double(linesFor(bytes * 256)) / 256.0 + 2.0 / 256.0;
+    const double paddedLines = double(linesFor(bytes)) + 2.0;
+    table.addRow({std::to_string(bytes), TextTable::num(g, 3),
+                  TextTable::num(s, 3), TextTable::num(m, 3),
+                  TextTable::num(gravelLines, 3),
+                  TextTable::num(paddedLines, 1)});
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nnetwork bandwidth reference: 7.00 GB/s (56 Gb/s InfiniBand).\n"
+      "paper shape: Gravel leads for small messages because producer/"
+      "consumer synchronization is amortized over up to 256 messages and "
+      "the row-major slot packs them into shared cache lines (last two "
+      "columns), while every padded-queue message touches >= 3 lines.\n");
+  return 0;
+}

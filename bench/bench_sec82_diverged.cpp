@@ -1,0 +1,96 @@
+// §8.2: diverged work-group-level operation analysis on GUPS-mod (each
+// work-item performs a random number of updates; 95% perform none).
+//
+// Three mechanisms, as in the paper:
+//   software predication     — baseline (runs on "current GPUs")
+//   WG-granularity control flow — paper emulation: 1.28x over predication
+//   fine-grain barriers (fbar)  — paper software lower bound: 1.06x
+//
+// Each variant is a real functional run; the speedups come from the GPU-side
+// cost model over the exact measured counts (collective arrivals,
+// predication instructions, lanes executed).
+#include <cstdio>
+#include <iostream>
+
+#include "apps/gups_mod.hpp"
+#include "common.hpp"
+
+namespace {
+
+struct VariantResult {
+  gravel::apps::AppReport report;
+  double gpu_seconds;
+};
+
+VariantResult runVariant(gravel::apps::DivergedMode mode) {
+  using namespace gravel;
+  rt::ClusterConfig cc;
+  cc.nodes = 8;
+  cc.heap_bytes = 16u << 20;
+  cc.device.wg_reconvergence = mode == apps::DivergedMode::kWgReconvergence;
+  rt::Cluster cluster(cc);
+
+  apps::GupsModConfig cfg;
+  cfg.table_size = 1 << 16;
+  cfg.workitems_per_node =
+      std::uint64_t(gravel::bench::benchScale() * (1 << 15));
+  cfg.max_updates = 16;
+  cfg.idle_fraction = 0.95;
+
+  VariantResult out;
+  out.report = apps::runGupsMod(cluster, cfg, mode);
+
+  // GPU-side production time over measured counts (the §8.2 experiments
+  // vary only the GPU side; the network stream is identical). GUPS-mod is
+  // memory bound (the paper chose 95% idle lanes precisely because the
+  // benchmark is "otherwise too memory bound to observe interesting
+  // performance effects"): every real update pays a random-access DRAM
+  // cost, on top of which the synchronization mechanisms differ.
+  constexpr double kUpdateMemoryNs = 150.0;  // random access on the APU
+  perf::MachineParams mp;
+  const auto& s = out.report.stats;
+  const double msgs = double(s.opsTotal());
+  const double slots = std::ceil(msgs / 256.0);
+  out.gpu_seconds = (double(s.lanes_executed) * mp.lane_ns +
+                     double(s.collective_arrivals) * mp.arrival_ns +
+                     double(s.predication_overhead_ops) * mp.op_ns +
+                     slots * 2 * mp.queue_rmw_ns + msgs * kUpdateMemoryNs) *
+                    1e-9;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gravel;
+  using namespace gravel::bench;
+
+  printHeader("Diverged WG-level operations on GUPS-mod",
+              "Section 8.2 (WG-granularity CF: 1.28x; fbar: 1.06x)");
+
+  const auto sw = runVariant(apps::DivergedMode::kSoftwarePredication);
+  const auto re = runVariant(apps::DivergedMode::kWgReconvergence);
+  const auto fb = runVariant(apps::DivergedMode::kFbar);
+
+  TextTable table({"mechanism", "speedup", "paper", "arrivals", "pred ops",
+                   "validated"});
+  auto row = [&](const char* name, const VariantResult& v, const char* paper) {
+    table.addRow({name, TextTable::num(sw.gpu_seconds / v.gpu_seconds),
+                  paper,
+                  std::to_string(v.report.stats.collective_arrivals),
+                  std::to_string(v.report.stats.predication_overhead_ops),
+                  v.report.validated ? "yes" : "NO"});
+  };
+  row("software predication", sw, "1.00");
+  row("WG-granularity control flow", re, "1.28");
+  row("fine-grain barriers (fbar)", fb, "1.06 (lower bound)");
+  table.print(std::cout);
+
+  std::printf(
+      "\nnote: the paper emulates WG-granularity control flow by shrinking "
+      "work-groups to one wavefront; our engine implements the §5.3 "
+      "semantics directly (exited lanes stop participating), and models "
+      "fbar at hardware cost while the paper measured a software "
+      "emulation it calls a lower bound.\n");
+  return 0;
+}

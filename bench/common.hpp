@@ -1,0 +1,145 @@
+// Shared harness for the figure/table benches: the Table-4 workload registry
+// at reproduction scale, run functionally on a fresh cluster and packaged
+// with the per-node demand matrix the timing simulation consumes.
+//
+// Scales are the paper's inputs shrunk to a single-core host (DESIGN.md §2);
+// set GRAVEL_BENCH_SCALE=<float> to grow or shrink every workload together.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/color.hpp"
+#include "apps/gups.hpp"
+#include "apps/kmeans.hpp"
+#include "apps/mer.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/sssp.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "perf/pipeline.hpp"
+
+namespace gravel::bench {
+
+inline double benchScale() {
+  if (const char* s = std::getenv("GRAVEL_BENCH_SCALE")) return std::atof(s);
+  return 1.0;
+}
+
+/// One functional run, ready for timing simulation.
+struct WorkloadRun {
+  std::string name;
+  apps::AppReport report;
+  std::vector<perf::NodeDemand> demand;
+  double am_fraction = 0;
+  std::uint64_t rounds = 1;
+};
+
+inline const std::vector<std::string>& workloadNames() {
+  static const std::vector<std::string> names{
+      "GUPS",    "PR-1",    "PR-2",   "SSSP-1", "SSSP-2",
+      "color-1", "color-2", "kmeans", "mer"};
+  return names;
+}
+
+inline rt::ClusterConfig benchCluster(std::uint32_t nodes) {
+  rt::ClusterConfig c;
+  c.nodes = nodes;
+  c.heap_bytes = 64u << 20;
+  return c;  // Table 3 defaults otherwise (256-lane WGs, 1 MB queue, ...)
+}
+
+/// Runs `name` on a fresh `nodes`-node cluster at reproduction scale.
+/// Total problem size is fixed across node counts (strong scaling, as in
+/// Figure 12).
+inline WorkloadRun runWorkload(const std::string& name, std::uint32_t nodes) {
+  const double s = benchScale();
+  rt::Cluster cluster(benchCluster(nodes));
+  WorkloadRun run;
+  run.name = name;
+
+  if (name == "GUPS") {
+    apps::GupsConfig cfg;
+    cfg.table_size = 1 << 18;
+    cfg.updates_per_node = std::uint64_t(s * (2 << 20)) / nodes;
+    run.report = apps::runGups(cluster, cfg);
+  } else if (name == "PR-1" || name == "PR-2") {
+    graph::Csr g = name == "PR-1"
+                       ? graph::bubblesLike(graph::Vertex(s * 400000), 11)
+                       : graph::cageLike(graph::Vertex(s * 60000), 19, 12);
+    graph::DistGraph dg(std::move(g), nodes);
+    apps::PageRankConfig cfg;
+    cfg.iterations = name == "PR-1" ? 5 : 3;
+    run.report = apps::runPageRank(cluster, dg, cfg).report;
+  } else if (name == "SSSP-1" || name == "SSSP-2") {
+    graph::Csr g = name == "SSSP-1"
+                       ? graph::bubblesLike(graph::Vertex(s * 8000), 13)
+                       : graph::cageLike(graph::Vertex(s * 30000), 19, 14);
+    graph::DistGraph dg(std::move(g), nodes);
+    run.report = apps::runSssp(cluster, dg, {}).report;
+  } else if (name == "color-1" || name == "color-2") {
+    graph::Csr g = name == "color-1"
+                       ? graph::bubblesLike(graph::Vertex(s * 400000), 15)
+                       : graph::cageLike(graph::Vertex(s * 60000), 19, 16);
+    graph::DistGraph dg(std::move(g), nodes);
+    run.report = apps::runColor(cluster, dg, {}).report;
+  } else if (name == "kmeans") {
+    apps::KmeansConfig cfg;
+    cfg.clusters = 8;
+    cfg.dims = 4;
+    cfg.points_per_node = std::uint64_t(s * (128 << 10)) / nodes;
+    cfg.iterations = 3;
+    run.report = apps::runKmeans(cluster, cfg).report;
+  } else if (name == "mer") {
+    apps::MerConfig cfg;
+    cfg.genome_length = 1 << 18;
+    cfg.reads_per_node = std::uint64_t(s * 12000) / nodes;
+    cfg.read_length = 100;
+    cfg.k = 21;
+    // Constant cluster-wide capacity: the genome's distinct k-mers must fit
+    // one node's table when nodes == 1.
+    cfg.table_slots_per_node = (1 << 20) / nodes;
+    run.report = apps::runMer(cluster, cfg).report;
+  } else {
+    throw InvalidArgument("unknown workload: " + name);
+  }
+
+  run.demand = perf::demandFromCluster(cluster);
+  run.am_fraction = perf::amFraction(run.report.stats);
+  run.rounds = std::max<std::uint64_t>(1, run.report.iterations);
+  return run;
+}
+
+/// Times a completed run under a networking style.
+inline double timeRun(const WorkloadRun& run, perf::Style style,
+                      double pernodeQueueBytes = 64.0 * 1024,
+                      const perf::MachineParams& params = {}) {
+  perf::SimConfig cfg;
+  cfg.style = style;
+  cfg.params = params;
+  cfg.wg_size = 256;
+  cfg.pernode_queue_bytes = pernodeQueueBytes;
+  cfg.am_fraction = run.am_fraction;
+  return perf::simulateApp(cfg, run.demand, run.rounds);
+}
+
+inline double geomean(const std::vector<double>& xs) {
+  double logSum = 0;
+  for (double x : xs) logSum += std::log(x);
+  return xs.empty() ? 0.0 : std::exp(logSum / double(xs.size()));
+}
+
+inline void printHeader(const std::string& title, const std::string& paper) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(paper artifact: %s)\n", paper.c_str());
+  std::printf("==================================================================\n");
+}
+
+}  // namespace gravel::bench

@@ -1,0 +1,69 @@
+// Meraculous phase 1 on a Gravel cluster: synthetic reads are chopped into
+// k-mers, hashed across the cluster, and inserted into a distributed
+// open-addressing hash table by active messages executed at each k-mer's
+// home node (paper §6, "mer").
+//
+// Usage: ./examples/kmer_pipeline [reads_per_node] [nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/mer.hpp"
+#include "apps/mer_traverse.hpp"
+#include "runtime/cluster.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gravel;
+
+  apps::MerConfig cfg;
+  cfg.genome_length = 1 << 17;
+  cfg.reads_per_node = argc > 1 ? std::atoll(argv[1]) : 2000;
+  cfg.read_length = 100;
+  cfg.k = 21;
+  cfg.table_slots_per_node = 1 << 16;
+  const auto nodes = std::uint32_t(argc > 2 ? std::atoi(argv[2]) : 4);
+
+  rt::ClusterConfig cc;
+  cc.nodes = nodes;
+  cc.heap_bytes = 32u << 20;
+  rt::Cluster cluster(cc);
+
+  std::printf(
+      "building a distributed %u-mer table from %llu reads x %u nodes "
+      "(read length %u, ~0.5%% error rate)...\n",
+      cfg.k, (unsigned long long)cfg.reads_per_node, nodes, cfg.read_length);
+
+  const auto result = apps::runMer(cluster, cfg);
+
+  std::printf("k-mer occurrences   : %llu\n",
+              (unsigned long long)result.total_occurrences);
+  std::printf("distinct k-mers     : %llu\n",
+              (unsigned long long)result.distinct_kmers);
+  std::printf("max table load      : %.1f%%\n",
+              100.0 * result.max_load_factor);
+  std::printf("remote insert ratio : %.1f%%\n",
+              100.0 * result.report.stats.remoteFraction());
+  std::printf("network messages    : %llu batches, avg %.0f bytes\n",
+              (unsigned long long)result.report.stats.net_batches,
+              result.report.stats.avg_batch_bytes);
+  std::printf("table verification  : %s\n",
+              result.report.validated ? "exact match with serial reference"
+                                      : "MISMATCH");
+  if (!result.report.validated) return 1;
+
+  // Phase 2 (the paper's deferred future work): contig traversal as chains
+  // of active messages hopping between k-mer home nodes.
+  std::printf("\ntraversing the UU graph (phase 2)...\n");
+  const auto contigs = apps::runMerTraverse(cluster, cfg, result);
+  std::printf("contigs             : %llu\n",
+              (unsigned long long)contigs.contigs);
+  std::printf("k-mers in contigs   : %llu\n",
+              (unsigned long long)contigs.contig_kmers);
+  std::printf("longest contig      : %llu k-mers\n",
+              (unsigned long long)contigs.longest_contig);
+  std::printf("walk hops (network) : %llu messages\n",
+              (unsigned long long)contigs.report.stats.net_messages);
+  std::printf("traversal check     : %s\n",
+              contigs.report.validated ? "matches serial traversal"
+                                       : "MISMATCH");
+  return contigs.report.validated ? 0 : 1;
+}

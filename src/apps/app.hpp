@@ -1,0 +1,46 @@
+// Shared application plumbing: every paper workload (§6, Table 4) reports
+// the same structure — functional statistics for the cost model plus an
+// app-defined work measure — and bit-cast helpers for carrying doubles over
+// the 64-bit PGAS word.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "runtime/cluster_stats.hpp"
+
+namespace gravel::apps {
+
+/// Result of one functional run of a workload on a cluster.
+struct AppReport {
+  std::string name;
+  rt::ClusterRunStats stats;  ///< message/operation counts for src/perf
+  double work_units = 0;      ///< app-defined: updates, edge-messages, ...
+  std::uint64_t iterations = 0;
+  bool validated = false;  ///< set by the app's built-in verifier
+};
+
+inline std::uint64_t doubleBits(double d) {
+  std::uint64_t u;
+  std::memcpy(&u, &d, sizeof(d));
+  return u;
+}
+inline double bitsDouble(std::uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+/// 64-bit mix (splitmix64 finalizer) used wherever an app needs a
+/// deterministic hash that serial validators can reproduce.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace gravel::apps

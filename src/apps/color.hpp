@@ -1,0 +1,37 @@
+// Greedy distributed graph coloring (paper §6): Jones–Plassmann with random
+// priorities. A vertex colors itself once all higher-priority neighbors are
+// colored, picking the smallest color unused among colored neighbors; newly
+// assigned colors travel to neighbors as PUTs into per-edge inbox slots
+// (Table 5: color uses non-atomic operations exclusively).
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+#include "graph/dist.hpp"
+#include "runtime/cluster.hpp"
+
+namespace gravel::apps {
+
+struct ColorConfig {
+  std::uint32_t wg_size = 0;  ///< 0 = device max
+  std::uint64_t seed = 7;     ///< priority hash seed
+  std::uint64_t max_rounds = 1u << 20;
+};
+
+inline constexpr std::uint64_t kUncolored = ~std::uint64_t{0};
+
+struct ColorResult {
+  AppReport report;
+  std::vector<std::uint64_t> colors;  ///< indexed by global vertex id
+  std::uint64_t palette = 0;          ///< number of distinct colors used
+};
+
+ColorResult runColor(rt::Cluster& cluster, const graph::DistGraph& dg,
+                     const ColorConfig& cfg);
+
+/// Checks that `colors` is a proper coloring of `g`.
+bool isProperColoring(const graph::Csr& g,
+                      const std::vector<std::uint64_t>& colors);
+
+}  // namespace gravel::apps

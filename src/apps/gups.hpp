@@ -1,0 +1,33 @@
+// GUPS (giga-updates per second), the HPCC RandomAccess micro-benchmark the
+// paper uses throughout (§3, Table 4: ~180M updates): a distributed table is
+// atomically incremented at random offsets. Every update is a fine-grain
+// unpredictable message — the adversarial case for GPU networking.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app.hpp"
+#include "runtime/cluster.hpp"
+
+namespace gravel::apps {
+
+struct GupsConfig {
+  std::uint64_t table_size = 1 << 16;      ///< total elements, all nodes
+  std::uint64_t updates_per_node = 1 << 14;
+  std::uint32_t wg_size = 0;  ///< 0 = device max
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic update target of update `u` issued by `node`: a global
+/// table index. Shared by the kernel and the serial validator.
+inline std::uint64_t gupsTarget(const GupsConfig& cfg, std::uint32_t node,
+                                std::uint64_t u) {
+  return mix64(cfg.seed ^ (std::uint64_t(node) << 40) ^ u) % cfg.table_size;
+}
+
+/// Runs GUPS on the cluster (the message-per-lane/Gravel pseudo-code of
+/// Figure 4b: one shmem_inc per work-item) and verifies every table cell
+/// against the serial expectation.
+AppReport runGups(rt::Cluster& cluster, const GupsConfig& cfg);
+
+}  // namespace gravel::apps

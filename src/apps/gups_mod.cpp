@@ -1,0 +1,136 @@
+#include "apps/gups_mod.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "graph/csr.hpp"
+
+namespace gravel::apps {
+
+std::uint64_t gupsModCount(const GupsModConfig& cfg, std::uint32_t node,
+                           std::uint64_t g) {
+  const std::uint64_t key = mix64(cfg.seed ^ (std::uint64_t(node) << 40) ^ g);
+  const auto threshold =
+      std::uint64_t(cfg.idle_fraction * double(~std::uint64_t{0}));
+  if (key < threshold) return 0;
+  return 1 + mix64(key) % cfg.max_updates;
+}
+
+namespace {
+std::uint64_t target(const GupsModConfig& cfg, std::uint32_t node,
+                     std::uint64_t g, std::uint64_t i) {
+  return mix64(cfg.seed ^ 0xABCD ^ (std::uint64_t(node) << 44) ^ (g << 8) ^
+               i) %
+         cfg.table_size;
+}
+}  // namespace
+
+AppReport runGupsMod(rt::Cluster& cluster, const GupsModConfig& cfg,
+                     DivergedMode mode) {
+  GRAVEL_CHECK_MSG(
+      (mode == DivergedMode::kWgReconvergence) ==
+          cluster.config().device.wg_reconvergence,
+      "kWgReconvergence requires a cluster with "
+      "DeviceConfig::wg_reconvergence enabled (and the other modes require "
+      "it disabled)");
+
+  const std::uint32_t nodes = cluster.nodes();
+  graph::BlockPartition part(cfg.table_size, nodes);
+  auto table = cluster.alloc<std::uint64_t>(part.perNode());
+
+  const std::uint32_t wg =
+      cfg.wg_size ? cfg.wg_size : cluster.config().device.max_wg_size;
+
+  cluster.resetStats();
+  double updates = 0;
+  switch (mode) {
+    case DivergedMode::kSoftwarePredication:
+      // Figure 10b: reduce-max the loop count, predicate each iteration.
+      cluster.launchAll(cfg.workitems_per_node, wg,
+                        [&](std::uint32_t nodeId, simt::WorkItem& wi) {
+        auto& self = cluster.node(nodeId);
+        const std::uint64_t mine = gupsModCount(cfg, nodeId, wi.globalId());
+        const std::uint64_t loops = wi.wgReduceMax(mine);
+        for (std::uint64_t i = 0; i < loops; ++i) {
+          const bool active = i < mine;
+          std::uint64_t g = 0;
+          if (active) {
+            g = target(cfg, nodeId, wi.globalId(), i);
+          } else {
+            // Lines 7-11 of Figure 10b still execute on idle lanes: the
+            // activity test plus the dummy message construction.
+            wi.device().stats().predication_overhead_ops += 3;
+          }
+          self.shmemInc(wi, part.owner(g), table.at(part.localIndex(g)),
+                        active);
+        }
+      });
+      break;
+
+    case DivergedMode::kWgReconvergence:
+      // Figure 10a runs unmodified: lanes exit their loop (and the kernel)
+      // as their work ends; the engine's §5.3 semantics complete each
+      // group-level reservation over the remaining live lanes.
+      cluster.launchAll(cfg.workitems_per_node, wg,
+                        [&](std::uint32_t nodeId, simt::WorkItem& wi) {
+        auto& self = cluster.node(nodeId);
+        const std::uint64_t mine = gupsModCount(cfg, nodeId, wi.globalId());
+        for (std::uint64_t i = 0; i < mine; ++i) {
+          const std::uint64_t g = target(cfg, nodeId, wi.globalId(), i);
+          self.shmemInc(wi, part.owner(g), table.at(part.localIndex(g)));
+        }
+      });
+      break;
+
+    case DivergedMode::kFbar:
+      // Figure 10c: lanes register with a fine-grain barrier and leave as
+      // their edge... er, update lists run dry; reservations synchronize
+      // members only.
+      cluster.launchAll(cfg.workitems_per_node, wg,
+                        [&](std::uint32_t nodeId, simt::WorkItem& wi) {
+        auto& self = cluster.node(nodeId);
+        auto& fb = wi.fbar();
+        wi.fbarJoin(fb);
+        const std::uint64_t mine = gupsModCount(cfg, nodeId, wi.globalId());
+        for (std::uint64_t i = 0;; ++i) {
+          if (i >= mine) {
+            wi.fbarLeave(fb);
+            break;
+          }
+          const std::uint64_t g = target(cfg, nodeId, wi.globalId(), i);
+          self.shmemInc(wi, part.owner(g), table.at(part.localIndex(g)), true,
+                        &fb);
+        }
+      });
+      break;
+  }
+
+  AppReport report;
+  report.name = "GUPS-mod";
+  report.stats = cluster.runStats();
+  report.iterations = 1;
+
+  // Serial expectation.
+  std::vector<std::uint64_t> expected(cfg.table_size, 0);
+  for (std::uint32_t n = 0; n < nodes; ++n)
+    for (std::uint64_t g = 0; g < cfg.workitems_per_node; ++g) {
+      const std::uint64_t mine = gupsModCount(cfg, n, g);
+      updates += double(mine);
+      for (std::uint64_t i = 0; i < mine; ++i) ++expected[target(cfg, n, g, i)];
+    }
+  report.work_units = updates;
+
+  report.validated = true;
+  for (std::uint64_t g = 0; g < cfg.table_size; ++g) {
+    const std::uint64_t got = cluster.node(part.owner(g))
+                                  .heap()
+                                  .loadU64(table.at(part.localIndex(g)));
+    if (got != expected[g]) {
+      report.validated = false;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace gravel::apps

@@ -1,0 +1,48 @@
+// GUPS-mod (paper §8.2): each work-item performs a *random number* of
+// updates and 95% of work-items perform none — the stress test for diverged
+// work-group-level operations. Three variants map to the paper's three
+// mechanisms:
+//
+//   kSoftwarePredication : Figure 10b — every lane iterates to the group
+//                          max, inactive lanes carry identity values and pay
+//                          the predication instruction overhead.
+//   kWgReconvergence     : §5.3 thread-block-compaction semantics — lanes
+//                          exit their loop naturally; the engine completes
+//                          collectives over the remaining live lanes
+//                          (DeviceConfig::wg_reconvergence). No predication
+//                          overhead, but an all-idle wavefront still runs.
+//   kFbar                : Figure 10c — lanes leave a fine-grain barrier as
+//                          their work ends; only members synchronize.
+#pragma once
+
+#include "apps/app.hpp"
+#include "runtime/cluster.hpp"
+
+namespace gravel::apps {
+
+enum class DivergedMode {
+  kSoftwarePredication,
+  kWgReconvergence,
+  kFbar,
+};
+
+struct GupsModConfig {
+  std::uint64_t table_size = 1 << 14;
+  std::uint64_t workitems_per_node = 1 << 13;
+  std::uint32_t max_updates = 16;   ///< active lanes draw 1..max updates
+  double idle_fraction = 0.95;      ///< paper: 95% of WIs perform no updates
+  std::uint64_t seed = 13;
+  std::uint32_t wg_size = 0;        ///< 0 = device max
+};
+
+/// Number of updates work-item `g` of `node` performs.
+std::uint64_t gupsModCount(const GupsModConfig& cfg, std::uint32_t node,
+                           std::uint64_t g);
+
+/// Runs one variant and validates the table against the serial expectation.
+/// The report's SIMT counters (collective arrivals, predication overhead)
+/// are what §8.2's speedup model consumes.
+AppReport runGupsMod(rt::Cluster& cluster, const GupsModConfig& cfg,
+                     DivergedMode mode);
+
+}  // namespace gravel::apps

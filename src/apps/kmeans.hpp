@@ -1,0 +1,40 @@
+// K-means clustering (paper §6, Table 4: 8 clusters, 16M points): points are
+// partitioned across nodes; each point finds its nearest centroid locally
+// and sends its coordinates to the cluster's owner node with atomic
+// operations (Table 5: kmeans uses atomics exclusively — hence its 87.5%
+// remote-access frequency at 8 nodes matches GUPS).
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+#include "runtime/cluster.hpp"
+
+namespace gravel::apps {
+
+struct KmeansConfig {
+  std::uint32_t clusters = 8;
+  std::uint32_t dims = 4;
+  std::uint64_t points_per_node = 1 << 12;
+  std::uint64_t iterations = 3;
+  std::uint64_t seed = 5;
+  std::uint32_t wg_size = 0;  ///< 0 = device max
+};
+
+/// Deterministic coordinate d of point p on `node` — shared with the serial
+/// validator. Points are drawn near `clusters` well-separated anchors.
+double kmeansCoord(const KmeansConfig& cfg, std::uint32_t node,
+                   std::uint64_t p, std::uint32_t d);
+
+struct KmeansResult {
+  AppReport report;
+  std::vector<double> centroids;  ///< clusters x dims, row-major
+};
+
+KmeansResult runKmeans(rt::Cluster& cluster, const KmeansConfig& cfg);
+
+/// Serial reference: identical init, identical assignment rule.
+std::vector<double> serialKmeans(const KmeansConfig& cfg,
+                                 std::uint32_t nodes);
+
+}  // namespace gravel::apps

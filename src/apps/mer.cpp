@@ -1,0 +1,167 @@
+#include "apps/mer.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace gravel::apps {
+
+namespace {
+/// Two-input mix for (stream, position) style keys.
+std::uint64_t mix2(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b * 0x9e3779b97f4a7c15ULL));
+}
+}  // namespace
+
+std::vector<KmerOccurrence> extractKmers(const MerConfig& cfg,
+                                         std::uint32_t node) {
+  GRAVEL_CHECK_MSG(cfg.k >= 4 && cfg.k <= 31, "k must be in [4, 31]");
+  GRAVEL_CHECK_MSG(cfg.read_length > cfg.k, "reads must exceed k");
+  std::vector<KmerOccurrence> out;
+  out.reserve(cfg.reads_per_node * (cfg.read_length - cfg.k + 1));
+  std::vector<std::uint8_t> read(cfg.read_length);
+  for (std::uint64_t r = 0; r < cfg.reads_per_node; ++r) {
+    const std::uint64_t start =
+        mix2(cfg.seed ^ (std::uint64_t(node) << 32), r) %
+        (cfg.genome_length - cfg.read_length);
+    for (std::uint32_t i = 0; i < cfg.read_length; ++i) {
+      std::uint8_t base = std::uint8_t(mix2(cfg.seed, start + i) % 4);
+      // ~0.5% sequencing-error rate, deterministic per (node, read, pos):
+      // error k-mers become low-count table entries, exactly the noise the
+      // Meraculous pipeline's count filter exists for.
+      if (mix2(cfg.seed ^ 0xE44, (std::uint64_t(node) << 40) ^ (r << 10) ^ i) %
+              200 ==
+          0)
+        base = (base + 1) % 4;
+      read[i] = base;
+    }
+    for (std::uint32_t w = 0; w + cfg.k <= cfg.read_length; ++w) {
+      std::uint64_t code = 0;
+      for (std::uint32_t i = 0; i < cfg.k; ++i)
+        code = (code << 2) | read[w + i];
+      KmerOccurrence occ;
+      occ.code = code;
+      occ.left = w == 0 ? 4 : read[w - 1];
+      occ.right = w + cfg.k == cfg.read_length ? 4 : read[w + cfg.k];
+      out.push_back(occ);
+    }
+  }
+  return out;
+}
+
+MerResult runMer(rt::Cluster& cluster, const MerConfig& cfg) {
+  const std::uint32_t nodes = cluster.nodes();
+  const std::uint64_t slots = cfg.table_slots_per_node;
+
+  // Open-addressing table: two words per slot — key (code+1; 0 = empty) and
+  // packed extension counts (left A/C/G/T in bytes 0..3, right in 4..7,
+  // saturating at 255).
+  auto keys = cluster.alloc<std::uint64_t>(slots);
+  auto vals = cluster.alloc<std::uint64_t>(slots);
+  auto dropped = cluster.alloc<std::uint64_t>(1);  ///< table-full events
+
+  const std::uint32_t insert = cluster.registerHandler(
+      [keys, vals, dropped, slots](rt::AmContext& ctx,
+                                   std::uint64_t code, std::uint64_t ext) {
+        rt::SymmetricHeap& heap = ctx.heap();
+        const std::uint64_t key = code + 1;
+        std::uint64_t probe = mix64(code) % slots;
+        for (std::uint64_t tries = 0; tries < slots; ++tries) {
+          const std::uint64_t cur = heap.loadU64(keys.at(probe));
+          if (cur == 0) heap.storeU64(keys.at(probe), key);
+          if (cur == 0 || cur == key) {
+            std::uint64_t counts = heap.loadU64(vals.at(probe));
+            const std::uint8_t left = ext & 0xff;
+            const std::uint8_t right = (ext >> 8) & 0xff;
+            auto bump = [&counts](std::uint32_t byte) {
+              const std::uint64_t shift = byte * 8;
+              if (((counts >> shift) & 0xff) != 0xff)
+                counts += std::uint64_t(1) << shift;
+            };
+            if (left < 4) bump(left);
+            if (right < 4) bump(4 + right);
+            heap.storeU64(vals.at(probe), counts);
+            return;
+          }
+          probe = (probe + 1) % slots;
+        }
+        heap.fetchAddU64(dropped.at(0), 1);
+      });
+
+  // Host-side k-mer extraction (the paper's reads live on each node's host
+  // before phase 1 ships them GPU-side).
+  std::vector<std::vector<KmerOccurrence>> streams(nodes);
+  std::vector<std::uint64_t> grids(nodes);
+  for (std::uint32_t nd = 0; nd < nodes; ++nd) {
+    streams[nd] = extractKmers(cfg, nd);
+    grids[nd] = streams[nd].size();
+  }
+
+  const std::uint32_t wg =
+      cfg.wg_size ? cfg.wg_size : cluster.config().device.max_wg_size;
+
+  cluster.resetStats();
+  cluster.launchAll(grids, wg, [&](std::uint32_t nodeId, simt::WorkItem& wi) {
+    const KmerOccurrence& occ = streams[nodeId][wi.globalId()];
+    const std::uint32_t owner = std::uint32_t(mix64(occ.code) % nodes);
+    cluster.node(nodeId).shmemAm(
+        wi, owner, insert, occ.code,
+        std::uint64_t(occ.left) | (std::uint64_t(occ.right) << 8));
+  });
+
+  MerResult result;
+  result.report.name = "mer";
+  result.report.stats = cluster.runStats();
+  result.report.iterations = 1;
+  result.keys = keys;
+  result.vals = vals;
+  result.slots = slots;
+
+  // Serial reference: same streams into a std::map, same saturation rule.
+  std::map<std::uint64_t, std::uint64_t> expected;  // code -> packed counts
+  std::uint64_t occurrences = 0;
+  for (std::uint32_t nd = 0; nd < nodes; ++nd) {
+    for (const KmerOccurrence& occ : streams[nd]) {
+      ++occurrences;
+      std::uint64_t& counts = expected[occ.code];
+      auto bump = [&counts](std::uint32_t byte) {
+        const std::uint64_t shift = byte * 8;
+        if (((counts >> shift) & 0xff) != 0xff)
+          counts += std::uint64_t(1) << shift;
+      };
+      if (occ.left < 4) bump(occ.left);
+      if (occ.right < 4) bump(4 + occ.right);
+    }
+  }
+  result.total_occurrences = occurrences;
+  result.report.work_units = double(occurrences);
+
+  // Sweep the distributed table: exactly the expected key set, with equal
+  // counts, and nothing dropped.
+  bool ok = cluster.node(0).heap().loadU64(dropped.at(0)) == 0;
+  std::uint64_t found = 0;
+  double maxLoad = 0;
+  for (std::uint32_t nd = 0; nd < nodes && ok; ++nd) {
+    auto& heap = cluster.node(nd).heap();
+    std::uint64_t used = 0;
+    for (std::uint64_t s = 0; s < slots; ++s) {
+      const std::uint64_t key = heap.loadU64(keys.at(s));
+      if (key == 0) continue;
+      ++used;
+      ++found;
+      const auto it = expected.find(key - 1);
+      if (it == expected.end() || it->second != heap.loadU64(vals.at(s)) ||
+          mix64(key - 1) % nodes != nd) {
+        ok = false;
+        break;
+      }
+    }
+    maxLoad = std::max(maxLoad, double(used) / double(slots));
+  }
+  result.distinct_kmers = found;
+  result.max_load_factor = maxLoad;
+  result.report.validated = ok && found == expected.size();
+  return result;
+}
+
+}  // namespace gravel::apps

@@ -1,0 +1,57 @@
+// Meraculous phase 1 (paper §6): distributed de Bruijn hash-table
+// construction for genome assembly. Reads are chopped into k-mers; each
+// k-mer (with its left/right extension bases) is sent to the node owning its
+// hash bucket, where an active-message handler inserts it into an
+// open-addressing table and accumulates extension counts. The paper's
+// human-chr14 read set is proprietary-scale input; we generate synthetic
+// reads from a random reference genome, which exercises the identical
+// hash-distribute-insert path (the network behaviour depends only on k-mer
+// hashing, not on biological content).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "runtime/cluster.hpp"
+
+namespace gravel::apps {
+
+struct MerConfig {
+  std::uint32_t k = 21;                ///< k-mer length (fits 2k<=64 bits)
+  std::uint64_t genome_length = 1 << 16;
+  std::uint64_t reads_per_node = 512;
+  std::uint32_t read_length = 100;
+  std::uint64_t table_slots_per_node = 1 << 15;  ///< open-addressing capacity
+  std::uint64_t seed = 9;
+  std::uint32_t wg_size = 0;  ///< 0 = device max
+};
+
+/// A k-mer occurrence: packed code plus left/right extension bases (0..3,
+/// or 4 when the k-mer sits at a read boundary).
+struct KmerOccurrence {
+  std::uint64_t code;
+  std::uint8_t left;
+  std::uint8_t right;
+};
+
+/// Deterministic synthetic read set for one node, and the k-mer stream it
+/// yields; shared with the serial validator.
+std::vector<KmerOccurrence> extractKmers(const MerConfig& cfg,
+                                         std::uint32_t node);
+
+struct MerResult {
+  AppReport report;
+  std::uint64_t distinct_kmers = 0;
+  std::uint64_t total_occurrences = 0;
+  double max_load_factor = 0;
+  // Table location, for phase 2 (mer_traverse.hpp).
+  rt::SymAddr<std::uint64_t> keys{};
+  rt::SymAddr<std::uint64_t> vals{};
+  std::uint64_t slots = 0;
+};
+
+MerResult runMer(rt::Cluster& cluster, const MerConfig& cfg);
+
+}  // namespace gravel::apps

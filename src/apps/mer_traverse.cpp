@@ -1,0 +1,183 @@
+#include "apps/mer_traverse.hpp"
+
+#include <map>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace gravel::apps {
+
+namespace {
+
+/// Decodes one side of the packed extension counts (left = bytes 0..3,
+/// right = bytes 4..7). Returns the base index when exactly one base
+/// reaches min_count, or -1.
+int uniqueSide(std::uint64_t counts, bool right, std::uint32_t minCount) {
+  int found = -1;
+  for (int b = 0; b < 4; ++b) {
+    const std::uint64_t c = (counts >> ((right ? 4 + b : b) * 8)) & 0xff;
+    if (c >= minCount) {
+      if (found >= 0) return -1;  // second strong base: not unique
+      found = b;
+    }
+  }
+  return found;
+}
+
+bool isUU(std::uint64_t counts, std::uint32_t minCount) {
+  return uniqueSide(counts, false, minCount) >= 0 &&
+         uniqueSide(counts, true, minCount) >= 0;
+}
+
+std::uint64_t shiftRight(std::uint64_t code, int base, std::uint32_t k) {
+  const std::uint64_t mask = (std::uint64_t(1) << (2 * k)) - 1;
+  return ((code << 2) | std::uint64_t(base)) & mask;
+}
+
+}  // namespace
+
+MerTraverseResult runMerTraverse(rt::Cluster& cluster, const MerConfig& phase1,
+                                 const MerResult& table,
+                                 const MerTraverseConfig& cfg) {
+  GRAVEL_CHECK_MSG(table.slots > 0, "phase-1 table required");
+  const std::uint32_t nodes = cluster.nodes();
+  const std::uint64_t slots = table.slots;
+  const auto keys = table.keys;
+  const auto vals = table.vals;
+  const std::uint32_t k = phase1.k;
+  const std::uint32_t minCount = cfg.min_count;
+  const std::uint64_t lenCap = slots;  // safety valve against cycles
+
+  // Per-node accumulators: contig count, covered k-mers, longest contig.
+  auto contigs = cluster.alloc<std::uint64_t>(1);
+  auto covered = cluster.alloc<std::uint64_t>(1);
+  auto longest = cluster.alloc<std::uint64_t>(1);
+
+  // Local table probe, shared by the walk handler.
+  const auto lookup = [keys, vals, slots](rt::SymmetricHeap& heap,
+                                          std::uint64_t code,
+                                          std::uint64_t& countsOut) {
+    std::uint64_t probe = mix64(code) % slots;
+    for (std::uint64_t tries = 0; tries < slots; ++tries) {
+      const std::uint64_t cur = heap.loadU64(keys.at(probe));
+      if (cur == 0) return false;
+      if (cur == code + 1) {
+        countsOut = heap.loadU64(vals.at(probe));
+        return true;
+      }
+      probe = (probe + 1) % slots;
+    }
+    return false;
+  };
+
+  // The walk step: arg0 = k-mer the walk arrived at (owned by this node),
+  // arg1 = UU k-mers confirmed so far. Handlers are serialized per node, so
+  // the accumulator updates are plain loads/stores. The handler forwards
+  // the walk to itself at the next owner, so its own id travels through
+  // shared state (the id is unknown until registration returns).
+  auto stepId = std::make_shared<std::uint32_t>(0);
+  *stepId = cluster.registerHandler([=, &cluster](rt::AmContext& ctx,
+                                                  std::uint64_t code,
+                                                  std::uint64_t len) {
+    auto& heap = ctx.heap();
+    const auto record = [&](std::uint64_t finalLen) {
+      heap.storeU64(contigs.at(0), heap.loadU64(contigs.at(0)) + 1);
+      heap.storeU64(covered.at(0), heap.loadU64(covered.at(0)) + finalLen);
+      if (finalLen > heap.loadU64(longest.at(0)))
+        heap.storeU64(longest.at(0), finalLen);
+    };
+    std::uint64_t counts = 0;
+    if (!lookup(heap, code, counts) || !isUU(counts, minCount)) {
+      record(len);  // walk terminates just past the contig's right end
+      return;
+    }
+    const std::uint64_t newLen = len + 1;
+    if (newLen >= lenCap) {
+      record(newLen);
+      return;
+    }
+    const std::uint64_t next =
+        shiftRight(code, uniqueSide(counts, true, minCount), k);
+    ctx.sendAm(std::uint32_t(mix64(next) % cluster.nodes()), *stepId, next,
+               newLen);
+  });
+  const std::uint32_t step = *stepId;
+
+  // Seed kernel: every GPU work-item classifies one local table slot
+  // (software predication keeps the group converged through the sparse
+  // table — the branch divergence the paper deferred phase 2 over).
+  const std::uint32_t wg =
+      cfg.wg_size ? cfg.wg_size : cluster.config().device.max_wg_size;
+  cluster.resetStats();
+  cluster.launchAll(slots, wg, [&](std::uint32_t nodeId, simt::WorkItem& wi) {
+    auto& self = cluster.node(nodeId);
+    const std::uint64_t key = self.heap().loadU64(keys.at(wi.globalId()));
+    const std::uint64_t counts = self.heap().loadU64(vals.at(wi.globalId()));
+    // Start: right-extendable but not left-walkable — a unique right
+    // extension with no unique left one (read/genome starts, branch points).
+    // Locally decidable; the serial reference uses the same rule.
+    const bool start = key != 0 &&
+                       uniqueSide(counts, true, minCount) >= 0 &&
+                       uniqueSide(counts, false, minCount) < 0;
+    std::uint64_t next = 0;
+    if (start)
+      next = shiftRight(key - 1, uniqueSide(counts, true, minCount), k);
+    self.shmemAm(wi, start ? std::uint32_t(mix64(next) % nodes) : 0, step,
+                 next, 1, start);
+  });
+
+  MerTraverseResult result;
+  result.report.name = "mer-phase2";
+  result.report.stats = cluster.runStats();
+  result.report.iterations = 1;
+  for (std::uint32_t nd = 0; nd < nodes; ++nd) {
+    auto& heap = cluster.node(nd).heap();
+    result.contigs += heap.loadU64(contigs.at(0));
+    result.contig_kmers += heap.loadU64(covered.at(0));
+    result.longest_contig =
+        std::max(result.longest_contig, heap.loadU64(longest.at(0)));
+  }
+  result.report.work_units = double(result.contig_kmers);
+
+  // Serial reference over the same k-mer multiset, same rules.
+  std::map<std::uint64_t, std::uint64_t> ref;
+  for (std::uint32_t nd = 0; nd < nodes; ++nd) {
+    for (const KmerOccurrence& occ : extractKmers(phase1, nd)) {
+      std::uint64_t& counts = ref[occ.code];
+      auto bump = [&counts](std::uint32_t byte) {
+        const std::uint64_t shift = byte * 8;
+        if (((counts >> shift) & 0xff) != 0xff)
+          counts += std::uint64_t(1) << shift;
+      };
+      if (occ.left < 4) bump(occ.left);
+      if (occ.right < 4) bump(4 + occ.right);
+    }
+  }
+  std::uint64_t refContigs = 0, refCovered = 0, refLongest = 0;
+  for (const auto& [code, counts] : ref) {
+    if (uniqueSide(counts, true, minCount) < 0 ||
+        uniqueSide(counts, false, minCount) >= 0)
+      continue;
+    std::uint64_t len = 1;
+    std::uint64_t cur = code, curCounts = counts;
+    for (;;) {
+      const std::uint64_t next =
+          shiftRight(cur, uniqueSide(curCounts, true, minCount), k);
+      const auto it = ref.find(next);
+      if (it == ref.end() || !isUU(it->second, minCount)) break;
+      ++len;
+      if (len >= lenCap) break;
+      cur = next;
+      curCounts = it->second;
+    }
+    ++refContigs;
+    refCovered += len;
+    refLongest = std::max(refLongest, len);
+  }
+  result.report.validated = result.contigs == refContigs &&
+                            result.contig_kmers == refCovered &&
+                            result.longest_contig == refLongest;
+  return result;
+}
+
+}  // namespace gravel::apps

@@ -1,0 +1,44 @@
+// Meraculous phase 2 — distributed de Bruijn traversal (paper §6: "We
+// evaluate phase 1 and leave phase 2, which has significant branch
+// divergence, for future work"). This is that future work, built on the
+// runtime's active-message *chaining*: a contig walk hops from k-mer owner
+// to k-mer owner as a chain of AMs, each handler looking up the local table
+// slot and forwarding the walk to the next k-mer's home node.
+//
+// Contig model (the Meraculous UU-graph, simplified to stay locally
+// classifiable — the same rule drives the serial validator):
+//   - a side of a k-mer is *unique* when exactly one extension base has a
+//     count >= min_count (errors stay below it);
+//   - a k-mer is UU when both sides are unique;
+//   - a contig starts at a k-mer that is right-extendable but not
+//     left-walkable (unique right, non-unique left: read/genome starts and
+//     branch points), and extends right through UU k-mers along unique
+//     right extensions until a missing or non-UU k-mer terminates it.
+#pragma once
+
+#include "apps/mer.hpp"
+
+namespace gravel::apps {
+
+struct MerTraverseConfig {
+  std::uint32_t min_count = 2;  ///< error-filter threshold on ext counts
+  std::uint32_t wg_size = 0;    ///< 0 = device max
+};
+
+struct MerTraverseResult {
+  AppReport report;
+  std::uint64_t contigs = 0;        ///< walks completed
+  std::uint64_t contig_kmers = 0;   ///< UU k-mers covered by walks
+  std::uint64_t longest_contig = 0; ///< in k-mers
+};
+
+/// Runs phase 2 over a phase-1 table (`runMer` result on the same cluster
+/// with the same MerConfig). Seeds are found by a GPU kernel scanning the
+/// local table; walks proceed as active-message chains. Validates contig
+/// count / coverage / longest length against a serial traversal of the same
+/// k-mer multiset.
+MerTraverseResult runMerTraverse(rt::Cluster& cluster, const MerConfig& phase1,
+                                 const MerResult& table,
+                                 const MerTraverseConfig& cfg = {});
+
+}  // namespace gravel::apps

@@ -1,0 +1,37 @@
+// PageRank (paper §6, derived from GasCL): push-style — each vertex sends
+// rank/out-degree along every out-edge each iteration, then gathers its
+// inbox. PUT is the only network primitive (Table 5: PR uses non-atomic
+// operations exclusively); per-edge private inbox slots make concurrent
+// PUTs race-free.
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+#include "graph/dist.hpp"
+#include "runtime/cluster.hpp"
+
+namespace gravel::apps {
+
+struct PageRankConfig {
+  std::uint64_t iterations = 5;
+  double damping = 0.85;
+  std::uint32_t wg_size = 0;  ///< 0 = device max
+};
+
+struct PageRankResult {
+  AppReport report;
+  std::vector<double> ranks;  ///< gathered, indexed by global vertex id
+};
+
+/// Distributed PageRank over the Gravel runtime. The push kernel walks each
+/// vertex's edge list with software predication (Figure 10b's loop shape).
+PageRankResult runPageRank(rt::Cluster& cluster, const graph::DistGraph& dg,
+                           const PageRankConfig& cfg);
+
+/// Serial reference with identical update order semantics (synchronous
+/// iterations), for validation.
+std::vector<double> serialPageRank(const graph::Csr& g,
+                                   std::uint64_t iterations, double damping);
+
+}  // namespace gravel::apps

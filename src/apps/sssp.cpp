@@ -1,0 +1,137 @@
+#include "apps/sssp.hpp"
+
+#include <queue>
+
+#include "graph/generators.hpp"
+
+namespace gravel::apps {
+
+using graph::Vertex;
+
+std::vector<std::uint64_t> serialSssp(const graph::Csr& g, Vertex source,
+                                      std::uint64_t maxWeight) {
+  std::vector<std::uint64_t> dist(g.vertexCount(), kSsspInf);
+  using Item = std::pair<std::uint64_t, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d != dist[v]) continue;
+    for (Vertex w : g.neighbors(v)) {
+      const std::uint64_t cand = d + graph::edgeWeight(v, w, maxWeight);
+      if (cand < dist[w]) {
+        dist[w] = cand;
+        pq.push({cand, w});
+      }
+    }
+  }
+  return dist;
+}
+
+SsspResult runSssp(rt::Cluster& cluster, const graph::DistGraph& dg,
+                   const SsspConfig& cfg) {
+  const std::uint32_t nodes = cluster.nodes();
+  const graph::Csr& g = dg.graph();
+  const auto& vp = dg.vertices();
+
+  auto dist = cluster.alloc<std::uint64_t>(vp.perNode());
+  auto active = cluster.alloc<std::uint64_t>(vp.perNode());
+  auto pending = cluster.alloc<std::uint64_t>(vp.perNode());
+
+  // Relax handler, run at the owner of the target vertex: classic
+  // compare-and-update plus frontier marking. The network thread serializes
+  // handlers, so plain load/store is race-free against other relaxations;
+  // the local GPU only reads dist between launches (after quiet()).
+  const std::uint32_t relax = cluster.registerHandler(
+      [dist, pending](rt::AmContext& ctx, std::uint64_t local,
+                      std::uint64_t cand) {
+        if (cand < ctx.heap().loadU64(dist.at(local))) {
+          ctx.heap().storeU64(dist.at(local), cand);
+          ctx.heap().storeU64(pending.at(local), 1);
+        }
+      });
+
+  for (std::uint32_t nd = 0; nd < nodes; ++nd) {
+    auto& heap = cluster.node(nd).heap();
+    for (std::uint64_t l = 0; l < vp.sizeOf(nd); ++l) {
+      heap.storeU64(dist.at(l), kSsspInf);
+      heap.storeU64(active.at(l), 0);
+      heap.storeU64(pending.at(l), 0);
+    }
+  }
+  cluster.node(vp.owner(cfg.source))
+      .heap()
+      .storeU64(dist.at(vp.localIndex(cfg.source)), 0);
+  cluster.node(vp.owner(cfg.source))
+      .heap()
+      .storeU64(active.at(vp.localIndex(cfg.source)), 1);
+
+  const std::uint32_t wg =
+      cfg.wg_size ? cfg.wg_size : cluster.config().device.max_wg_size;
+  std::vector<std::uint64_t> grids(nodes);
+  for (std::uint32_t nd = 0; nd < nodes; ++nd) grids[nd] = vp.sizeOf(nd);
+
+  cluster.resetStats();
+  double relaxations = 0;
+  std::uint64_t iterations = 0;
+  for (; iterations < cfg.max_iterations; ++iterations) {
+    // Relax the frontier: every local vertex participates (software
+    // predication); only frontier vertices send.
+    cluster.launchAll(grids, wg, [&](std::uint32_t nodeId,
+                                     simt::WorkItem& wi) {
+      auto& self = cluster.node(nodeId);
+      const auto v = Vertex(vp.globalIndex(nodeId, wi.globalId()));
+      const bool onFrontier =
+          self.heap().loadU64(active.at(wi.globalId())) != 0;
+      const std::uint64_t deg = onFrontier ? g.degree(v) : 0;
+      const std::uint64_t d = self.heap().loadU64(dist.at(wi.globalId()));
+      const std::uint64_t loops = wi.wgReduceMax(deg);
+      for (std::uint64_t i = 0; i < loops; ++i) {
+        const bool sends = i < deg;
+        Vertex w = 0;
+        std::uint64_t cand = 0;
+        if (sends) {
+          w = g.neighbors(v)[i];
+          cand = d + graph::edgeWeight(v, w, cfg.max_weight);
+        } else {
+          wi.device().stats().predication_overhead_ops += 1;
+        }
+        self.shmemAm(wi, vp.owner(w), relax, vp.localIndex(w), cand, sends);
+      }
+    });
+
+    // Host frontier management: promote pending -> active; stop when the
+    // cluster-wide frontier is empty.
+    std::uint64_t frontier = 0;
+    for (std::uint32_t nd = 0; nd < nodes; ++nd) {
+      auto& heap = cluster.node(nd).heap();
+      for (std::uint64_t l = 0; l < vp.sizeOf(nd); ++l) {
+        const std::uint64_t p = heap.loadU64(pending.at(l));
+        heap.storeU64(active.at(l), p);
+        heap.storeU64(pending.at(l), 0);
+        frontier += p;
+      }
+    }
+    relaxations += frontier;
+    if (frontier == 0) break;
+  }
+
+  SsspResult result;
+  result.report.name = "SSSP";
+  result.report.stats = cluster.runStats();
+  result.report.work_units = relaxations;
+  result.report.iterations = iterations + 1;
+
+  result.dist.resize(g.vertexCount());
+  for (Vertex v = 0; v < g.vertexCount(); ++v)
+    result.dist[v] =
+        cluster.node(vp.owner(v)).heap().loadU64(dist.at(vp.localIndex(v)));
+
+  const auto expected = serialSssp(g, cfg.source, cfg.max_weight);
+  result.report.validated = result.dist == expected;
+  return result;
+}
+
+}  // namespace gravel::apps

@@ -1,0 +1,38 @@
+// Single-source shortest paths (paper §6): frontier-driven Bellman-Ford
+// relaxation. Edge relaxations travel as active messages — the handler
+// compares-and-updates the distance at the owner and marks the vertex
+// pending, which is exactly the "atomic operations serialized through the
+// network thread" usage the paper describes (§6, §7.1).
+#pragma once
+
+#include <vector>
+
+#include "apps/app.hpp"
+#include "graph/dist.hpp"
+#include "runtime/cluster.hpp"
+
+namespace gravel::apps {
+
+struct SsspConfig {
+  graph::Vertex source = 0;
+  std::uint32_t wg_size = 0;       ///< 0 = device max
+  std::uint64_t max_weight = 15;   ///< edgeWeight() range
+  std::uint64_t max_iterations = 1u << 20;  ///< safety valve
+};
+
+inline constexpr std::uint64_t kSsspInf = ~std::uint64_t{0} >> 2;
+
+struct SsspResult {
+  AppReport report;
+  std::vector<std::uint64_t> dist;  ///< indexed by global vertex id
+};
+
+SsspResult runSssp(rt::Cluster& cluster, const graph::DistGraph& dg,
+                   const SsspConfig& cfg);
+
+/// Serial Dijkstra with the same deterministic weights.
+std::vector<std::uint64_t> serialSssp(const graph::Csr& g,
+                                      graph::Vertex source,
+                                      std::uint64_t maxWeight);
+
+}  // namespace gravel::apps

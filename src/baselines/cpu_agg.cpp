@@ -1,0 +1,165 @@
+#include "baselines/cpu_agg.hpp"
+
+#include <cstring>
+#include <thread>
+
+namespace gravel::baselines {
+
+CpuCluster::CpuCluster(const CpuClusterConfig& config) : config_(config) {
+  GRAVEL_CHECK_MSG(config.nodes > 0 && config.threads_per_node > 0,
+                   "bad CPU cluster shape");
+  heaps_.assign(config.nodes,
+                std::vector<std::uint64_t>(config.heap_words, 0));
+  heapMutex_.reserve(config.nodes);
+  for (std::uint32_t i = 0; i < config.nodes; ++i)
+    heapMutex_.push_back(std::make_unique<std::mutex>());
+}
+
+std::uint64_t CpuCluster::loadWord(std::uint32_t node,
+                                   std::uint64_t addr) const {
+  GRAVEL_CHECK(node < config_.nodes && addr < config_.heap_words);
+  return heaps_[node][addr];
+}
+
+void CpuCluster::storeWord(std::uint32_t node, std::uint64_t addr,
+                           std::uint64_t value) {
+  GRAVEL_CHECK(node < config_.nodes && addr < config_.heap_words);
+  heaps_[node][addr] = value;
+}
+
+void CpuCluster::applyBatch(std::uint32_t src, std::uint32_t dest,
+                            const std::vector<CpuOp>& ops) {
+  if (ops.empty()) return;
+  {
+    std::scoped_lock lk(*heapMutex_[dest]);
+    auto& heap = heaps_[dest];
+    for (const CpuOp& op : ops) {
+      // kCall carries an opaque arg0 in `addr`; only direct heap ops are
+      // bounds-checked here (handlers validate their own accesses).
+      GRAVEL_CHECK_MSG(op.kind == CpuOp::Kind::kCall || op.addr < heap.size(),
+                       "delegate address out of range");
+      switch (op.kind) {
+        case CpuOp::Kind::kInc:
+          ++heap[op.addr];
+          break;
+        case CpuOp::Kind::kPutBits:
+          heap[op.addr] = op.value;
+          break;
+        case CpuOp::Kind::kAddBits: {
+          double cur, add;
+          std::memcpy(&cur, &heap[op.addr], 8);
+          std::memcpy(&add, &op.value, 8);
+          cur += add;
+          std::memcpy(&heap[op.addr], &cur, 8);
+          break;
+        }
+        case CpuOp::Kind::kCall:
+          GRAVEL_CHECK_MSG(op.handler < handlers_.size(),
+                           "unknown delegate handler");
+          handlers_[op.handler](heap, op.addr, op.value);
+          break;
+      }
+    }
+  }
+  std::scoped_lock lk(statsMutex_);
+  if (src != dest) {
+    ++stats_.batches;
+    stats_.batch_bytes += ops.size() * sizeof(CpuOp) * 2;  // padded 32 B wire
+  }
+}
+
+CpuCluster::WorkerCtx::WorkerCtx(CpuCluster& cluster, std::uint32_t node,
+                                 std::uint32_t /*thread*/)
+    : cluster_(cluster), node_(node), buffers_(cluster.nodes()) {
+  for (auto& b : buffers_) b.reserve(cluster.config().buffer_msgs);
+}
+
+CpuCluster::WorkerCtx::~WorkerCtx() { flushAll(); }
+
+void CpuCluster::WorkerCtx::push(std::uint32_t dest, const CpuOp& op) {
+  {
+    std::scoped_lock lk(cluster_.statsMutex_);
+    if (dest == node_)
+      ++cluster_.stats_.ops_local;
+    else
+      ++cluster_.stats_.ops_remote;
+  }
+  auto& buf = buffers_[dest];
+  buf.push_back(op);
+  if (buf.size() >= cluster_.config().buffer_msgs) {
+    cluster_.applyBatch(node_, dest, buf);
+    buf.clear();
+  }
+}
+
+void CpuCluster::WorkerCtx::delegateInc(std::uint32_t dest,
+                                        std::uint64_t addr) {
+  push(dest, CpuOp{CpuOp::Kind::kInc, addr, 0});
+}
+void CpuCluster::WorkerCtx::delegatePut(std::uint32_t dest,
+                                        std::uint64_t addr,
+                                        std::uint64_t bits) {
+  push(dest, CpuOp{CpuOp::Kind::kPutBits, addr, bits});
+}
+void CpuCluster::WorkerCtx::delegateAddDouble(std::uint32_t dest,
+                                              std::uint64_t addr,
+                                              double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  push(dest, CpuOp{CpuOp::Kind::kAddBits, addr, bits});
+}
+
+void CpuCluster::WorkerCtx::delegateCall(std::uint32_t dest,
+                                         std::uint32_t handler,
+                                         std::uint64_t arg0,
+                                         std::uint64_t arg1) {
+  push(dest, CpuOp{CpuOp::Kind::kCall, arg0, arg1, handler});
+}
+
+void CpuCluster::WorkerCtx::flushAll() {
+  for (std::uint32_t dest = 0; dest < buffers_.size(); ++dest) {
+    if (buffers_[dest].empty()) continue;
+    cluster_.applyBatch(node_, dest, buffers_[dest]);
+    buffers_[dest].clear();
+  }
+}
+
+void CpuCluster::parallelFor(
+    std::uint64_t perNode,
+    const std::function<void(std::uint32_t, WorkerCtx&, std::uint64_t)>&
+        body) {
+  std::vector<std::thread> workers;
+  std::vector<std::exception_ptr> errors(
+      std::size_t{config_.nodes} * config_.threads_per_node);
+  for (std::uint32_t node = 0; node < config_.nodes; ++node) {
+    for (std::uint32_t t = 0; t < config_.threads_per_node; ++t) {
+      workers.emplace_back([this, node, t, perNode, &body, &errors] {
+        try {
+          WorkerCtx ctx(*this, node, t);
+          // Static interleaved schedule, deterministic per thread.
+          for (std::uint64_t i = t; i < perNode; i += config_.threads_per_node)
+            body(node, ctx, i);
+          ctx.flushAll();
+        } catch (...) {
+          errors[std::size_t{node} * config_.threads_per_node + t] =
+              std::current_exception();
+        }
+      });
+    }
+  }
+  for (auto& w : workers) w.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+CpuRunStats CpuCluster::stats() const {
+  std::scoped_lock lk(statsMutex_);
+  return stats_;
+}
+
+void CpuCluster::resetStats() {
+  std::scoped_lock lk(statsMutex_);
+  stats_ = CpuRunStats{};
+}
+
+}  // namespace gravel::baselines

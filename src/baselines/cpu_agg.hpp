@@ -1,0 +1,120 @@
+// CPU-based distributed comparator (paper Figure 13): a compact Grappa-like
+// runtime — worker threads issue fine-grain delegate operations that are
+// buffered in *per-thread per-destination* aggregation buffers (the scheme
+// Grappa/GraphLab/GMT use, which §1 notes is a poor fit for GPUs) and
+// applied at the home node in batches.
+//
+// The functional run counts operations, batches and bytes; Figure 13's
+// timing comes from perf::cpuBaselineTime over those counts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace gravel::baselines {
+
+struct CpuClusterConfig {
+  std::uint32_t nodes = 8;
+  std::uint32_t threads_per_node = 4;  ///< Table 3: 2 cores / 4 threads
+  std::uint64_t heap_words = 1 << 20;
+  std::uint64_t buffer_msgs = 2048;  ///< 64 kB of 32 B messages
+};
+
+/// One buffered delegate operation.
+struct CpuOp {
+  enum class Kind : std::uint8_t { kInc, kPutBits, kAddBits, kCall } kind;
+  std::uint64_t addr;   ///< word index into the destination heap (or arg 0)
+  std::uint64_t value;  ///< put/add payload, double bit pattern, or arg 1
+  std::uint32_t handler = 0;  ///< registered callable for kCall
+};
+
+/// Grappa-style delegate callable: runs at the home node with its heap,
+/// serialized by the home lock.
+using CpuHandler = std::function<void(std::vector<std::uint64_t>& heap,
+                                      std::uint64_t arg0, std::uint64_t arg1)>;
+
+/// Traffic counters, mirroring rt::ClusterRunStats' network fields.
+struct CpuRunStats {
+  std::uint64_t ops_local = 0;
+  std::uint64_t ops_remote = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batch_bytes = 0;
+  double remoteFraction() const {
+    const auto t = ops_local + ops_remote;
+    return t ? double(ops_remote) / double(t) : 0.0;
+  }
+};
+
+/// The Grappa-like cluster. Worker threads call delegate ops through a
+/// WorkerCtx; application of a batch at its home node is serialized by a
+/// per-node mutex (the home-core model).
+class CpuCluster {
+ public:
+  explicit CpuCluster(const CpuClusterConfig& config);
+
+  std::uint32_t nodes() const noexcept { return config_.nodes; }
+  const CpuClusterConfig& config() const noexcept { return config_; }
+
+  std::uint64_t loadWord(std::uint32_t node, std::uint64_t addr) const;
+  void storeWord(std::uint32_t node, std::uint64_t addr, std::uint64_t value);
+
+  /// Registers a delegate callable; do this before parallelFor.
+  std::uint32_t registerHandler(CpuHandler handler) {
+    handlers_.push_back(std::move(handler));
+    return std::uint32_t(handlers_.size() - 1);
+  }
+
+  /// Per-thread handle used inside parallelFor bodies.
+  class WorkerCtx {
+   public:
+    WorkerCtx(CpuCluster& cluster, std::uint32_t node, std::uint32_t thread);
+    ~WorkerCtx();  ///< flushes remaining buffers
+
+    void delegateInc(std::uint32_t dest, std::uint64_t addr);
+    void delegatePut(std::uint32_t dest, std::uint64_t addr,
+                     std::uint64_t bits);
+    void delegateAddDouble(std::uint32_t dest, std::uint64_t addr,
+                           double value);
+    void delegateCall(std::uint32_t dest, std::uint32_t handler,
+                      std::uint64_t arg0, std::uint64_t arg1);
+    void flushAll();
+
+   private:
+    void push(std::uint32_t dest, const CpuOp& op);
+    CpuCluster& cluster_;
+    std::uint32_t node_;
+    std::vector<std::vector<CpuOp>> buffers_;  // per destination
+  };
+
+  /// Runs `body(node, ctx, index)` for every index in [0, perNode) on every
+  /// node, spread over threads_per_node worker threads per node. Flushes
+  /// and waits for full delivery before returning (a global barrier).
+  void parallelFor(
+      std::uint64_t perNode,
+      const std::function<void(std::uint32_t node, WorkerCtx& ctx,
+                               std::uint64_t index)>& body);
+
+  CpuRunStats stats() const;
+  void resetStats();
+
+ private:
+  friend class WorkerCtx;
+  void applyBatch(std::uint32_t src, std::uint32_t dest,
+                  const std::vector<CpuOp>& ops);
+
+  CpuClusterConfig config_;
+  std::vector<std::vector<std::uint64_t>> heaps_;
+  std::vector<std::unique_ptr<std::mutex>> heapMutex_;
+  std::vector<CpuHandler> handlers_;
+  mutable std::mutex statsMutex_;
+  CpuRunStats stats_;
+};
+
+}  // namespace gravel::baselines

@@ -1,0 +1,187 @@
+#include "baselines/cpu_apps.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace gravel::baselines {
+
+using apps::bitsDouble;
+using apps::doubleBits;
+using graph::Vertex;
+
+CpuAppReport runCpuGups(CpuCluster& cluster, const apps::GupsConfig& cfg) {
+  const std::uint32_t nodes = cluster.nodes();
+  graph::BlockPartition part(cfg.table_size, nodes);
+  cluster.resetStats();
+  cluster.parallelFor(cfg.updates_per_node,
+                      [&](std::uint32_t node, CpuCluster::WorkerCtx& ctx,
+                          std::uint64_t u) {
+                        const std::uint64_t g = apps::gupsTarget(cfg, node, u);
+                        ctx.delegateInc(part.owner(g), part.localIndex(g));
+                      });
+
+  CpuAppReport report;
+  report.stats = cluster.stats();
+  report.work_units = double(cfg.updates_per_node) * nodes;
+
+  std::vector<std::uint64_t> expected(cfg.table_size, 0);
+  for (std::uint32_t n = 0; n < nodes; ++n)
+    for (std::uint64_t u = 0; u < cfg.updates_per_node; ++u)
+      ++expected[apps::gupsTarget(cfg, n, u)];
+  report.validated = true;
+  for (std::uint64_t g = 0; g < cfg.table_size; ++g)
+    if (cluster.loadWord(part.owner(g), part.localIndex(g)) != expected[g]) {
+      report.validated = false;
+      break;
+    }
+  return report;
+}
+
+CpuAppReport runCpuPageRank(CpuCluster& cluster, const graph::DistGraph& dg,
+                            const apps::PageRankConfig& cfg) {
+  const std::uint32_t nodes = cluster.nodes();
+  const graph::Csr& g = dg.graph();
+  const auto& vp = dg.vertices();
+  const Vertex n = g.vertexCount();
+
+  // Heap layout per node: [0, perNode) ranks, [perNode, 2*perNode) incoming.
+  const std::uint64_t perNode = vp.perNode();
+  for (std::uint32_t nd = 0; nd < nodes; ++nd)
+    for (std::uint64_t l = 0; l < vp.sizeOf(nd); ++l) {
+      cluster.storeWord(nd, l, doubleBits(1.0 / n));
+      cluster.storeWord(nd, perNode + l, doubleBits(0.0));
+    }
+
+  cluster.resetStats();
+  for (std::uint64_t it = 0; it < cfg.iterations; ++it) {
+    cluster.parallelFor(perNode, [&](std::uint32_t node,
+                                     CpuCluster::WorkerCtx& ctx,
+                                     std::uint64_t l) {
+      if (l >= vp.sizeOf(node)) return;
+      const auto v = Vertex(vp.globalIndex(node, l));
+      const auto deg = g.degree(v);
+      if (deg == 0) return;
+      const double share = bitsDouble(cluster.loadWord(node, l)) / double(deg);
+      for (Vertex w : g.neighbors(v))
+        ctx.delegateAddDouble(vp.owner(w), perNode + vp.localIndex(w), share);
+    });
+    // Local apply phase (host loop, same as Grappa's synchronous rounds).
+    for (std::uint32_t nd = 0; nd < nodes; ++nd)
+      for (std::uint64_t l = 0; l < vp.sizeOf(nd); ++l) {
+        const double incoming = bitsDouble(cluster.loadWord(nd, perNode + l));
+        cluster.storeWord(
+            nd, l, doubleBits((1.0 - cfg.damping) / n + cfg.damping * incoming));
+        cluster.storeWord(nd, perNode + l, doubleBits(0.0));
+      }
+  }
+
+  CpuAppReport report;
+  report.stats = cluster.stats();
+  report.work_units = double(g.edgeCount()) * cfg.iterations;
+  report.rounds = cfg.iterations;
+
+  const auto expected = apps::serialPageRank(g, cfg.iterations, cfg.damping);
+  report.validated = true;
+  for (Vertex v = 0; v < n; ++v) {
+    const double got =
+        bitsDouble(cluster.loadWord(vp.owner(v), vp.localIndex(v)));
+    // Delegate adds land in thread-interleaved order: tolerance, not
+    // bit-equality.
+    if (std::abs(got - expected[v]) > 1e-7) {
+      report.validated = false;
+      break;
+    }
+  }
+  return report;
+}
+
+CpuAppReport runCpuMer(CpuCluster& cluster, const apps::MerConfig& cfg) {
+  const std::uint32_t nodes = cluster.nodes();
+  const std::uint64_t slots = cfg.table_slots_per_node;
+  GRAVEL_CHECK_MSG(2 * slots <= cluster.config().heap_words,
+                   "CPU heap too small for the k-mer table");
+
+  // Heap layout per node: [0, slots) keys, [slots, 2*slots) packed counts.
+  const std::uint32_t insert = cluster.registerHandler(
+      [slots](std::vector<std::uint64_t>& heap, std::uint64_t code,
+              std::uint64_t ext) {
+        const std::uint64_t key = code + 1;
+        std::uint64_t probe = apps::mix64(code) % slots;
+        for (std::uint64_t tries = 0; tries < slots; ++tries) {
+          if (heap[probe] == 0) heap[probe] = key;
+          if (heap[probe] == key) {
+            std::uint64_t counts = heap[slots + probe];
+            const std::uint8_t left = ext & 0xff;
+            const std::uint8_t right = (ext >> 8) & 0xff;
+            auto bump = [&counts](std::uint32_t byte) {
+              const std::uint64_t shift = byte * 8;
+              if (((counts >> shift) & 0xff) != 0xff)
+                counts += std::uint64_t(1) << shift;
+            };
+            if (left < 4) bump(left);
+            if (right < 4) bump(4 + right);
+            heap[slots + probe] = counts;
+            return;
+          }
+          probe = (probe + 1) % slots;
+        }
+      });
+
+  std::vector<std::vector<apps::KmerOccurrence>> streams(nodes);
+  std::uint64_t maxStream = 0;
+  for (std::uint32_t nd = 0; nd < nodes; ++nd) {
+    streams[nd] = apps::extractKmers(cfg, nd);
+    maxStream = std::max<std::uint64_t>(maxStream, streams[nd].size());
+  }
+
+  cluster.resetStats();
+  cluster.parallelFor(maxStream, [&](std::uint32_t node,
+                                     CpuCluster::WorkerCtx& ctx,
+                                     std::uint64_t i) {
+    if (i >= streams[node].size()) return;
+    const auto& occ = streams[node][i];
+    ctx.delegateCall(std::uint32_t(apps::mix64(occ.code) % nodes), insert,
+                     occ.code,
+                     std::uint64_t(occ.left) | (std::uint64_t(occ.right) << 8));
+  });
+
+  CpuAppReport report;
+  report.stats = cluster.stats();
+
+  // Serial reference, as in apps::runMer.
+  std::map<std::uint64_t, std::uint64_t> expected;
+  std::uint64_t occurrences = 0;
+  for (std::uint32_t nd = 0; nd < nodes; ++nd)
+    for (const auto& occ : streams[nd]) {
+      ++occurrences;
+      std::uint64_t& counts = expected[occ.code];
+      auto bump = [&counts](std::uint32_t byte) {
+        const std::uint64_t shift = byte * 8;
+        if (((counts >> shift) & 0xff) != 0xff)
+          counts += std::uint64_t(1) << shift;
+      };
+      if (occ.left < 4) bump(occ.left);
+      if (occ.right < 4) bump(4 + occ.right);
+    }
+  report.work_units = double(occurrences);
+
+  bool ok = true;
+  std::uint64_t found = 0;
+  for (std::uint32_t nd = 0; nd < nodes && ok; ++nd) {
+    for (std::uint64_t s = 0; s < slots; ++s) {
+      const std::uint64_t key = cluster.loadWord(nd, s);
+      if (key == 0) continue;
+      ++found;
+      const auto it = expected.find(key - 1);
+      if (it == expected.end() ||
+          it->second != cluster.loadWord(nd, slots + s)) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  report.validated = ok && found == expected.size();
+  return report;
+}
+
+}  // namespace gravel::baselines

@@ -1,0 +1,35 @@
+// The Figure 13 CPU workloads: GUPS and PageRank on the Grappa-like runtime
+// and Meraculous phase 1 on a UPC-like delegate path. Each reuses the
+// Gravel app's deterministic input generation so results can be validated
+// against the same serial references.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/gups.hpp"
+#include "apps/mer.hpp"
+#include "apps/pagerank.hpp"
+#include "baselines/cpu_agg.hpp"
+#include "graph/dist.hpp"
+
+namespace gravel::baselines {
+
+struct CpuAppReport {
+  CpuRunStats stats;
+  double work_units = 0;
+  std::uint64_t rounds = 1;
+  bool validated = false;
+};
+
+/// GUPS with delegate increments (Grappa's canonical benchmark).
+CpuAppReport runCpuGups(CpuCluster& cluster, const apps::GupsConfig& cfg);
+
+/// Push-style PageRank with delegate double-adds (CPU handlers can combine,
+/// so no per-edge inbox is needed — the Grappa formulation).
+CpuAppReport runCpuPageRank(CpuCluster& cluster, const graph::DistGraph& dg,
+                            const apps::PageRankConfig& cfg);
+
+/// Meraculous phase 1 with delegate k-mer inserts (UPC-style DHT build).
+CpuAppReport runCpuMer(CpuCluster& cluster, const apps::MerConfig& cfg);
+
+}  // namespace gravel::baselines

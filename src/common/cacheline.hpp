@@ -1,0 +1,41 @@
+// Cache-line utilities.
+//
+// The paper's Figure 8 discussion hinges on cache-line economics: the
+// CPU-only SPSC/MPMC queues pad indices and payloads to whole cache lines to
+// avoid false sharing, which costs three line transfers for an 8-byte
+// message, while Gravel's slotted layout packs a work-group's messages
+// densely into shared lines.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace gravel {
+
+// std::hardware_destructive_interference_size is 64 on every x86-64 target we
+// support; pin it so struct layouts are identical across compilers.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value so that it occupies (at least) one full cache line.
+/// Used by the CPU-baseline queues for indices and per-slot payloads.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+/// Number of cache lines touched by an object of `bytes` bytes starting at a
+/// line boundary. Used by tests that check the padded-vs-packed accounting
+/// the paper gives in §4.3.
+constexpr std::size_t linesFor(std::size_t bytes) {
+  return (bytes + kCacheLineSize - 1) / kCacheLineSize;
+}
+
+}  // namespace gravel

@@ -1,0 +1,50 @@
+// Error handling: checked invariants that throw (never abort), so tests can
+// assert on failure behaviour (e.g. SIMT deadlock detection, queue misuse).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gravel {
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A work-group reached an inconsistent synchronization state (e.g. some
+/// work-items exited while siblings wait at a WG barrier). Mirrors the real
+/// GPU behaviour, where such programs hang; we detect and throw instead.
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// An API precondition was violated (bad configuration, bad arguments).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throwCheckFailure(const char* cond, const char* file,
+                                           int line, const std::string& msg) {
+  throw Error(std::string("check failed: ") + cond + " at " + file + ":" +
+              std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace gravel
+
+#define GRAVEL_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::gravel::detail::throwCheckFailure(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GRAVEL_CHECK_MSG(cond, msg)                                      \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::gravel::detail::throwCheckFailure(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,105 @@
+// Lightweight instrumentation: counters and running statistics.
+//
+// The evaluation pipeline never times wall-clock for cluster-scale figures;
+// it counts events (atomic RMWs, queue slots, per-destination bytes, remote
+// vs. local accesses) during the functional run and feeds those counts to the
+// cost model in src/perf. These types are that counting layer.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gravel {
+
+/// A relaxed atomic counter. Relaxed is sufficient: counters are read only
+/// after the threads that bump them have been joined.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Running mean/min/max/total over a stream of samples (e.g. flushed
+/// per-node-queue sizes, which produce Table 5's "average message size").
+class RunningStat {
+ public:
+  void add(double sample) noexcept {
+    ++count_;
+    sum_ += sample;
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  void merge(const RunningStat& o) noexcept {
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ ? sum_ / count_ : 0.0; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Power-of-two bucketed histogram (bucket i counts samples in
+/// [2^i, 2^(i+1))), used for message-size distributions.
+class Pow2Histogram {
+ public:
+  void add(std::uint64_t sample) noexcept {
+    int bucket = sample == 0 ? 0 : 64 - std::countl_zero(sample);
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+    ++buckets_[bucket];
+    ++total_;
+  }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t bucket(int i) const noexcept { return buckets_[i]; }
+  static constexpr int kBuckets = 40;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+/// Named scalar metrics collected from one run, merged across nodes and
+/// printed by benches. A plain map keeps this trivially serializable.
+class MetricSet {
+ public:
+  double& operator[](const std::string& key) { return metrics_[key]; }
+  double at(const std::string& key) const {
+    auto it = metrics_.find(key);
+    return it == metrics_.end() ? 0.0 : it->second;
+  }
+  bool contains(const std::string& key) const {
+    return metrics_.count(key) != 0;
+  }
+  void accumulate(const MetricSet& o) {
+    for (const auto& [k, v] : o.metrics_) metrics_[k] += v;
+  }
+  const std::map<std::string, double>& all() const { return metrics_; }
+
+ private:
+  std::map<std::string, double> metrics_;
+};
+
+}  // namespace gravel

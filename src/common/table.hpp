@@ -1,0 +1,59 @@
+// ASCII table printer shared by the figure/table benchmark binaries, so every
+// bench emits the same aligned "paper artifact" layout.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gravel {
+
+/// Accumulates rows of strings and prints them with per-column alignment.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string{};
+        os << (i == 0 ? "" : "  ") << std::left << std::setw(int(width[i]))
+           << cell;
+      }
+      os << '\n';
+    };
+    emit(header_);
+    std::vector<std::string> rule;
+    rule.reserve(width.size());
+    for (std::size_t w : width) rule.emplace_back(w, '-');
+    emit(rule);
+    for (const auto& row : rows_) emit(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gravel

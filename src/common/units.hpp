@@ -1,0 +1,20 @@
+// Size and rate literals used throughout configuration code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gravel {
+
+inline constexpr std::size_t operator""_KiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024;
+}
+inline constexpr std::size_t operator""_MiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024 * 1024;
+}
+
+/// Converts gigabits/second to bytes/second (network links are quoted in
+/// Gb/s; the cost model works in bytes).
+constexpr double gbitsToBytesPerSec(double gbits) { return gbits * 1e9 / 8.0; }
+
+}  // namespace gravel

@@ -1,0 +1,123 @@
+// Compressed-sparse-row graphs, the substrate for the paper's PR / SSSP /
+// color workloads (derived from GasCL, a vertex-centric GPU graph model).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gravel::graph {
+
+using Vertex = std::uint32_t;
+
+/// One directed edge for builder input.
+struct Edge {
+  Vertex src;
+  Vertex dst;
+};
+
+/// Directed CSR. `offsets` has n+1 entries; the out-neighbors of v are
+/// `targets[offsets[v] .. offsets[v+1])`.
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds from an edge list (duplicates kept; self-loops kept — the
+  /// generators avoid them, but the structure does not care).
+  static Csr fromEdges(Vertex vertexCount, std::span<const Edge> edges) {
+    Csr g;
+    g.offsets_.assign(vertexCount + 1, 0);
+    for (const Edge& e : edges) {
+      GRAVEL_CHECK_MSG(e.src < vertexCount && e.dst < vertexCount,
+                       "edge endpoint out of range");
+      ++g.offsets_[e.src + 1];
+    }
+    std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+    g.targets_.resize(edges.size());
+    std::vector<std::uint64_t> cursor(g.offsets_.begin(),
+                                      g.offsets_.end() - 1);
+    for (const Edge& e : edges) g.targets_[cursor[e.src]++] = e.dst;
+    return g;
+  }
+
+  Vertex vertexCount() const noexcept {
+    return offsets_.empty() ? 0 : Vertex(offsets_.size() - 1);
+  }
+  std::uint64_t edgeCount() const noexcept { return targets_.size(); }
+
+  std::uint64_t degree(Vertex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+  std::uint64_t edgeBegin(Vertex v) const { return offsets_[v]; }
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {targets_.data() + offsets_[v], degree(v)};
+  }
+
+  double averageDegree() const {
+    return vertexCount() ? double(edgeCount()) / vertexCount() : 0.0;
+  }
+  std::uint64_t maxDegree() const {
+    std::uint64_t best = 0;
+    for (Vertex v = 0; v < vertexCount(); ++v)
+      best = std::max(best, degree(v));
+    return best;
+  }
+
+  /// The transposed graph (in-edges become out-edges), used to build
+  /// per-destination inboxes for the PUT-only PR/color algorithms.
+  Csr transpose() const {
+    std::vector<Edge> rev;
+    rev.reserve(edgeCount());
+    for (Vertex v = 0; v < vertexCount(); ++v)
+      for (Vertex t : neighbors(v)) rev.push_back({t, v});
+    return fromEdges(vertexCount(), rev);
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<Vertex> targets_;
+};
+
+/// Block partition of [0, count) over `nodes` nodes — the distribution the
+/// apps use for vertices, array slices and hash-table buckets.
+class BlockPartition {
+ public:
+  BlockPartition() = default;
+  BlockPartition(std::uint64_t count, std::uint32_t nodes)
+      : count_(count),
+        nodes_(nodes),
+        perNode_((count + nodes - 1) / std::max<std::uint32_t>(1, nodes)) {}
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint32_t nodes() const noexcept { return nodes_; }
+  /// Capacity per node (the last node may own fewer live elements).
+  std::uint64_t perNode() const noexcept { return perNode_; }
+
+  std::uint32_t owner(std::uint64_t global) const {
+    return std::uint32_t(global / perNode_);
+  }
+  std::uint64_t localIndex(std::uint64_t global) const {
+    return global % perNode_;
+  }
+  std::uint64_t globalIndex(std::uint32_t node, std::uint64_t local) const {
+    return std::uint64_t(node) * perNode_ + local;
+  }
+  /// Number of elements owned by `node`.
+  std::uint64_t sizeOf(std::uint32_t node) const {
+    const std::uint64_t lo = std::uint64_t(node) * perNode_;
+    if (lo >= count_) return 0;
+    return std::min(perNode_, count_ - lo);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint32_t nodes_ = 1;
+  std::uint64_t perNode_ = 0;
+};
+
+}  // namespace gravel::graph

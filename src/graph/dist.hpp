@@ -1,0 +1,97 @@
+// Distributed-graph view: block-partitioned vertices plus the per-edge
+// "inbox slot" assignment used by the PUT-only algorithms (PR, color).
+//
+// GasCL-style push algorithms send a value along every out-edge. With PUT as
+// the only primitive (paper Table 5: PR and color use non-atomic operations
+// exclusively), each directed edge (u -> v) needs a private landing slot at
+// v's owner so concurrent senders never collide: slot k of v's inbox holds
+// the message of v's k-th incoming edge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gravel::graph {
+
+class DistGraph {
+ public:
+  DistGraph() = default;
+
+  DistGraph(Csr graph, std::uint32_t nodes)
+      : g_(std::move(graph)), vparts_(g_.vertexCount(), nodes) {
+    const Vertex n = g_.vertexCount();
+    // In-degree prefix sum (global numbering first).
+    std::vector<std::uint64_t> inDegree(n, 0);
+    for (Vertex u = 0; u < n; ++u)
+      for (Vertex v : g_.neighbors(u)) ++inDegree[v];
+    inPrefix_.assign(n + 1, 0);
+    for (Vertex v = 0; v < n; ++v) inPrefix_[v + 1] = inPrefix_[v] + inDegree[v];
+
+    // Per-destination-node inbox sizes and the per-vertex local base.
+    inboxSize_.assign(nodes, 0);
+    nodeInboxBase_.assign(nodes, 0);
+    for (std::uint32_t nd = 0; nd < nodes; ++nd) {
+      const std::uint64_t lo = vparts_.globalIndex(nd, 0);
+      nodeInboxBase_[nd] = lo < n ? inPrefix_[lo] : inPrefix_[n];
+      const std::uint64_t hi = std::min<std::uint64_t>(lo + vparts_.perNode(), n);
+      inboxSize_[nd] =
+          (lo < n ? inPrefix_[hi] : inPrefix_[n]) - nodeInboxBase_[nd];
+    }
+
+    // Assign each edge its destination-local inbox slot.
+    edgeInboxSlot_.resize(g_.edgeCount());
+    std::vector<std::uint64_t> cursor(inPrefix_.begin(), inPrefix_.end() - 1);
+    for (Vertex u = 0; u < n; ++u) {
+      const std::uint64_t base = g_.edgeBegin(u);
+      const auto nbrs = g_.neighbors(u);
+      for (std::uint64_t k = 0; k < nbrs.size(); ++k) {
+        const Vertex v = nbrs[k];
+        edgeInboxSlot_[base + k] =
+            cursor[v]++ - nodeInboxBase_[vparts_.owner(v)];
+      }
+    }
+  }
+
+  const Csr& graph() const noexcept { return g_; }
+  const BlockPartition& vertices() const noexcept { return vparts_; }
+  std::uint32_t nodes() const noexcept { return vparts_.nodes(); }
+
+  /// Destination node of edge `eid` (owner of its target vertex).
+  std::uint32_t edgeDestNode(std::uint64_t eid, Vertex target) const {
+    (void)eid;
+    return vparts_.owner(target);
+  }
+  /// Destination-local inbox slot of edge `eid`.
+  std::uint64_t inboxSlot(std::uint64_t eid) const {
+    return edgeInboxSlot_[eid];
+  }
+
+  std::uint64_t inDegree(Vertex v) const {
+    return inPrefix_[v + 1] - inPrefix_[v];
+  }
+  /// First inbox slot of vertex `v`, local to its owner node.
+  std::uint64_t localInboxBase(Vertex v) const {
+    return inPrefix_[v] - nodeInboxBase_[vparts_.owner(v)];
+  }
+  /// Inbox slots owned by `node`.
+  std::uint64_t inboxSize(std::uint32_t node) const {
+    return inboxSize_[node];
+  }
+  std::uint64_t maxInboxSize() const {
+    std::uint64_t best = 0;
+    for (auto s : inboxSize_) best = std::max(best, s);
+    return best;
+  }
+
+ private:
+  Csr g_;
+  BlockPartition vparts_;
+  std::vector<std::uint64_t> inPrefix_;
+  std::vector<std::uint64_t> edgeInboxSlot_;
+  std::vector<std::uint64_t> inboxSize_;
+  std::vector<std::uint64_t> nodeInboxBase_;
+};
+
+}  // namespace gravel::graph

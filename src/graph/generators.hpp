@@ -1,0 +1,45 @@
+// Synthetic graph generators standing in for the paper's UFl-collection
+// inputs (Table 4). Figures 12/15 distinguish the two graph inputs only
+// through their *communication shape* — remote-access frequency, aggregate
+// message sizes and iteration counts — which are driven by average degree,
+// degree spread and diameter. The generators match those regimes:
+//
+//   bubblesLike : hugebubbles-00020 stand-in — 2-D mesh adaptively refined;
+//                 avg degree ~3, near-uniform degrees, huge diameter.
+//   cageLike    : cage15 stand-in — banded DNA-electrophoresis matrix;
+//                 avg degree ~19, moderate spread, small bandwidth.
+//   rmat        : power-law graph for ablations beyond the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace gravel::graph {
+
+/// 2-D triangulated mesh of about `vertices` nodes (rounded to a W x H
+/// grid): right/down/one diagonal neighbor, symmetrized. Average degree ~3
+/// per direction, diameter ~ O(sqrt(n)).
+Csr bubblesLike(Vertex vertices, std::uint64_t seed = 1);
+
+/// Banded random graph: each vertex gets ~`avgDegree` out-edges to vertices
+/// within +-`band` positions (wrapping), symmetrized — small diameter, like
+/// cage15's narrow band structure.
+Csr cageLike(Vertex vertices, std::uint32_t avgDegree = 19,
+             std::uint64_t seed = 1);
+
+/// R-MAT (a=0.57,b=0.19,c=0.19): skewed degrees, used by ablation benches.
+Csr rmat(Vertex vertices, std::uint64_t edges, std::uint64_t seed = 1);
+
+/// Deterministic per-edge weight in [1, maxWeight], a function of the edge's
+/// endpoints, so distributed and serial runs agree without storing weights.
+inline std::uint64_t edgeWeight(Vertex u, Vertex v,
+                                std::uint64_t maxWeight = 15) {
+  std::uint64_t x = (std::uint64_t(u) << 32) ^ v;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return 1 + x % maxWeight;
+}
+
+}  // namespace gravel::graph

@@ -1,0 +1,41 @@
+// Functional implementations of the prior GPU networking models (paper §3)
+// for the GUPS workload — the programmability study of Table 2 and Figure 4.
+//
+// Each model really executes on the SIMT engine and really moves messages
+// over the fabric, so tests can verify both the functional result (the same
+// update histogram as Gravel) and the characteristic traffic pattern:
+//
+//   coprocessor   : host-orchestrated chunks; per-destination queues filled
+//                   by WG-level reservations *per destination*; queues sent
+//                   at kernel boundaries (Figure 4a).
+//   msg-per-lane  : every work-item sends its own one-message network
+//                   message (Figure 4b without Gravel's aggregator).
+//   coalesced     : per-WG counting sort into scratchpad lists, one
+//                   sync_inc_list call per destination (Figure 4c).
+//   coalesced+agg : the same kernel, but lists land in a node-level
+//                   repacker that emits 64 kB per-node queues ("coalesced
+//                   APIs + Gravel aggregation" in Figure 15).
+#pragma once
+
+#include "apps/app.hpp"
+#include "apps/gups.hpp"
+#include "runtime/cluster.hpp"
+
+namespace gravel::models {
+
+enum class ModelKind {
+  kCoprocessor,
+  kMsgPerLane,
+  kCoalesced,
+  kCoalescedAgg,
+};
+
+const char* modelName(ModelKind kind);
+
+/// Runs GUPS under the given model on `cluster` (which supplies the nodes,
+/// heaps, fabric and network threads; the Gravel aggregator stays idle).
+/// Validates the final table against the serial expectation.
+apps::AppReport runGupsModel(rt::Cluster& cluster,
+                             const apps::GupsConfig& cfg, ModelKind kind);
+
+}  // namespace gravel::models

@@ -1,0 +1,124 @@
+// In-process cluster fabric: the stand-in for the paper's MPI-over-InfiniBand
+// transport (Table 3: 56 Gb/s link).
+//
+// Functionally, a "network message" here is what the paper sends: a flushed
+// per-node queue — a batch of NetMessages bound for one destination. The
+// fabric delivers batches to per-node inboxes and counts bytes/messages per
+// link; the cost model in src/perf turns those counts into modeled time
+// (serialization at 7 GB/s plus a per-message overhead), which is how the
+// substitution preserves the aggregation economics the paper measures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "runtime/message.hpp"
+
+namespace gravel::net {
+
+/// One in-flight batch (a flushed per-node queue).
+struct Delivery {
+  std::uint32_t src = 0;
+  std::vector<rt::NetMessage> messages;
+};
+
+/// Per-link traffic counters, readable after a run (Table 5, Figure 12-15
+/// inputs).
+struct LinkStats {
+  std::uint64_t batches = 0;   ///< network messages (flushed queues)
+  std::uint64_t messages = 0;  ///< Gravel messages carried
+  std::uint64_t bytes = 0;     ///< payload bytes carried
+};
+
+/// The cluster interconnect. Thread-safe: senders are aggregator threads and
+/// the quiet protocol; receivers are per-node network threads.
+class Fabric {
+ public:
+  explicit Fabric(std::uint32_t nodes)
+      : nodes_(nodes), inboxes_(nodes), links_(std::size_t{nodes} * nodes) {}
+
+  std::uint32_t nodes() const noexcept { return nodes_; }
+
+  /// Ships a batch from `src` to `dst`. Empty batches are dropped.
+  void send(std::uint32_t src, std::uint32_t dst,
+            std::vector<rt::NetMessage>&& batch) {
+    GRAVEL_CHECK_MSG(src < nodes_ && dst < nodes_, "bad fabric endpoint");
+    if (batch.empty()) return;
+    {
+      std::scoped_lock lk(linkMutex_);
+      LinkStats& link = links_[std::size_t{src} * nodes_ + dst];
+      ++link.batches;
+      link.messages += batch.size();
+      link.bytes += batch.size() * sizeof(rt::NetMessage);
+      batchBytes_.add(double(batch.size() * sizeof(rt::NetMessage)));
+    }
+    inFlight_.fetch_add(batch.size(), std::memory_order_relaxed);
+    Inbox& inbox = inboxes_[dst];
+    std::scoped_lock lk(inbox.mutex);
+    inbox.pending.push_back(Delivery{src, std::move(batch)});
+  }
+
+  /// Non-blocking receive for node `dst`.
+  bool tryReceive(std::uint32_t dst, Delivery& out) {
+    Inbox& inbox = inboxes_[dst];
+    std::scoped_lock lk(inbox.mutex);
+    if (inbox.pending.empty()) return false;
+    out = std::move(inbox.pending.front());
+    inbox.pending.pop_front();
+    return true;
+  }
+
+  /// Called by the receiver after resolving each message of a delivery;
+  /// quiet() waits for the in-flight count to hit zero.
+  void markResolved(std::uint64_t count) {
+    inFlight_.fetch_sub(count, std::memory_order_relaxed);
+  }
+  std::uint64_t inFlight() const noexcept {
+    return inFlight_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of one directed link (src -> dst).
+  LinkStats link(std::uint32_t src, std::uint32_t dst) const {
+    std::scoped_lock lk(linkMutex_);
+    return links_[std::size_t{src} * nodes_ + dst];
+  }
+
+  /// Aggregate over all links.
+  LinkStats total() const {
+    std::scoped_lock lk(linkMutex_);
+    LinkStats t;
+    for (const auto& l : links_) {
+      t.batches += l.batches;
+      t.messages += l.messages;
+      t.bytes += l.bytes;
+    }
+    return t;
+  }
+
+  /// Distribution of network-message (batch) sizes in bytes — Table 5's
+  /// "average message size" column is mean().
+  RunningStat batchSizeBytes() const {
+    std::scoped_lock lk(linkMutex_);
+    return batchBytes_;
+  }
+
+ private:
+  struct Inbox {
+    std::mutex mutex;
+    std::deque<Delivery> pending;
+  };
+
+  std::uint32_t nodes_;
+  std::vector<Inbox> inboxes_;
+  mutable std::mutex linkMutex_;
+  std::vector<LinkStats> links_;
+  RunningStat batchBytes_;
+  std::atomic<std::uint64_t> inFlight_{0};
+};
+
+}  // namespace gravel::net

@@ -1,0 +1,84 @@
+// A small discrete-event simulation engine: a time-ordered event queue plus
+// single-server resources with FIFO service. This is the timing substrate
+// that replays a functional run's traffic counts against the Table-3
+// machine model (see netsim.hpp) — the stand-in for the cluster we do not
+// have (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gravel::perf {
+
+/// Event-driven simulator. Times are seconds (double).
+class EventSim {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void at(double t, Callback fn) {
+    GRAVEL_CHECK_MSG(t >= now_ - 1e-15, "cannot schedule in the past");
+    queue_.push(Event{t, seq_++, std::move(fn)});
+  }
+  /// Schedules `fn` after `dt` seconds.
+  void after(double dt, Callback fn) { at(now_ + dt, std::move(fn)); }
+
+  /// Runs until the event queue drains. Returns the final clock.
+  double run() {
+    while (!queue_.empty()) {
+      // The queue stores const refs through top(); move the callback out
+      // before popping by copying the small wrapper.
+      Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.time;
+      ev.fn();
+    }
+    return now_;
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    Callback fn;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  double now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+/// A single-server FIFO resource (a NIC egress, a CPU thread): jobs queue up
+/// and are serviced one at a time; completion callbacks fire in order.
+class Server {
+ public:
+  explicit Server(EventSim& sim) : sim_(sim) {}
+
+  /// Enqueues a job of `serviceTime` seconds; `done` fires at completion.
+  void submit(double serviceTime, EventSim::Callback done = {}) {
+    const double start = std::max(sim_.now(), freeAt_);
+    freeAt_ = start + serviceTime;
+    busy_ += serviceTime;
+    if (done) sim_.at(freeAt_, std::move(done));
+  }
+
+  /// Time at which the server goes (or went) idle.
+  double freeAt() const noexcept { return freeAt_; }
+  /// Total busy seconds accumulated.
+  double busyTime() const noexcept { return busy_; }
+
+ private:
+  EventSim& sim_;
+  double freeAt_ = 0;
+  double busy_ = 0;
+};
+
+}  // namespace gravel::perf

@@ -1,0 +1,77 @@
+// Hierarchical aggregation (paper §10, future work): "Larger systems could
+// be organized in a logical hierarchy ... a two level hierarchy with each
+// level doing a 16-node aggregation supports 256 nodes with one indirect
+// hop."
+//
+// This implements that proposal as an analytic throughput model for a
+// GUPS-like all-to-all stream, so the crossover the paper predicts —
+// flat per-destination queues stop amortizing once per-destination traffic
+// drops below one queue's worth, while two-level aggregation keeps batches
+// full at the cost of one forwarding hop — can be quantified
+// (bench_ext_hierarchy).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "perf/params.hpp"
+
+namespace gravel::perf {
+
+struct HierarchyConfig {
+  std::uint32_t nodes = 256;
+  std::uint32_t group = 1;  ///< 1 = flat; 16 = the paper's two-level example
+  double msgs_per_node = 1e6;
+  double msg_bytes = 32;
+  double pernode_queue_bytes = 64.0 * 1024;
+  MachineParams params{};
+};
+
+/// Seconds for one round of uniform all-to-all traffic under the given
+/// hierarchy. Every stage (GPU production, aggregation, egress, forwarding,
+/// resolution) is assumed pipelined; the bottleneck stage sets the time.
+inline double hierarchicalRoundSeconds(const HierarchyConfig& cfg) {
+  const MachineParams& p = cfg.params;
+  const double M = cfg.msgs_per_node;
+  const double batchMsgs =
+      std::max(1.0, cfg.pernode_queue_bytes / cfg.msg_bytes);
+  const double wireNsPerMsg = cfg.msg_bytes / p.linkBytesPerNs();
+
+  // GPU production (WG-level reservation: 4 collectives + 2 RMWs per
+  // 256-lane group).
+  const double prod =
+      M * (p.lane_ns + 4 * p.arrival_ns + 2 * p.queue_rmw_ns / 256.0) * 1e-9;
+
+  // Sender occupancy for `outMsgs` spread over `dests` per-destination
+  // queues; partially-filled queues still pay a full post each.
+  const auto egress = [&](double outMsgs, double dests) {
+    const double perDest = outMsgs / dests;
+    const double batchesPerDest = std::max(1.0, perDest / batchMsgs);
+    return dests * batchesPerDest * p.batch_post_us * 1e-6 +
+           outMsgs * wireNsPerMsg * 1e-9;
+  };
+
+  const double resolve = M * p.resolve_msg_ns * 1e-9;
+
+  if (cfg.group <= 1) {
+    // Flat: N-1 per-destination queues per node.
+    const double dests = std::max(1.0, double(cfg.nodes) - 1);
+    const double out = M * dests / cfg.nodes;
+    return std::max(
+        {prod, M * p.agg_msg_ns * 1e-9, egress(out, dests), resolve});
+  }
+
+  // Two-level: aggregate by destination *group* (N/G queues), ship to the
+  // destination group's leader, which re-aggregates per final node (G
+  // queues) and forwards. Leadership rotates per destination, so every node
+  // carries an equal forwarding share (uniform traffic keeps this balanced).
+  const double groups = double(cfg.nodes) / cfg.group;
+  const double remoteOut = M * (groups - 1) / groups;
+  const double stage1 = egress(remoteOut, std::max(1.0, groups - 1));
+  const double forwardAgg = remoteOut * p.agg_msg_ns * 1e-9;
+  const double stage2 = egress(remoteOut, std::max(1.0, double(cfg.group)));
+  return std::max({prod, M * p.agg_msg_ns * 1e-9 + forwardAgg,
+                   stage1 + stage2, resolve + forwardAgg});
+}
+
+}  // namespace gravel::perf

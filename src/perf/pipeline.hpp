@@ -1,0 +1,56 @@
+// Bridge between functional runs and the timing simulation: extracts the
+// per-node demand matrix from a Cluster's instrumentation and packages the
+// common "time an app under a style" step the figure benches share.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "perf/netsim.hpp"
+#include "runtime/cluster.hpp"
+
+namespace gravel::perf {
+
+/// Per-node demand extracted from a completed functional run: the fabric's
+/// link counters give the traffic matrix (link i->i carries the loopbacked
+/// local atomics), the device stats give the GPU-side counts.
+inline std::vector<NodeDemand> demandFromCluster(rt::Cluster& cluster) {
+  const std::uint32_t n = cluster.nodes();
+  std::vector<NodeDemand> demand(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    NodeDemand& d = demand[i];
+    d.msgs_to.assign(n, 0.0);
+    for (std::uint32_t j = 0; j < n; ++j)
+      d.msgs_to[j] = double(cluster.fabric().link(i, j).messages);
+    const auto& dev = cluster.node(i).device().stats();
+    d.lanes = double(dev.lanes_executed);
+    d.collective_arrivals = double(dev.collective_arrivals);
+    d.overhead_ops = double(dev.predication_overhead_ops);
+  }
+  return demand;
+}
+
+/// Fraction of the run's messages that were active messages (drives the
+/// resolver's extra handler cost).
+inline double amFraction(const rt::ClusterRunStats& s) {
+  const auto total = s.opsTotal() - s.put_local;  // queued messages
+  return total ? double(s.am_local + s.am_remote) / double(total) : 0.0;
+}
+
+/// Times one functional run under one networking style.
+inline double timeUnderStyle(Style style, rt::Cluster& cluster,
+                             const apps::AppReport& report,
+                             const MachineParams& params = {},
+                             double pernodeQueueBytes = 64.0 * 1024) {
+  SimConfig cfg;
+  cfg.style = style;
+  cfg.params = params;
+  cfg.wg_size = cluster.config().device.max_wg_size;
+  cfg.pernode_queue_bytes = pernodeQueueBytes;
+  cfg.am_fraction = amFraction(report.stats);
+  const auto demand = demandFromCluster(cluster);
+  return simulateApp(cfg, demand, std::max<std::uint64_t>(1, report.iterations));
+}
+
+}  // namespace gravel::perf

@@ -1,0 +1,306 @@
+// Gravel's GPU-efficient producer/consumer queue (paper §4.2, Figure 7).
+//
+// The queue is a bounded ring of *slots*. Each slot is a two-dimensional
+// payload: `rows` x `lanes` 64-bit words, where column l holds work-item l's
+// message and row f holds field f of every message (command, destination,
+// address, value, ...). A whole work-group deposits up to `lanes` messages
+// into one slot, so producer/consumer synchronization is amortized across the
+// work-group:
+//
+//   - a global WriteIdx fetch-add picks the slot (one RMW per work-group),
+//   - a per-slot ticket (WriteTick) orders producers that alias to the same
+//     slot across ring wrap-arounds,
+//   - a per-slot ticket (ReadTick) orders consumers the same way,
+//   - a full/empty bit F plus round counter N arbitrate between the producer
+//     holding the write ticket and the consumer holding the read ticket:
+//     the slot is writable in round r when N == r && !F, and readable in
+//     round r when N == r && F. Consuming clears F and increments N.
+//
+// The row-major payload is what lets GPU work-items in one work-group write
+// their messages into shared cache lines (memory coalescing); the CPU-only
+// baselines in spsc_queue.hpp / mpmc_queue.hpp need a padded cache line per
+// message instead, which is the §4.3 bandwidth gap for small messages.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace gravel {
+
+/// Configuration for a GravelQueue.
+struct GravelQueueConfig {
+  /// Total payload capacity in bytes (paper default: 1 MiB, Table 3).
+  std::size_t capacity_bytes = 1 << 20;
+  /// Messages per slot == maximum work-group size (paper: 256).
+  std::uint32_t lanes = 256;
+  /// 64-bit words per message (paper: command, destination, address, value).
+  std::uint32_t rows = 4;
+};
+
+/// Callback invoked while spin-waiting; lets the SIMT fiber scheduler run
+/// other work-groups (and lets a 1-core host make progress).
+using YieldFn = std::function<void()>;
+
+/// The §4.2 slotted ticket queue. Thread-safe for any number of producers
+/// and consumers. Producers reserve a whole slot (up to `lanes` messages);
+/// consumers drain a whole slot.
+class GravelQueue {
+ public:
+  explicit GravelQueue(const GravelQueueConfig& config)
+      : config_(config),
+        slotWords_(std::size_t{config.rows} * config.lanes),
+        slotCount_(computeSlotCount(config)) {
+    GRAVEL_CHECK_MSG(config.lanes > 0 && config.rows > 0,
+                     "queue needs nonzero lanes and rows");
+    slots_ = std::make_unique<Slot[]>(slotCount_);
+    payload_.assign(slotCount_ * slotWords_, 0);
+  }
+
+  std::size_t slotCount() const noexcept { return slotCount_; }
+  std::uint32_t lanes() const noexcept { return config_.lanes; }
+  std::uint32_t rows() const noexcept { return config_.rows; }
+  std::size_t messageBytes() const noexcept { return config_.rows * 8u; }
+
+  /// Handle to a reserved slot. Producers fill columns [0, count) and then
+  /// publish(); consumers read columns [0, count) and then release().
+  struct SlotRef {
+    std::uint32_t slot = 0;   ///< slot index in the ring
+    std::uint64_t round = 0;  ///< which wrap-around of the ring
+    std::uint32_t count = 0;  ///< number of valid messages (set by producer)
+  };
+
+  /// Producer side, step 1: claim the next slot. Called once per work-group
+  /// (by the leader work-item). Spins until the slot's previous round has
+  /// been consumed. `count` is the number of messages the group will write.
+  SlotRef acquireWrite(std::uint32_t count, const YieldFn& yield = {}) {
+    GRAVEL_CHECK_MSG(count > 0 && count <= config_.lanes,
+                     "write count must be in [1, lanes]");
+    const std::uint64_t idx = writeIdx_.fetch_add(1, std::memory_order_relaxed);
+    bumpAtomics();
+    Slot& s = slots_[idx % slotCount_];
+    // Per-slot write ticket (paper's WriteTick). The global WriteIdx already
+    // hands the rounds of slot (idx % S) out in order — producer idx gets
+    // ticket idx / S — so a second per-slot fetch-add would only risk
+    // inverting rounds between two groups that alias the same slot; we derive
+    // the ticket instead of re-counting.
+    const std::uint64_t ticket = idx / slotCount_;
+    // Wait for our round: N == ticket and the slot drained (F clear).
+    spinUntil(
+        [&] {
+          return s.round.load(std::memory_order_acquire) == ticket &&
+                 !s.full.load(std::memory_order_acquire);
+        },
+        yield);
+    return SlotRef{static_cast<std::uint32_t>(idx % slotCount_), ticket, count};
+  }
+
+  /// Producer side, step 2: the 64-bit word for field `row` of message
+  /// `lane`. Every lane writes its own column concurrently, no ordering
+  /// needed between lanes of the same group.
+  std::uint64_t& wordAt(const SlotRef& ref, std::uint32_t row,
+                        std::uint32_t lane) noexcept {
+    return payload_[ref.slot * slotWords_ + std::size_t{row} * config_.lanes +
+                    lane];
+  }
+
+  /// Producer side, step 3: make the slot visible to consumers. Called once
+  /// per work-group (by the leader) after all lanes wrote their columns.
+  void publish(const SlotRef& ref) {
+    Slot& s = slots_[ref.slot];
+    s.count.store(ref.count, std::memory_order_relaxed);
+    s.full.store(true, std::memory_order_release);
+    publishCount_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Consumer side, step 1: claim the next slot if any message will ever be
+  /// available for it. Returns false if the queue is drained AND `stopped`
+  /// is true. Blocks (spinning/yielding) otherwise.
+  ///
+  /// Liveness argument: readIdx_ is only advanced after observing
+  /// writeIdx_ > readIdx_, i.e. some producer has already claimed that round
+  /// of the ring; every producer that claims publishes in finite time, so the
+  /// spin on F terminates.
+  bool acquireRead(SlotRef& out, const std::atomic<bool>& stopped,
+                   const YieldFn& yield = {}) {
+    std::uint64_t claimed;
+    for (;;) {
+      claimed = readIdx_.load(std::memory_order_relaxed);
+      const std::uint64_t written = writeIdx_.load(std::memory_order_acquire);
+      if (claimed < written) {
+        if (readIdx_.compare_exchange_weak(claimed, claimed + 1,
+                                           std::memory_order_relaxed)) {
+          bumpAtomics();
+          break;
+        }
+        continue;  // lost the race; retry
+      }
+      if (stopped.load(std::memory_order_acquire) &&
+          readIdx_.load(std::memory_order_relaxed) >=
+              writeIdx_.load(std::memory_order_acquire)) {
+        return false;
+      }
+      doYield(yield);
+    }
+    Slot& s = slots_[claimed % slotCount_];
+    // Per-slot read ticket (paper's ReadTick), derived from the global claim
+    // index for the same reason as on the write side.
+    const std::uint64_t ticket = claimed / slotCount_;
+    spinUntil(
+        [&] {
+          return s.round.load(std::memory_order_acquire) == ticket &&
+                 s.full.load(std::memory_order_acquire);
+        },
+        yield);
+    out.slot = static_cast<std::uint32_t>(claimed % slotCount_);
+    out.round = ticket;
+    out.count = s.count.load(std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer side, step 2 is wordAt() on the claimed columns.
+  const std::uint64_t& wordAt(const SlotRef& ref, std::uint32_t row,
+                              std::uint32_t lane) const noexcept {
+    return payload_[ref.slot * slotWords_ + std::size_t{row} * config_.lanes +
+                    lane];
+  }
+
+  /// Consumer side, step 3: release the slot for the next round (clears F,
+  /// bumps N — Figure 7 time 5).
+  void release(const SlotRef& ref) {
+    Slot& s = slots_[ref.slot];
+    s.full.store(false, std::memory_order_relaxed);
+    s.round.store(ref.round + 1, std::memory_order_release);
+  }
+
+  /// Total write reservations so far; with Aggregator::slotsProcessed this
+  /// forms the runtime's quiescence check.
+  std::uint64_t reservedCount() const noexcept {
+    return writeIdx_.load(std::memory_order_acquire);
+  }
+
+  /// True when every published slot has been claimed by a consumer.
+  bool drained() const noexcept {
+    return readIdx_.load(std::memory_order_acquire) >=
+           writeIdx_.load(std::memory_order_acquire);
+  }
+
+  /// Number of shared-memory atomic RMWs issued so far (Figure 6's right
+  /// axis is this, divided by messages offloaded).
+  std::uint64_t atomicRmwCount() const noexcept {
+    return atomics_.load(std::memory_order_relaxed);
+  }
+  void resetAtomicRmwCount() noexcept {
+    atomics_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<std::uint64_t> round{0};   ///< N in Figure 7
+    std::atomic<std::uint32_t> count{0};   ///< valid messages this round
+    std::atomic<bool> full{false};         ///< F in Figure 7
+  };
+
+  static std::size_t computeSlotCount(const GravelQueueConfig& c) {
+    const std::size_t slotBytes = std::size_t{c.rows} * 8 * c.lanes;
+    // At least two slots so one group can fill while a consumer drains.
+    return std::max<std::size_t>(2, c.capacity_bytes / std::max<std::size_t>(
+                                                           1, slotBytes));
+  }
+
+  template <typename Pred>
+  void spinUntil(const Pred& ready, const YieldFn& yield) const {
+    int spins = 0;
+    while (!ready()) {
+      if (++spins >= 64) {
+        doYield(yield);
+        spins = 0;
+      }
+    }
+  }
+
+  void doYield(const YieldFn& yield) const {
+    if (yield)
+      yield();
+    else
+      std::this_thread::yield();
+  }
+
+  void bumpAtomics() noexcept {
+    atomics_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  GravelQueueConfig config_;
+  std::size_t slotWords_;
+  std::size_t slotCount_;
+  std::unique_ptr<Slot[]> slots_;
+  std::vector<std::uint64_t> payload_;
+
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> writeIdx_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> readIdx_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> publishCount_{0};
+  alignas(kCacheLineSize) mutable std::atomic<std::uint64_t> atomics_{0};
+};
+
+/// Typed facade over GravelQueue for trivially-copyable messages whose size
+/// is a multiple of 8 bytes. Field words of message type T map to payload
+/// rows, preserving the row-major (coalescing-friendly) layout.
+template <typename T>
+class TypedGravelQueue {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(sizeof(T) % 8 == 0, "message must be whole 64-bit words");
+
+ public:
+  static constexpr std::uint32_t kRows = sizeof(T) / 8;
+
+  TypedGravelQueue(std::size_t capacityBytes, std::uint32_t lanes)
+      : queue_(GravelQueueConfig{capacityBytes, lanes, kRows}) {}
+
+  GravelQueue& raw() noexcept { return queue_; }
+  std::uint32_t lanes() const noexcept { return queue_.lanes(); }
+
+  using SlotRef = GravelQueue::SlotRef;
+
+  SlotRef acquireWrite(std::uint32_t count, const YieldFn& yield = {}) {
+    return queue_.acquireWrite(count, yield);
+  }
+  void store(const SlotRef& ref, std::uint32_t lane, const T& msg) noexcept {
+    std::uint64_t words[kRows];
+    std::memcpy(words, &msg, sizeof(T));
+    for (std::uint32_t r = 0; r < kRows; ++r)
+      queue_.wordAt(ref, r, lane) = words[r];
+  }
+  void publish(const SlotRef& ref) { queue_.publish(ref); }
+
+  bool acquireRead(SlotRef& out, const std::atomic<bool>& stopped,
+                   const YieldFn& yield = {}) {
+    return queue_.acquireRead(out, stopped, yield);
+  }
+  T load(const SlotRef& ref, std::uint32_t lane) const noexcept {
+    std::uint64_t words[kRows];
+    for (std::uint32_t r = 0; r < kRows; ++r)
+      words[r] = queue_.wordAt(ref, r, lane);
+    T msg;
+    std::memcpy(&msg, words, sizeof(T));
+    return msg;
+  }
+  void release(const SlotRef& ref) { queue_.release(ref); }
+  bool drained() const noexcept { return queue_.drained(); }
+  std::uint64_t atomicRmwCount() const noexcept {
+    return queue_.atomicRmwCount();
+  }
+
+ private:
+  GravelQueue queue_;
+};
+
+}  // namespace gravel

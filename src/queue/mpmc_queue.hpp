@@ -1,0 +1,101 @@
+// CPU-baseline multi-producer/multi-consumer queue (paper §4.3, "CPU-only
+// MPMC" series in Figure 8).
+//
+// Same synchronization algorithm as GravelQueue — global index fetch-add to
+// pick a slot, per-slot round counter N and full/empty bit F — but each slot
+// holds a single message written by a single CPU thread and is padded to a
+// cache line. So every message pays one fetch-add plus slot handshaking,
+// where Gravel amortizes that cost across a work-group of up to 256 messages.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/error.hpp"
+
+namespace gravel {
+
+/// Bounded MPMC byte-message queue, one padded message per slot.
+class MpmcQueue {
+ public:
+  MpmcQueue(std::size_t capacityBytes, std::size_t messageBytes)
+      : messageBytes_(messageBytes),
+        cellBytes_(linesFor(messageBytes) * kCacheLineSize),
+        capacity_(std::max<std::size_t>(
+            2, capacityBytes / (cellBytes_ + sizeof(Slot)))),
+        slots_(std::make_unique<Slot[]>(capacity_)),
+        payload_(capacity_ * cellBytes_) {
+    GRAVEL_CHECK_MSG(messageBytes > 0, "message size must be nonzero");
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Blocking push of one message.
+  void push(const void* msg) {
+    const std::uint64_t idx = writeIdx_.value.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[idx % capacity_];
+    const std::uint64_t round = idx / capacity_;
+    while (s.round.load(std::memory_order_acquire) != round ||
+           s.full.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    std::memcpy(cell(idx), msg, messageBytes_);
+    s.full.store(true, std::memory_order_release);
+  }
+
+  /// Blocking pop; returns false only when drained AND `stopped`.
+  bool pop(void* msg, const std::atomic<bool>& stopped) {
+    std::uint64_t claimed;
+    for (;;) {
+      claimed = readIdx_.value.load(std::memory_order_relaxed);
+      if (claimed < writeIdx_.value.load(std::memory_order_acquire)) {
+        if (readIdx_.value.compare_exchange_weak(claimed, claimed + 1,
+                                                 std::memory_order_relaxed)) {
+          break;
+        }
+        continue;
+      }
+      if (stopped.load(std::memory_order_acquire) &&
+          readIdx_.value.load(std::memory_order_relaxed) >=
+              writeIdx_.value.load(std::memory_order_acquire)) {
+        return false;
+      }
+      std::this_thread::yield();
+    }
+    Slot& s = slots_[claimed % capacity_];
+    const std::uint64_t round = claimed / capacity_;
+    while (s.round.load(std::memory_order_acquire) != round ||
+           !s.full.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    std::memcpy(msg, cell(claimed), messageBytes_);
+    s.full.store(false, std::memory_order_relaxed);
+    s.round.store(round + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<std::uint64_t> round{0};
+    std::atomic<bool> full{false};
+  };
+
+  std::byte* cell(std::uint64_t idx) noexcept {
+    return payload_.data() + (idx % capacity_) * cellBytes_;
+  }
+
+  std::size_t messageBytes_;
+  std::size_t cellBytes_;
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::vector<std::byte> payload_;
+  CacheAligned<std::atomic<std::uint64_t>> writeIdx_{};
+  CacheAligned<std::atomic<std::uint64_t>> readIdx_{};
+};
+
+}  // namespace gravel

@@ -1,0 +1,83 @@
+// CPU-baseline single-producer/single-consumer bounded queue (paper §4.3,
+// "CPU-only SPSC" series in Figure 8).
+//
+// This is the textbook bounded-array design: a padded write index, a padded
+// read index, and one padded payload cell per message. The padding avoids
+// false sharing between producer and consumer, but it is exactly why small
+// messages are expensive — an 8-byte send touches three cache lines (read
+// index, write index, payload line), which Figure 8 contrasts against
+// Gravel's half-byte-per-message amortized overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/error.hpp"
+
+namespace gravel {
+
+/// Bounded SPSC byte-message queue. `messageBytes` is fixed at construction;
+/// each cell is padded to a whole number of cache lines.
+class SpscQueue {
+ public:
+  SpscQueue(std::size_t capacityBytes, std::size_t messageBytes)
+      : messageBytes_(messageBytes),
+        cellBytes_(linesFor(messageBytes) * kCacheLineSize),
+        capacity_(std::max<std::size_t>(2, capacityBytes / cellBytes_)),
+        payload_(capacity_ * cellBytes_) {
+    GRAVEL_CHECK_MSG(messageBytes > 0, "message size must be nonzero");
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t messageBytes() const noexcept { return messageBytes_; }
+
+  /// Blocking push of one message (spins while full).
+  void push(const void* msg) {
+    const std::uint64_t wr = writeIdx_.value.load(std::memory_order_relaxed);
+    while (wr - readIdx_.value.load(std::memory_order_acquire) >= capacity_) {
+      std::this_thread::yield();
+    }
+    std::memcpy(cell(wr), msg, messageBytes_);
+    writeIdx_.value.store(wr + 1, std::memory_order_release);
+  }
+
+  /// Non-blocking pop; returns false when empty.
+  bool tryPop(void* msg) {
+    const std::uint64_t rd = readIdx_.value.load(std::memory_order_relaxed);
+    if (rd >= writeIdx_.value.load(std::memory_order_acquire)) return false;
+    std::memcpy(msg, cell(rd), messageBytes_);
+    readIdx_.value.store(rd + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking pop; returns false only when empty AND `stopped`.
+  bool pop(void* msg, const std::atomic<bool>& stopped) {
+    while (!tryPop(msg)) {
+      if (stopped.load(std::memory_order_acquire)) {
+        // Re-check after observing stop so no published message is lost.
+        return tryPop(msg);
+      }
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
+ private:
+  std::byte* cell(std::uint64_t idx) noexcept {
+    return payload_.data() + (idx % capacity_) * cellBytes_;
+  }
+
+  std::size_t messageBytes_;
+  std::size_t cellBytes_;
+  std::size_t capacity_;
+  std::vector<std::byte> payload_;
+  CacheAligned<std::atomic<std::uint64_t>> writeIdx_{};
+  CacheAligned<std::atomic<std::uint64_t>> readIdx_{};
+};
+
+}  // namespace gravel

@@ -1,0 +1,96 @@
+// The primitive active-message API (paper §6): a registered handler runs at
+// the destination node with two 64-bit arguments. Handlers execute on the
+// destination's network thread, which serializes all atomics on a node —
+// the paper's trick that lets handlers mutate node state without
+// concurrent-RMW cost ("this approach is faster than using concurrent
+// read-modify-write operations ... and it simplifies writing active
+// messages").
+//
+// Handlers receive an AmContext and may *send follow-on active messages*
+// (chaining). Chaining is what distributed pointer-walks need — e.g. the
+// Meraculous phase-2 traversal (src/apps/mer_traverse.*), where the walk
+// state hops from k-mer owner to k-mer owner as a chain of AMs. The quiet
+// protocol remains correct because a handler's sends enter the fabric's
+// in-flight count before the triggering message is marked resolved.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "runtime/symmetric_heap.hpp"
+
+namespace gravel::rt {
+
+/// Execution context handed to an active-message handler.
+class AmContext {
+ public:
+  /// Sends a follow-on active message from this (home) node. Destination
+  /// `self()` is allowed: the message loops back through the fabric and is
+  /// handled in a later delivery (not recursively).
+  using SendFn = std::function<void(std::uint32_t dest, std::uint32_t handler,
+                                    std::uint64_t arg0, std::uint64_t arg1)>;
+
+  AmContext(SymmetricHeap& heap, std::uint32_t self, const SendFn& send)
+      : heap_(heap), self_(self), send_(send) {}
+
+  SymmetricHeap& heap() noexcept { return heap_; }
+  std::uint32_t self() const noexcept { return self_; }
+
+  void sendAm(std::uint32_t dest, std::uint32_t handler, std::uint64_t arg0,
+              std::uint64_t arg1) {
+    send_(dest, handler, arg0, arg1);
+  }
+
+ private:
+  SymmetricHeap& heap_;
+  std::uint32_t self_;
+  const SendFn& send_;
+};
+
+/// Runs at the home node. Only the network thread invokes handlers, so
+/// plain (non-atomic) heap mutation is safe with respect to other handlers;
+/// use the heap's atomic accessors when the local GPU also touches the same
+/// words mid-kernel.
+using AmHandler =
+    std::function<void(AmContext& ctx, std::uint64_t arg0, std::uint64_t arg1)>;
+
+/// Registry shared by every node of a cluster (handlers are code, which is
+/// naturally symmetric). Registration is append-only and may happen while
+/// network threads are live (multi-phase apps register phase-2 handlers
+/// after phase-1 launches): slots are fixed at construction and new entries
+/// are published through an atomic count, so readers never observe a
+/// reallocation.
+class AmRegistry {
+ public:
+  static constexpr std::size_t kMaxHandlers = 256;
+
+  AmRegistry() : handlers_(kMaxHandlers) {}
+
+  std::uint32_t add(AmHandler handler) {
+    const std::size_t id = count_.load(std::memory_order_relaxed);
+    GRAVEL_CHECK_MSG(id < kMaxHandlers, "active-message registry full");
+    handlers_[id] = std::move(handler);
+    count_.store(id + 1, std::memory_order_release);
+    return static_cast<std::uint32_t>(id);
+  }
+
+  void run(std::uint32_t id, AmContext& ctx, std::uint64_t arg0,
+           std::uint64_t arg1) const {
+    GRAVEL_CHECK_MSG(id < count_.load(std::memory_order_acquire),
+                     "unknown active-message handler");
+    handlers_[id](ctx, arg0, arg1);
+  }
+
+  std::size_t size() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<AmHandler> handlers_;
+  std::atomic<std::size_t> count_{0};
+};
+
+}  // namespace gravel::rt

@@ -1,0 +1,146 @@
+#include "runtime/cluster.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace gravel::rt {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      fabric_(config.nodes),
+      allocator_(config.heap_bytes),
+      opBase_(config.nodes),
+      devBase_(config.nodes) {
+  GRAVEL_CHECK_MSG(config.nodes > 0, "cluster needs at least one node");
+  nodes_.reserve(config.nodes);
+  for (std::uint32_t i = 0; i < config.nodes; ++i)
+    nodes_.push_back(
+        std::make_unique<NodeRuntime>(i, config_, fabric_, registry_));
+}
+
+Cluster::~Cluster() {
+  for (auto& n : nodes_) n->stopThreads();
+}
+
+std::uint32_t Cluster::registerHandler(AmHandler handler) {
+  // Registration is legal at any quiescent point (between launches): the
+  // registry publishes append-only through an atomic count, so live network
+  // threads never observe a partial entry.
+  return registry_.add(std::move(handler));
+}
+
+void Cluster::ensureThreadsStarted() {
+  if (threadsStarted_) return;
+  for (auto& n : nodes_) n->startThreads();
+  threadsStarted_ = true;
+}
+
+void Cluster::launchAll(std::uint64_t gridPerNode, std::uint32_t wgSize,
+                        const NodeKernel& kernel) {
+  launchAll(std::vector<std::uint64_t>(config_.nodes, gridPerNode), wgSize,
+            kernel);
+}
+
+void Cluster::launchAll(const std::vector<std::uint64_t>& grids,
+                        std::uint32_t wgSize, const NodeKernel& kernel) {
+  GRAVEL_CHECK_MSG(grids.size() == config_.nodes,
+                   "one grid size per node required");
+  ensureThreadsStarted();
+  std::vector<std::thread> gpus;
+  std::vector<std::exception_ptr> errors(config_.nodes);
+  gpus.reserve(config_.nodes);
+  for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+    gpus.emplace_back([this, i, &grids, wgSize, &kernel, &errors] {
+      try {
+        if (grids[i] == 0) return;
+        node(i).device().launch(
+            {grids[i], wgSize},
+            [this, i, &kernel](simt::WorkItem& wi) { kernel(i, wi); });
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : gpus) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  quiet();
+}
+
+void Cluster::hostParallel(const std::function<void(std::uint32_t)>& work) {
+  ensureThreadsStarted();
+  std::vector<std::thread> hosts;
+  std::vector<std::exception_ptr> errors(config_.nodes);
+  for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+    hosts.emplace_back([i, &work, &errors] {
+      try {
+        work(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : hosts) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  quiet();
+}
+
+void Cluster::quiet() {
+  if (!threadsStarted_) return;
+  // 1. Every reserved GPU-queue slot must be routed by the aggregator.
+  for (auto& n : nodes_) {
+    while (n->aggregator().slotsProcessed() < n->queue().reservedCount())
+      std::this_thread::yield();
+  }
+  // 2. Push every partially-filled per-node queue onto the wire.
+  for (auto& n : nodes_) n->aggregator().flushAll();
+  // 3. Wait until every message in flight has been resolved at its home.
+  while (fabric_.inFlight() != 0) std::this_thread::yield();
+}
+
+ClusterRunStats Cluster::runStats() const {
+  ClusterRunStats s;
+  s.nodes = config_.nodes;
+  for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+    const NodeOpStats& op = nodes_[i]->opStats();
+    const NodeOpStats& ob = opBase_[i];
+    s.put_local += op.put_local - ob.put_local;
+    s.put_remote += op.put_remote - ob.put_remote;
+    s.inc_local += op.inc_local - ob.inc_local;
+    s.inc_remote += op.inc_remote - ob.inc_remote;
+    s.am_local += op.am_local - ob.am_local;
+    s.am_remote += op.am_remote - ob.am_remote;
+
+    const simt::DeviceStats& d = nodes_[i]->device().stats();
+    const simt::DeviceStats& db = devBase_[i];
+    s.lanes_executed += d.lanes_executed - db.lanes_executed;
+    s.workgroups_executed += d.workgroups_executed - db.workgroups_executed;
+    s.collective_ops += d.collective_ops - db.collective_ops;
+    s.collective_arrivals += d.collective_arrivals - db.collective_arrivals;
+    s.active_arrivals += d.active_arrivals - db.active_arrivals;
+    s.predication_overhead_ops +=
+        d.predication_overhead_ops - db.predication_overhead_ops;
+  }
+  const net::LinkStats t = fabric_.total();
+  s.net_batches = t.batches - fabricBase_.batches;
+  s.net_messages = t.messages - fabricBase_.messages;
+  s.net_bytes = t.bytes - fabricBase_.bytes;
+  const RunningStat b = fabric_.batchSizeBytes();
+  // Window mean from cumulative sums.
+  const double cnt = double(b.count()) - double(batchBase_.count());
+  s.avg_batch_bytes = cnt > 0 ? (b.sum() - batchBase_.sum()) / cnt : 0.0;
+  return s;
+}
+
+void Cluster::resetStats() {
+  for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+    opBase_[i] = nodes_[i]->opStats();
+    devBase_[i] = nodes_[i]->device().stats();
+  }
+  fabricBase_ = fabric_.total();
+  batchBase_ = fabric_.batchSizeBytes();
+}
+
+}  // namespace gravel::rt

@@ -1,0 +1,90 @@
+// The whole simulated cluster: N Gravel nodes over an in-process fabric.
+// Owns the symmetric allocator, the active-message registry, the quiet
+// protocol and the per-run statistics roll-up the benches print.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/fabric.hpp"
+#include "runtime/active_message.hpp"
+#include "runtime/cluster_stats.hpp"
+#include "runtime/config.hpp"
+#include "runtime/node_runtime.hpp"
+
+namespace gravel::rt {
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::uint32_t nodes() const noexcept { return config_.nodes; }
+  const ClusterConfig& config() const noexcept { return config_; }
+  NodeRuntime& node(std::uint32_t i) { return *nodes_[i]; }
+  net::Fabric& fabric() noexcept { return fabric_; }
+
+  /// Symmetric allocation: the same offset is reserved on every node's heap.
+  template <typename T>
+  SymAddr<T> alloc(std::uint64_t count) {
+    return allocator_.alloc<T>(count);
+  }
+
+  /// Registers an active-message handler on all nodes. Safe at any
+  /// quiescent point, including between launches (multi-phase pipelines).
+  std::uint32_t registerHandler(AmHandler handler);
+
+  /// A kernel parameterized by the node it runs on.
+  using NodeKernel = std::function<void(std::uint32_t node, simt::WorkItem&)>;
+
+  /// Launches `kernel` with a per-node grid size on every node concurrently
+  /// (one OS thread per node GPU), waits for completion, then runs the quiet
+  /// protocol so every initiated message is resolved cluster-wide.
+  void launchAll(std::uint64_t gridPerNode, std::uint32_t wgSize,
+                 const NodeKernel& kernel);
+
+  /// Same, with per-node grid sizes (irregular partitions).
+  void launchAll(const std::vector<std::uint64_t>& grids, std::uint32_t wgSize,
+                 const NodeKernel& kernel);
+
+  /// Runs host `work(node)` for every node concurrently and quiesces. Used
+  /// by host-driven phases of baseline models.
+  void hostParallel(const std::function<void(std::uint32_t)>& work);
+
+  /// Starts aggregator/network threads explicitly. launchAll() does this
+  /// on first use; callers that drive devices and the fabric directly (the
+  /// §3 model implementations) must call it before sending.
+  void start() { ensureThreadsStarted(); }
+
+  /// Drains GPU queues, flushes aggregators and waits until every message
+  /// in flight has been resolved (the PGAS fence + cluster barrier).
+  void quiet();
+
+  /// Per-run traffic/operation roll-up; resetStats() starts a new window.
+  ClusterRunStats runStats() const;
+  void resetStats();
+
+ private:
+  void ensureThreadsStarted();
+
+  ClusterConfig config_;
+  net::Fabric fabric_;
+  AmRegistry registry_;
+  SymmetricAllocator allocator_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  bool threadsStarted_ = false;
+
+  // Snapshot baselines so runStats() reports per-window deltas.
+  net::LinkStats fabricBase_{};
+  RunningStat batchBase_{};
+  std::vector<NodeOpStats> opBase_;
+  std::vector<simt::DeviceStats> devBase_;
+};
+
+}  // namespace gravel::rt

@@ -1,0 +1,50 @@
+// Aggregated statistics for one measurement window of a cluster run. This
+// is the hand-off structure between the functional execution and the cost
+// model in src/perf: everything timing-related is derived from these counts.
+#pragma once
+
+#include <cstdint>
+
+#include "simt/types.hpp"
+
+namespace gravel::rt {
+
+struct ClusterRunStats {
+  std::uint32_t nodes = 0;
+
+  // Device-side operation mix (summed over nodes).
+  std::uint64_t put_local = 0;
+  std::uint64_t put_remote = 0;
+  std::uint64_t inc_local = 0;
+  std::uint64_t inc_remote = 0;
+  std::uint64_t am_local = 0;
+  std::uint64_t am_remote = 0;
+
+  // GPU execution counts (summed over nodes).
+  std::uint64_t lanes_executed = 0;
+  std::uint64_t workgroups_executed = 0;
+  std::uint64_t collective_ops = 0;
+  std::uint64_t collective_arrivals = 0;
+  std::uint64_t active_arrivals = 0;
+  std::uint64_t predication_overhead_ops = 0;
+
+  // Network traffic (summed over links).
+  std::uint64_t net_batches = 0;   ///< network messages (flushed queues)
+  std::uint64_t net_messages = 0;  ///< Gravel messages carried
+  std::uint64_t net_bytes = 0;
+  double avg_batch_bytes = 0;  ///< Table 5 "average message size"
+
+  std::uint64_t opsTotal() const {
+    return put_local + put_remote + inc_local + inc_remote + am_local +
+           am_remote;
+  }
+  std::uint64_t opsRemote() const {
+    return put_remote + inc_remote + am_remote;
+  }
+  /// Table 5 "remote access frequency".
+  double remoteFraction() const {
+    return opsTotal() ? double(opsRemote()) / double(opsTotal()) : 0.0;
+  }
+};
+
+}  // namespace gravel::rt

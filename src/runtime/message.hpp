@@ -1,0 +1,53 @@
+// The wire format of a Gravel network message (paper §4.2, §6).
+//
+// A message is four 64-bit words — one per payload row of the
+// producer/consumer queue: command, destination, address, value. Gravel
+// supports three non-blocking operations (§6): PUT, atomic increment, and a
+// primitive active-message API. The active-message handler id is packed into
+// the command word's upper bits.
+#pragma once
+
+#include <cstdint>
+
+namespace gravel::rt {
+
+enum class Command : std::uint8_t {
+  kPut = 0,        ///< store `value` at symmetric-heap offset `addr`
+  kAtomicInc = 1,  ///< 64-bit increment at symmetric-heap offset `addr`
+  kActiveMessage = 2,  ///< run handler (cmd>>32) with args (addr, value)
+};
+
+/// One queue message; exactly GravelQueue rows = 4.
+struct NetMessage {
+  std::uint64_t cmd = 0;   ///< Command in low 8 bits; AM handler id in 32..63
+  std::uint64_t dest = 0;  ///< destination node id
+  std::uint64_t addr = 0;  ///< symmetric-heap byte offset (or AM arg 0)
+  std::uint64_t value = 0; ///< payload (or AM arg 1)
+
+  static constexpr std::uint32_t kRows = 4;
+
+  Command command() const noexcept {
+    return static_cast<Command>(cmd & 0xff);
+  }
+  std::uint32_t handler() const noexcept {
+    return static_cast<std::uint32_t>(cmd >> 32);
+  }
+
+  static NetMessage put(std::uint32_t dest, std::uint64_t addr,
+                        std::uint64_t value) {
+    return {std::uint64_t(Command::kPut), dest, addr, value};
+  }
+  static NetMessage atomicInc(std::uint32_t dest, std::uint64_t addr) {
+    return {std::uint64_t(Command::kAtomicInc), dest, addr, 0};
+  }
+  static NetMessage activeMessage(std::uint32_t dest, std::uint32_t handler,
+                                  std::uint64_t arg0, std::uint64_t arg1) {
+    return {std::uint64_t(Command::kActiveMessage) |
+                (std::uint64_t(handler) << 32),
+            dest, arg0, arg1};
+  }
+};
+
+static_assert(sizeof(NetMessage) == NetMessage::kRows * 8);
+
+}  // namespace gravel::rt

@@ -1,0 +1,98 @@
+// The per-node network thread (paper §6): receives per-node queues from the
+// fabric and resolves each message as a local memory operation. Routing all
+// atomics — local ones included — through this single thread serializes them,
+// which is both the paper's correctness strategy for active messages and the
+// reason local/remote atomic throughput is similar (§7.1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "net/fabric.hpp"
+#include "runtime/active_message.hpp"
+#include "runtime/message.hpp"
+#include "runtime/symmetric_heap.hpp"
+
+namespace gravel::rt {
+
+class NetworkThread {
+ public:
+  NetworkThread(std::uint32_t self, net::Fabric& fabric, SymmetricHeap& heap,
+                const AmRegistry& registry)
+      : self_(self), fabric_(fabric), heap_(heap), registry_(registry) {}
+
+  ~NetworkThread() { stop(); }
+
+  NetworkThread(const NetworkThread&) = delete;
+  NetworkThread& operator=(const NetworkThread&) = delete;
+
+  void start() {
+    stopped_.store(false);
+    worker_ = std::thread([this] { run(); });
+  }
+
+  void stop() {
+    stopped_.store(true);
+    if (worker_.joinable()) worker_.join();
+  }
+
+  std::uint64_t messagesResolved() const noexcept {
+    return resolved_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run() {
+    // Handler-initiated follow-on messages ship immediately as one-message
+    // batches: chained walks are latency-bound, not bandwidth-bound, and
+    // shipping before markResolved() keeps the quiet protocol's in-flight
+    // count from ever touching zero mid-chain.
+    const AmContext::SendFn send = [this](std::uint32_t dest,
+                                          std::uint32_t handler,
+                                          std::uint64_t a0, std::uint64_t a1) {
+      fabric_.send(self_, dest, {NetMessage::activeMessage(dest, handler, a0, a1)});
+    };
+    AmContext ctx(heap_, self_, send);
+    net::Delivery d;
+    for (;;) {
+      if (fabric_.tryReceive(self_, d)) {
+        for (const NetMessage& m : d.messages) resolve(ctx, m);
+        fabric_.markResolved(d.messages.size());
+        resolved_.fetch_add(d.messages.size(), std::memory_order_relaxed);
+      } else if (stopped_.load(std::memory_order_acquire)) {
+        // Drain once more after observing stop; quiet() guarantees no new
+        // sends race this.
+        if (!fabric_.tryReceive(self_, d)) return;
+        for (const NetMessage& m : d.messages) resolve(ctx, m);
+        fabric_.markResolved(d.messages.size());
+        resolved_.fetch_add(d.messages.size(), std::memory_order_relaxed);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void resolve(AmContext& ctx, const NetMessage& m) {
+    switch (m.command()) {
+      case Command::kPut:
+        heap_.storeU64(m.addr, m.value);
+        break;
+      case Command::kAtomicInc:
+        heap_.fetchAddU64(m.addr, 1);
+        break;
+      case Command::kActiveMessage:
+        registry_.run(m.handler(), ctx, m.addr, m.value);
+        break;
+    }
+  }
+
+  std::uint32_t self_;
+  net::Fabric& fabric_;
+  SymmetricHeap& heap_;
+  const AmRegistry& registry_;
+  std::atomic<bool> stopped_{true};
+  std::atomic<std::uint64_t> resolved_{0};
+  std::thread worker_;
+};
+
+}  // namespace gravel::rt

@@ -1,0 +1,94 @@
+#include "simt/device.hpp"
+
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace gravel::simt {
+
+Device::Device(const DeviceConfig& config)
+    : config_(config),
+      stats_(),
+      wg_(config_, stats_),
+      fibers_(config_.max_wg_size, config_.fiber_stack_bytes) {
+  GRAVEL_CHECK_MSG(config_.wavefront_width > 0, "wavefront width must be > 0");
+  GRAVEL_CHECK_MSG(config_.max_wg_size % config_.wavefront_width == 0,
+                   "work-group size must be a whole number of wavefronts");
+}
+
+void Device::launch(const LaunchConfig& launch, const Kernel& kernel) {
+  GRAVEL_CHECK_MSG(launch.wg_size > 0 &&
+                       launch.wg_size <= config_.max_wg_size,
+                   "launch wg_size out of device range");
+  ++stats_.kernels_launched;
+  const std::uint64_t grid = launch.grid_size;
+  for (std::uint64_t base = 0; base < grid; base += launch.wg_size) {
+    const auto lanes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(launch.wg_size, grid - base));
+    runWorkGroup(base / launch.wg_size, base, lanes, grid, kernel);
+  }
+}
+
+void Device::runWorkGroup(std::uint64_t wgIndex, std::uint64_t globalBase,
+                          std::uint32_t laneCount, std::uint64_t gridSize,
+                          const Kernel& kernel) {
+  wg_.begin(wgIndex, laneCount);
+  ++stats_.workgroups_executed;
+  stats_.lanes_executed += laneCount;
+
+  for (std::uint32_t lane = 0; lane < laneCount; ++lane) {
+    fibers_.at(lane).reset([this, lane, globalBase, gridSize, &kernel] {
+      WorkItem wi(*this, wg_, lane, globalBase, gridSize,
+                  config_.wavefront_width);
+      kernel(wi);
+    });
+  }
+
+  std::uint32_t finished = 0;
+  while (finished < laneCount) {
+    bool resumedAny = false;
+    bool finishedAny = false;
+    // Lane order approximates wavefront-ordered issue; lanes that park at a
+    // collective are skipped until a sibling completes the rendezvous.
+    for (std::uint32_t lane = 0; lane < laneCount; ++lane) {
+      if (wg_.status(lane) != LaneStatus::kRunnable) continue;
+      Fiber& f = fibers_.at(lane);
+      if (f.finished()) continue;  // already done, bookkeeping below
+      resumedAny = true;
+      ++stats_.fiber_switches;
+      const bool more = f.resume();
+      if (!more) {
+        ++finished;
+        finishedAny = true;
+        wg_.onLaneFinish(lane);
+      }
+    }
+    if (finished >= laneCount) break;
+    if (!resumedAny) {
+      // Every unfinished lane is parked at a rendezvous that can no longer
+      // complete. (Lanes spinning on external conditions stay kRunnable, so
+      // they are not counted here.)
+      throw DeadlockError(
+          "work-group " + std::to_string(wgIndex) +
+          ": all unfinished lanes are parked at collectives that cannot "
+          "complete");
+    }
+    if (!finishedAny) {
+      // Lanes are spin-waiting on an external condition (e.g. a full
+      // producer/consumer queue); let host threads (aggregator, network
+      // thread) run so the condition can change.
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Device::yieldLane() {
+  if (Fiber* f = Fiber::current()) {
+    f->yield();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace gravel::simt

@@ -1,0 +1,51 @@
+// The simulated GPU device: dispatches a grid of work-items as work-groups
+// over a fiber scheduler with SIMT convergence semantics.
+#pragma once
+
+#include <functional>
+
+#include "simt/fiber.hpp"
+#include "simt/types.hpp"
+#include "simt/workgroup.hpp"
+#include "simt/workitem.hpp"
+
+namespace gravel::simt {
+
+/// A simulated GPU. Work-groups of a launch are executed one at a time on
+/// the calling thread (the compute-unit count only matters to the cost
+/// model); lanes within a work-group interleave on fibers so that
+/// work-group-level operations block and resume like real convergence
+/// points. Thread-compatibility: one Device per "node" thread.
+class Device {
+ public:
+  using Kernel = std::function<void(WorkItem&)>;
+
+  explicit Device(const DeviceConfig& config = {});
+
+  const DeviceConfig& config() const noexcept { return config_; }
+  DeviceStats& stats() noexcept { return stats_; }
+  const DeviceStats& stats() const noexcept { return stats_; }
+
+  /// Runs `kernel` for every work-item of the grid. Blocks until the whole
+  /// grid finished. Exceptions thrown by kernel bodies (including
+  /// DeadlockError from convergence misuse) propagate to the caller.
+  void launch(const LaunchConfig& launch, const Kernel& kernel);
+
+  /// Yields the current lane if called from inside a kernel (so sibling
+  /// lanes and, transitively, host threads make progress), or the OS thread
+  /// otherwise. Pass as the YieldFn of any spin-waiting structure shared
+  /// with kernels.
+  static void yieldLane();
+
+ private:
+  void runWorkGroup(std::uint64_t wgIndex, std::uint64_t globalBase,
+                    std::uint32_t laneCount, std::uint64_t gridSize,
+                    const Kernel& kernel);
+
+  DeviceConfig config_;
+  DeviceStats stats_;
+  WorkGroupState wg_;
+  FiberPool fibers_;
+};
+
+}  // namespace gravel::simt

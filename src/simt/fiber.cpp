@@ -1,0 +1,105 @@
+#include "simt/fiber.hpp"
+
+#include <cstring>
+
+extern "C" {
+/// Assembly switch in context.S: saves the current continuation into
+/// *save_sp and resumes restore_sp.
+void gravel_ctx_swap(void** save_sp, void* restore_sp);
+/// Assembly entry shim; transfers control to gravel_fiber_trampoline with
+/// the Fiber* as argument.
+void gravel_ctx_entry();
+}
+
+namespace gravel::simt {
+
+namespace {
+thread_local Fiber* tlsCurrentFiber = nullptr;
+}  // namespace
+
+/// C++ side of the fiber entry path. Runs the body, captures any exception,
+/// and switches back to the scheduler for good. Never returns.
+void fiberTrampoline(Fiber* f) noexcept {
+  try {
+    f->body_();
+  } catch (...) {
+    f->pending_ = std::current_exception();
+  }
+  f->finished_ = true;
+  // Final switch out; fiberSp_ is dead after this.
+  gravel_ctx_swap(&f->fiberSp_, f->schedulerSp_);
+  // Unreachable: a finished fiber is never resumed (resume() checks).
+  std::terminate();
+}
+
+extern "C" void gravel_fiber_trampoline(void* f) {
+  fiberTrampoline(static_cast<Fiber*>(f));
+}
+
+Fiber::Fiber(std::size_t stackBytes)
+    : stack_(new std::byte[stackBytes]), stackBytes_(stackBytes) {}
+
+Fiber::~Fiber() {
+  // Destroying a suspended (started, unfinished) fiber leaks whatever is on
+  // its stack; the engine never does this (deadlocks throw from resume()),
+  // but we do not try to unwind foreign stacks here either.
+}
+
+void Fiber::primeStack() {
+  // Build the initial frame the assembly switch will pop:
+  //   [r15][r14][r13][r12 = Fiber*][rbx][rbp][return addr = gravel_ctx_entry]
+  // After the pops in gravel_ctx_swap, `ret` consumes the entry address and
+  // leaves RSP 16-byte aligned at gravel_ctx_entry, whose `call` then
+  // produces the standard rsp%16==8 at the trampoline entry.
+  std::uintptr_t top =
+      reinterpret_cast<std::uintptr_t>(stack_.get()) + stackBytes_;
+  top &= ~static_cast<std::uintptr_t>(15);  // align the stack top
+  // Nine words below the aligned top: 7 frame words plus one spare so that
+  // after the 6 pops and the `ret`, RSP % 16 == 0 at gravel_ctx_entry —
+  // whose `call` then produces the SysV-required rsp%16==8 at the
+  // trampoline entry.
+  auto* frame = reinterpret_cast<void**>(top) - 9;
+  frame[0] = nullptr;                                 // r15
+  frame[1] = nullptr;                                 // r14
+  frame[2] = nullptr;                                 // r13
+  frame[3] = this;                                    // r12 -> Fiber*
+  frame[4] = nullptr;                                 // rbx
+  frame[5] = nullptr;                                 // rbp
+  frame[6] = reinterpret_cast<void*>(&gravel_ctx_entry);  // ret target
+  fiberSp_ = frame;
+}
+
+void Fiber::reset(std::function<void()> body) {
+  GRAVEL_CHECK_MSG(finished_, "cannot reset a running fiber");
+  body_ = std::move(body);
+  pending_ = nullptr;
+  started_ = false;
+  finished_ = false;
+}
+
+bool Fiber::resume() {
+  GRAVEL_CHECK_MSG(!finished_, "cannot resume a finished fiber");
+  if (!started_) {
+    primeStack();
+    started_ = true;
+  }
+  Fiber* prev = tlsCurrentFiber;
+  tlsCurrentFiber = this;
+  gravel_ctx_swap(&schedulerSp_, fiberSp_);
+  tlsCurrentFiber = prev;
+  if (pending_) {
+    auto e = pending_;
+    pending_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  return !finished_;
+}
+
+void Fiber::yield() {
+  GRAVEL_CHECK_MSG(tlsCurrentFiber == this, "yield() outside the fiber");
+  gravel_ctx_swap(&fiberSp_, schedulerSp_);
+}
+
+Fiber* Fiber::current() noexcept { return tlsCurrentFiber; }
+
+}  // namespace gravel::simt

@@ -1,0 +1,83 @@
+// User-level fibers: each simulated GPU work-item runs on one fiber, so
+// work-group collectives can suspend a lane mid-kernel and resume it when all
+// participating lanes have arrived (see workgroup.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gravel::simt {
+
+/// One fiber = one suspendable call stack. Not thread-safe: a fiber is owned
+/// and scheduled by exactly one OS thread (the per-device scheduler thread).
+class Fiber {
+ public:
+  /// `stackBytes` is per-fiber; SIMT kernels are shallow, 64 KiB default.
+  explicit Fiber(std::size_t stackBytes = 64 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// (Re)arms the fiber with a new body. Must not be running.
+  void reset(std::function<void()> body);
+
+  /// Runs/resumes the fiber until it yields or finishes. Returns true while
+  /// the fiber still has work left. Rethrows any exception the body threw.
+  bool resume();
+
+  /// Yields from *inside* the fiber body back to the caller of resume().
+  void yield();
+
+  bool finished() const noexcept { return finished_; }
+
+  /// Fiber currently running on this thread, or nullptr when on the
+  /// scheduler stack. Lets library spin-waits (queue acquire) yield the
+  /// fiber instead of the OS thread.
+  static Fiber* current() noexcept;
+
+ private:
+  friend void fiberTrampoline(Fiber* f) noexcept;
+  void primeStack();
+
+  std::unique_ptr<std::byte[]> stack_;
+  std::size_t stackBytes_;
+  void* fiberSp_ = nullptr;      // saved SP when suspended
+  void* schedulerSp_ = nullptr;  // saved SP of the resume() caller
+  std::function<void()> body_;
+  std::exception_ptr pending_;
+  bool started_ = false;
+  bool finished_ = true;  // no body yet
+};
+
+/// RAII pool of reusable fibers (stacks are the expensive part).
+class FiberPool {
+ public:
+  FiberPool(std::size_t count, std::size_t stackBytes)
+      : stackBytes_(stackBytes) {
+    fibers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      fibers_.push_back(std::make_unique<Fiber>(stackBytes));
+  }
+
+  std::size_t size() const noexcept { return fibers_.size(); }
+  Fiber& at(std::size_t i) { return *fibers_[i]; }
+
+  /// Grows the pool to at least `count` fibers.
+  void ensure(std::size_t count) {
+    while (fibers_.size() < count)
+      fibers_.push_back(std::make_unique<Fiber>(stackBytes_));
+  }
+
+ private:
+  std::size_t stackBytes_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+};
+
+}  // namespace gravel::simt

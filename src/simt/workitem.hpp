@@ -1,0 +1,108 @@
+// The per-work-item handle passed to kernels — the SIMT engine's public API.
+//
+// Kernels are plain C++ callables `void(WorkItem&)`. A kernel body runs on
+// its own fiber, so work-group-level operations (barrier, reduce,
+// prefix-sum, scratchpad allocation, fbar sync) may suspend the lane until
+// siblings arrive, exactly like convergence points on a real GPU.
+#pragma once
+
+#include <cstdint>
+
+#include "simt/types.hpp"
+#include "simt/workgroup.hpp"
+
+namespace gravel::simt {
+
+class Device;
+
+class WorkItem {
+ public:
+  WorkItem(Device& device, WorkGroupState& wg, std::uint32_t lane,
+           std::uint64_t globalBase, std::uint64_t gridSize,
+           std::uint32_t wavefrontWidth)
+      : device_(device),
+        wg_(wg),
+        lane_(lane),
+        globalBase_(globalBase),
+        gridSize_(gridSize),
+        wavefrontWidth_(wavefrontWidth) {}
+
+  // --- identity ---------------------------------------------------------
+  /// GRID_ID in the paper's pseudo-code.
+  std::uint64_t globalId() const noexcept { return globalBase_ + lane_; }
+  /// Index within the work-group [0, wgSize).
+  std::uint32_t localId() const noexcept { return lane_; }
+  /// LANE_ID within the wavefront [0, wavefrontWidth).
+  std::uint32_t laneId() const noexcept { return lane_ % wavefrontWidth_; }
+  std::uint32_t wavefrontId() const noexcept { return lane_ / wavefrontWidth_; }
+  std::uint64_t workGroupId() const noexcept { return wg_.wgIndex(); }
+  std::uint32_t wgSize() const noexcept { return wg_.laneCount(); }
+  std::uint64_t gridSize() const noexcept { return gridSize_; }
+
+  Device& device() noexcept { return device_; }
+  WorkGroupState& group() noexcept { return wg_; }
+
+  // --- work-group-level operations (paper §4.1) --------------------------
+  // The `active` flag is the software-predication contract of §5.1/§5.2:
+  // every live lane must call the operation, inactive lanes contribute the
+  // non-interfering identity and the result is as if only active lanes took
+  // part.
+  void wgBarrier() { wg_.collective(lane_, CollectiveOp::kBarrier, 0, true); }
+
+  std::uint64_t wgReduceSum(std::uint64_t v, bool active = true) {
+    return wg_.collective(lane_, CollectiveOp::kReduceSum, v, active);
+  }
+  std::uint64_t wgReduceMax(std::uint64_t v, bool active = true) {
+    return wg_.collective(lane_, CollectiveOp::kReduceMax, v, active);
+  }
+  std::uint64_t wgReduceMin(std::uint64_t v, bool active = true) {
+    return wg_.collective(lane_, CollectiveOp::kReduceMin, v, active);
+  }
+  /// Exclusive prefix sum over lane order (Figure 5b's MyOff computation).
+  std::uint64_t wgPrefixSum(std::uint64_t v, bool active = true) {
+    return wg_.collective(lane_, CollectiveOp::kPrefixSumExclusive, v, active);
+  }
+  /// Broadcast modeled the way Figure 5b does it: the source lane submits
+  /// the value, everyone else submits 0, and the reduce-to-sum result is the
+  /// broadcast value.
+  std::uint64_t wgBroadcast(std::uint64_t v, bool isSource) {
+    return wg_.collective(lane_, CollectiveOp::kReduceSum, isSource ? v : 0,
+                          true);
+  }
+
+  /// Work-group scratchpad allocation (LDS). Collective; every live lane
+  /// calls with the same size and receives the same pointer.
+  template <typename T>
+  T* scratchAlloc(std::uint64_t count) {
+    return reinterpret_cast<T*>(
+        wg_.scratchAlloc(lane_, count * sizeof(T)));
+  }
+
+  // --- fine-grain barriers (paper §5.3) -----------------------------------
+  FBar& fbar(std::uint32_t id = 0) { return wg_.fbar(id); }
+  void fbarJoin(FBar& fb) { wg_.fbarJoin(lane_, fb); }
+  void fbarLeave(FBar& fb) { wg_.fbarLeave(lane_, fb); }
+  void fbarBarrier(FBar& fb) {
+    wg_.collective(lane_, CollectiveOp::kBarrier, 0, true, &fb);
+  }
+  std::uint64_t fbarReduceMax(FBar& fb, std::uint64_t v) {
+    return wg_.collective(lane_, CollectiveOp::kReduceMax, v, true, &fb);
+  }
+  std::uint64_t fbarPrefixSum(FBar& fb, std::uint64_t v) {
+    return wg_.collective(lane_, CollectiveOp::kPrefixSumExclusive, v, true,
+                          &fb);
+  }
+  std::uint64_t fbarReduceSum(FBar& fb, std::uint64_t v) {
+    return wg_.collective(lane_, CollectiveOp::kReduceSum, v, true, &fb);
+  }
+
+ private:
+  Device& device_;
+  WorkGroupState& wg_;
+  std::uint32_t lane_;
+  std::uint64_t globalBase_;
+  std::uint64_t gridSize_;
+  std::uint32_t wavefrontWidth_;
+};
+
+}  // namespace gravel::simt

@@ -1,0 +1,97 @@
+// Tests for the Grappa/UPC-like CPU comparator runtime and its Figure 13
+// workloads.
+#include <gtest/gtest.h>
+
+#include "apps/app.hpp"
+#include "baselines/cpu_apps.hpp"
+#include "graph/generators.hpp"
+
+namespace gravel::baselines {
+namespace {
+
+CpuClusterConfig smallConfig(std::uint32_t nodes) {
+  CpuClusterConfig c;
+  c.nodes = nodes;
+  c.threads_per_node = 2;
+  c.heap_words = 1 << 16;
+  c.buffer_msgs = 32;
+  return c;
+}
+
+TEST(CpuCluster, DelegateOpsApplyAtHome) {
+  CpuCluster cluster(smallConfig(2));
+  cluster.parallelFor(100, [](std::uint32_t node, CpuCluster::WorkerCtx& ctx,
+                              std::uint64_t i) {
+    ctx.delegateInc(1 - node, i % 16);
+    ctx.delegatePut(node, 100 + i % 4, 7);
+  });
+  std::uint64_t total = 0;
+  for (std::uint64_t a = 0; a < 16; ++a)
+    total += cluster.loadWord(0, a) + cluster.loadWord(1, a);
+  EXPECT_EQ(total, 200u);
+  EXPECT_EQ(cluster.loadWord(0, 101), 7u);
+  const auto s = cluster.stats();
+  EXPECT_EQ(s.ops_local + s.ops_remote, 400u);
+  EXPECT_EQ(s.ops_remote, 200u);
+  EXPECT_GT(s.batches, 0u);
+}
+
+TEST(CpuCluster, AddDoubleAccumulates) {
+  CpuCluster cluster(smallConfig(2));
+  cluster.storeWord(1, 5, apps::doubleBits(1.5));
+  cluster.parallelFor(64, [](std::uint32_t node, CpuCluster::WorkerCtx& ctx,
+                             std::uint64_t) {
+    if (node == 0) ctx.delegateAddDouble(1, 5, 0.25);
+  });
+  EXPECT_DOUBLE_EQ(apps::bitsDouble(cluster.loadWord(1, 5)), 1.5 + 64 * 0.25);
+}
+
+TEST(CpuCluster, BuffersFlushOnThreshold) {
+  CpuCluster cluster(smallConfig(2));
+  // 33 remote ops with 32-message buffers: at least one full flush plus a
+  // tail flush.
+  cluster.parallelFor(33, [](std::uint32_t node, CpuCluster::WorkerCtx& ctx,
+                             std::uint64_t) {
+    if (node == 0) ctx.delegateInc(1, 0);
+  });
+  EXPECT_EQ(cluster.loadWord(1, 0), 33u);
+  EXPECT_GE(cluster.stats().batches, 2u);
+}
+
+TEST(CpuGups, Validates) {
+  CpuCluster cluster(smallConfig(4));
+  apps::GupsConfig cfg;
+  cfg.table_size = 1 << 10;
+  cfg.updates_per_node = 1 << 11;
+  const auto report = runCpuGups(cluster, cfg);
+  EXPECT_TRUE(report.validated);
+  EXPECT_NEAR(report.stats.remoteFraction(), 0.75, 0.05);
+}
+
+TEST(CpuPageRank, MatchesSerialWithinTolerance) {
+  CpuCluster cluster(smallConfig(3));
+  graph::DistGraph dg(graph::bubblesLike(300, 3), 3);
+  apps::PageRankConfig cfg;
+  cfg.iterations = 4;
+  const auto report = runCpuPageRank(cluster, dg, cfg);
+  EXPECT_TRUE(report.validated);
+  EXPECT_EQ(report.rounds, 4u);
+}
+
+TEST(CpuMer, BuildsTheSameTable) {
+  CpuClusterConfig cc = smallConfig(4);
+  cc.heap_words = 1 << 15;
+  CpuCluster cluster(cc);
+  apps::MerConfig cfg;
+  cfg.genome_length = 1 << 12;
+  cfg.reads_per_node = 48;
+  cfg.read_length = 60;
+  cfg.k = 15;
+  cfg.table_slots_per_node = 1 << 13;
+  const auto report = runCpuMer(cluster, cfg);
+  EXPECT_TRUE(report.validated);
+  EXPECT_GT(report.work_units, 0.0);
+}
+
+}  // namespace
+}  // namespace gravel::baselines

@@ -1,0 +1,174 @@
+// Unit tests for src/common: cache-line math, RNG determinism and
+// distribution sanity, counters/statistics, and the table printer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace gravel {
+namespace {
+
+TEST(CacheLine, LinesForRoundsUp) {
+  EXPECT_EQ(linesFor(0), 0u);
+  EXPECT_EQ(linesFor(1), 1u);
+  EXPECT_EQ(linesFor(64), 1u);
+  EXPECT_EQ(linesFor(65), 2u);
+  EXPECT_EQ(linesFor(128), 2u);
+  EXPECT_EQ(linesFor(129), 3u);
+}
+
+TEST(CacheLine, CacheAlignedOccupiesWholeLines) {
+  EXPECT_EQ(sizeof(CacheAligned<std::uint8_t>), kCacheLineSize);
+  EXPECT_EQ(alignof(CacheAligned<std::uint64_t>), kCacheLineSize);
+  CacheAligned<int> x(7);
+  EXPECT_EQ(*x, 7);
+  *x = 9;
+  EXPECT_EQ(*x, 9);
+}
+
+TEST(Error, CheckThrowsWithLocation) {
+  try {
+    GRAVEL_CHECK_MSG(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / kBuckets * 0.9);
+    EXPECT_LT(c, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Stats, CounterAccumulatesAcrossThreads) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.get(), 40000u);
+  c.reset();
+  EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(Stats, RunningStatTracksMoments) {
+  RunningStat s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  RunningStat t;
+  t.add(10.0);
+  s.merge(t);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Stats, EmptyRunningStatIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Stats, Pow2HistogramBuckets) {
+  Pow2Histogram h;
+  h.add(0);  // bucket 0
+  h.add(1);  // [1,2) -> bucket 1
+  h.add(2);  // [2,4) -> bucket 2
+  h.add(3);
+  h.add(1024);  // bucket 11
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(11), 1u);
+}
+
+TEST(Stats, MetricSetAccumulates) {
+  MetricSet a, b;
+  a["bytes"] = 10;
+  b["bytes"] = 5;
+  b["msgs"] = 2;
+  a.accumulate(b);
+  EXPECT_DOUBLE_EQ(a.at("bytes"), 15.0);
+  EXPECT_DOUBLE_EQ(a.at("msgs"), 2.0);
+  EXPECT_DOUBLE_EQ(a.at("missing"), 0.0);
+  EXPECT_FALSE(a.contains("missing"));
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.addRow({"x", "1"});
+  t.addRow({"longer-name", "2.50"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Header and each row end in newline: 2 + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Units, LiteralsAndRates) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_DOUBLE_EQ(gbitsToBytesPerSec(56.0), 7e9);
+}
+
+}  // namespace
+}  // namespace gravel

@@ -1,0 +1,182 @@
+// Tests for the graph substrate: CSR construction, transpose, partitioning,
+// generator shape properties (degree regimes matching the paper's inputs),
+// and the distributed inbox-slot assignment invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/dist.hpp"
+#include "graph/generators.hpp"
+
+namespace gravel::graph {
+namespace {
+
+TEST(Csr, BuildsFromEdgeList) {
+  std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 2}, {2, 0}, {3, 0}};
+  Csr g = Csr::fromEdges(4, edges);
+  EXPECT_EQ(g.vertexCount(), 4u);
+  EXPECT_EQ(g.edgeCount(), 5u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+  auto n0 = g.neighbors(0);
+  EXPECT_EQ(std::set<Vertex>(n0.begin(), n0.end()),
+            (std::set<Vertex>{1, 2}));
+  EXPECT_EQ(g.maxDegree(), 2u);
+  EXPECT_DOUBLE_EQ(g.averageDegree(), 1.25);
+}
+
+TEST(Csr, RejectsOutOfRangeEdges) {
+  std::vector<Edge> edges{{0, 4}};
+  EXPECT_THROW(Csr::fromEdges(4, edges), Error);
+}
+
+TEST(Csr, TransposeReversesEveryEdge) {
+  std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 2}, {3, 1}};
+  Csr g = Csr::fromEdges(4, edges);
+  Csr t = g.transpose();
+  EXPECT_EQ(t.edgeCount(), g.edgeCount());
+  // Multiset of (src,dst) in t equals reversed multiset of g.
+  std::multiset<std::pair<Vertex, Vertex>> fwd, rev;
+  for (Vertex v = 0; v < 4; ++v)
+    for (Vertex w : g.neighbors(v)) fwd.insert({w, v});
+  for (Vertex v = 0; v < 4; ++v)
+    for (Vertex w : t.neighbors(v)) rev.insert({v, w});
+  EXPECT_EQ(fwd, rev);
+}
+
+TEST(BlockPartition, RoundTripsIndices) {
+  BlockPartition p(100, 8);  // perNode = 13
+  EXPECT_EQ(p.perNode(), 13u);
+  for (std::uint64_t g = 0; g < 100; ++g) {
+    const auto o = p.owner(g);
+    EXPECT_EQ(p.globalIndex(o, p.localIndex(g)), g);
+    EXPECT_LT(p.localIndex(g), p.perNode());
+  }
+  std::uint64_t total = 0;
+  for (std::uint32_t n = 0; n < 8; ++n) total += p.sizeOf(n);
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(p.sizeOf(7), 100u - 7 * 13);
+}
+
+TEST(BlockPartition, SingleNodeOwnsEverything) {
+  BlockPartition p(64, 1);
+  for (std::uint64_t g = 0; g < 64; ++g) {
+    EXPECT_EQ(p.owner(g), 0u);
+    EXPECT_EQ(p.localIndex(g), g);
+  }
+}
+
+TEST(Generators, BubblesLikeMatchesHugebubblesRegime) {
+  Csr g = bubblesLike(10000, 42);
+  // hugebubbles-00020: avg degree ~3, tight degree spread, mesh-like.
+  EXPECT_NEAR(g.averageDegree(), 3.0, 0.6);
+  EXPECT_LE(g.maxDegree(), 8u);  // near-uniform degrees
+  EXPECT_GE(g.vertexCount(), 10000u);
+}
+
+TEST(Generators, CageLikeMatchesCageRegime) {
+  Csr g = cageLike(10000, 19, 42);
+  // cage15: avg degree ~19, narrow band.
+  EXPECT_NEAR(g.averageDegree(), 19.0, 3.0);
+  // Band structure: every edge within ~2*n/64 positions (wrapped).
+  const Vertex n = g.vertexCount();
+  const std::uint64_t band = std::max<std::uint64_t>(4, n / 64);
+  for (Vertex v = 0; v < n; v += 97) {
+    for (Vertex w : g.neighbors(v)) {
+      const std::uint64_t d =
+          std::min<std::uint64_t>((w + n - v) % n, (v + n - w) % n);
+      EXPECT_LE(d, band);
+    }
+  }
+}
+
+TEST(Generators, UndirectedSymmetry) {
+  for (Csr g : {bubblesLike(2500, 7), cageLike(2000, 10, 7)}) {
+    std::multiset<std::pair<Vertex, Vertex>> fwd, rev;
+    for (Vertex v = 0; v < g.vertexCount(); ++v)
+      for (Vertex w : g.neighbors(v)) {
+        fwd.insert({v, w});
+        rev.insert({w, v});
+      }
+    EXPECT_EQ(fwd, rev);
+  }
+}
+
+TEST(Generators, DeterministicForSeed) {
+  Csr a = cageLike(1000, 8, 3), b = cageLike(1000, 8, 3);
+  ASSERT_EQ(a.edgeCount(), b.edgeCount());
+  for (Vertex v = 0; v < a.vertexCount(); ++v) {
+    auto na = a.neighbors(v), nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(Generators, RmatIsSkewed) {
+  Csr g = rmat(4096, 40000, 5);
+  // Power-law-ish: the max degree should far exceed the average.
+  EXPECT_GT(double(g.maxDegree()), 5.0 * g.averageDegree());
+}
+
+TEST(Generators, EdgeWeightsDeterministicAndBounded) {
+  for (Vertex u = 0; u < 50; ++u)
+    for (Vertex v = 0; v < 50; ++v) {
+      const auto w = edgeWeight(u, v);
+      EXPECT_GE(w, 1u);
+      EXPECT_LE(w, 15u);
+      EXPECT_EQ(w, edgeWeight(u, v));
+    }
+}
+
+TEST(DistGraph, InboxSlotsAreAPerNodePermutation) {
+  Csr g = cageLike(500, 6, 11);
+  for (std::uint32_t nodes : {1u, 2u, 3u, 8u}) {
+    DistGraph d(g, nodes);
+    // Every (destNode, slot) pair must be hit exactly once, and slots per
+    // node must be dense in [0, inboxSize(node)).
+    std::map<std::pair<std::uint32_t, std::uint64_t>, int> hits;
+    for (Vertex u = 0; u < g.vertexCount(); ++u) {
+      const std::uint64_t base = g.edgeBegin(u);
+      const auto nbrs = g.neighbors(u);
+      for (std::uint64_t k = 0; k < nbrs.size(); ++k) {
+        const std::uint32_t nd = d.vertices().owner(nbrs[k]);
+        const std::uint64_t slot = d.inboxSlot(base + k);
+        EXPECT_LT(slot, d.inboxSize(nd));
+        ++hits[{nd, slot}];
+      }
+    }
+    std::uint64_t totalSlots = 0;
+    for (std::uint32_t nd = 0; nd < nodes; ++nd) totalSlots += d.inboxSize(nd);
+    EXPECT_EQ(totalSlots, g.edgeCount());
+    EXPECT_EQ(hits.size(), g.edgeCount());
+    for (const auto& [key, n] : hits) EXPECT_EQ(n, 1);
+  }
+}
+
+TEST(DistGraph, VertexInboxRangesTileTheInbox) {
+  Csr g = bubblesLike(400, 9);
+  DistGraph d(g, 4);
+  for (std::uint32_t nd = 0; nd < 4; ++nd) {
+    std::uint64_t cursor = 0;
+    for (std::uint64_t l = 0; l < d.vertices().sizeOf(nd); ++l) {
+      const auto v = Vertex(d.vertices().globalIndex(nd, l));
+      EXPECT_EQ(d.localInboxBase(v), cursor);
+      cursor += d.inDegree(v);
+    }
+    EXPECT_EQ(cursor, d.inboxSize(nd));
+  }
+}
+
+TEST(DistGraph, InDegreesMatchTranspose) {
+  Csr g = cageLike(300, 8, 2);
+  Csr t = g.transpose();
+  DistGraph d(g, 2);
+  for (Vertex v = 0; v < g.vertexCount(); ++v)
+    EXPECT_EQ(d.inDegree(v), t.degree(v));
+}
+
+}  // namespace
+}  // namespace gravel::graph

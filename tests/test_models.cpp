@@ -1,0 +1,103 @@
+// Tests for the functional §3 networking-model implementations: every model
+// must produce the identical GUPS histogram, while leaving its
+// characteristic traffic fingerprint on the fabric.
+#include <gtest/gtest.h>
+
+#include "models/model.hpp"
+
+namespace gravel::models {
+namespace {
+
+rt::ClusterConfig modelCluster(std::uint32_t nodes) {
+  rt::ClusterConfig c;
+  c.nodes = nodes;
+  c.heap_bytes = 1 << 20;
+  c.gpu_queue_bytes = 1 << 14;
+  c.pernode_queue_bytes = 1 << 10;  // 32-message per-node queues
+  c.device.wavefront_width = 8;
+  c.device.max_wg_size = 32;
+  c.device.scratchpad_bytes = 4096;
+  return c;
+}
+
+apps::GupsConfig smallGups() {
+  apps::GupsConfig cfg;
+  cfg.table_size = 1 << 10;
+  cfg.updates_per_node = 1 << 10;
+  return cfg;
+}
+
+class AllModels : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(AllModels, ProducesCorrectHistogram) {
+  rt::Cluster cluster(modelCluster(4));
+  const auto report = runGupsModel(cluster, smallGups(), GetParam());
+  EXPECT_TRUE(report.validated) << modelName(GetParam());
+  EXPECT_EQ(report.work_units, 4.0 * (1 << 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllModels,
+                         ::testing::Values(ModelKind::kCoprocessor,
+                                           ModelKind::kMsgPerLane,
+                                           ModelKind::kCoalesced,
+                                           ModelKind::kCoalescedAgg));
+
+TEST(MsgPerLane, OneNetworkMessagePerUpdate) {
+  rt::Cluster cluster(modelCluster(2));
+  const auto cfg = smallGups();
+  const auto report = runGupsModel(cluster, cfg, ModelKind::kMsgPerLane);
+  ASSERT_TRUE(report.validated);
+  // Every update crossed the fabric as its own batch.
+  EXPECT_EQ(report.stats.net_batches, report.stats.net_messages);
+  EXPECT_EQ(report.stats.net_messages, 2u * cfg.updates_per_node);
+  EXPECT_DOUBLE_EQ(report.stats.avg_batch_bytes, 32.0);
+}
+
+TEST(Coalesced, BatchesAreWorkGroupFragments) {
+  rt::Cluster cluster(modelCluster(4));
+  const auto report = runGupsModel(cluster, smallGups(), ModelKind::kCoalesced);
+  ASSERT_TRUE(report.validated);
+  // Per-WG per-destination lists: far fewer batches than messages, but far
+  // smaller than an aggregated 1 kB per-node queue (32 messages here a WG
+  // only has 32 lanes split over 4 destinations).
+  EXPECT_LT(report.stats.net_batches, report.stats.net_messages);
+  EXPECT_LT(report.stats.avg_batch_bytes, 1024.0 * 0.75);
+  EXPECT_GT(report.stats.avg_batch_bytes, 32.0);
+}
+
+TEST(CoalescedAgg, RecoversLargeBatches) {
+  rt::Cluster cluster(modelCluster(4));
+  const auto report =
+      runGupsModel(cluster, smallGups(), ModelKind::kCoalescedAgg);
+  ASSERT_TRUE(report.validated);
+  // GPU-wide repacking restores ~full per-node queues (1 kB here), the
+  // Figure 15 "coalesced + Gravel aggregation" effect.
+  EXPECT_GT(report.stats.avg_batch_bytes, 1024.0 * 0.6);
+}
+
+TEST(Coprocessor, ExchangesAtKernelBoundaries) {
+  rt::Cluster cluster(modelCluster(2));
+  const auto cfg = smallGups();
+  const auto report = runGupsModel(cluster, cfg, ModelKind::kCoprocessor);
+  ASSERT_TRUE(report.validated);
+  // Chunked execution: updates / chunk kernel launches per node, and at
+  // most one batch per (src, dst, chunk).
+  const std::uint64_t chunkMsgs = (1 << 10) / 32;  // queue bytes / msg bytes
+  const std::uint64_t chunks = cfg.updates_per_node / chunkMsgs;
+  EXPECT_EQ(cluster.node(0).device().stats().kernels_launched, chunks);
+  EXPECT_LE(report.stats.net_batches, 2u * 2u * chunks);
+}
+
+TEST(Models, AggregatedBatchesBeatCoalescedBatches) {
+  // Direct head-to-head of the traffic fingerprint Figure 15 rests on.
+  rt::Cluster a(modelCluster(4)), b(modelCluster(4));
+  const auto coal = runGupsModel(a, smallGups(), ModelKind::kCoalesced);
+  const auto agg = runGupsModel(b, smallGups(), ModelKind::kCoalescedAgg);
+  ASSERT_TRUE(coal.validated);
+  ASSERT_TRUE(agg.validated);
+  EXPECT_GT(agg.stats.avg_batch_bytes, 2.0 * coal.stats.avg_batch_bytes);
+  EXPECT_LT(agg.stats.net_batches, coal.stats.net_batches);
+}
+
+}  // namespace
+}  // namespace gravel::models
