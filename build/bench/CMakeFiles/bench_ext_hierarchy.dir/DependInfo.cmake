@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_hierarchy.cpp" "bench/CMakeFiles/bench_ext_hierarchy.dir/bench_ext_hierarchy.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_hierarchy.dir/bench_ext_hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/gravel_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/gravel_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gravel_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gravel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/gravel_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gravel_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gravel_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

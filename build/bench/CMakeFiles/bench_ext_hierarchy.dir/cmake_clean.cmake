@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hierarchy.dir/bench_ext_hierarchy.cpp.o"
+  "CMakeFiles/bench_ext_hierarchy.dir/bench_ext_hierarchy.cpp.o.d"
+  "bench_ext_hierarchy"
+  "bench_ext_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

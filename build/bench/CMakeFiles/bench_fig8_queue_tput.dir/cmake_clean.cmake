@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_queue_tput.dir/bench_fig8_queue_tput.cpp.o"
+  "CMakeFiles/bench_fig8_queue_tput.dir/bench_fig8_queue_tput.cpp.o.d"
+  "bench_fig8_queue_tput"
+  "bench_fig8_queue_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_queue_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

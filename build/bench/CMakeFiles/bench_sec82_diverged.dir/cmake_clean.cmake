@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec82_diverged.dir/bench_sec82_diverged.cpp.o"
+  "CMakeFiles/bench_sec82_diverged.dir/bench_sec82_diverged.cpp.o.d"
+  "bench_sec82_diverged"
+  "bench_sec82_diverged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec82_diverged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

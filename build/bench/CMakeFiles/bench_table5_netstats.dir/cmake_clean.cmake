@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_netstats.dir/bench_table5_netstats.cpp.o"
+  "CMakeFiles/bench_table5_netstats.dir/bench_table5_netstats.cpp.o.d"
+  "bench_table5_netstats"
+  "bench_table5_netstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_netstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

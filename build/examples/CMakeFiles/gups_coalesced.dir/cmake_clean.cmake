@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gups_coalesced.dir/gups_styles/gups_coalesced.cpp.o"
+  "CMakeFiles/gups_coalesced.dir/gups_styles/gups_coalesced.cpp.o.d"
+  "gups_coalesced"
+  "gups_coalesced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gups_coalesced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gups_coprocessor.dir/gups_styles/gups_coprocessor.cpp.o"
+  "CMakeFiles/gups_coprocessor.dir/gups_styles/gups_coprocessor.cpp.o.d"
+  "gups_coprocessor"
+  "gups_coprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gups_coprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

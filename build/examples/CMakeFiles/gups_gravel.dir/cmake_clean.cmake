@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gups_gravel.dir/gups_styles/gups_gravel.cpp.o"
+  "CMakeFiles/gups_gravel.dir/gups_styles/gups_gravel.cpp.o.d"
+  "gups_gravel"
+  "gups_gravel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gups_gravel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmer_pipeline.dir/kmer_pipeline.cpp.o"
+  "CMakeFiles/kmer_pipeline.dir/kmer_pipeline.cpp.o.d"
+  "kmer_pipeline"
+  "kmer_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmer_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravel_simt.dir/simt/context.S.o"
+  "CMakeFiles/gravel_simt.dir/simt/device.cpp.o"
+  "CMakeFiles/gravel_simt.dir/simt/device.cpp.o.d"
+  "CMakeFiles/gravel_simt.dir/simt/fiber.cpp.o"
+  "CMakeFiles/gravel_simt.dir/simt/fiber.cpp.o.d"
+  "CMakeFiles/gravel_simt.dir/simt/workgroup.cpp.o"
+  "CMakeFiles/gravel_simt.dir/simt/workgroup.cpp.o.d"
+  "libgravel_simt.a"
+  "libgravel_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/gravel_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/color.cpp" "src/apps/CMakeFiles/gravel_apps.dir/color.cpp.o" "gcc" "src/apps/CMakeFiles/gravel_apps.dir/color.cpp.o.d"
+  "/root/repo/src/apps/gups.cpp" "src/apps/CMakeFiles/gravel_apps.dir/gups.cpp.o" "gcc" "src/apps/CMakeFiles/gravel_apps.dir/gups.cpp.o.d"
+  "/root/repo/src/apps/gups_mod.cpp" "src/apps/CMakeFiles/gravel_apps.dir/gups_mod.cpp.o" "gcc" "src/apps/CMakeFiles/gravel_apps.dir/gups_mod.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/apps/CMakeFiles/gravel_apps.dir/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/gravel_apps.dir/kmeans.cpp.o.d"
+  "/root/repo/src/apps/mer.cpp" "src/apps/CMakeFiles/gravel_apps.dir/mer.cpp.o" "gcc" "src/apps/CMakeFiles/gravel_apps.dir/mer.cpp.o.d"
+  "/root/repo/src/apps/mer_traverse.cpp" "src/apps/CMakeFiles/gravel_apps.dir/mer_traverse.cpp.o" "gcc" "src/apps/CMakeFiles/gravel_apps.dir/mer_traverse.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/apps/CMakeFiles/gravel_apps.dir/pagerank.cpp.o" "gcc" "src/apps/CMakeFiles/gravel_apps.dir/pagerank.cpp.o.d"
+  "/root/repo/src/apps/sssp.cpp" "src/apps/CMakeFiles/gravel_apps.dir/sssp.cpp.o" "gcc" "src/apps/CMakeFiles/gravel_apps.dir/sssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/gravel_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gravel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gravel_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

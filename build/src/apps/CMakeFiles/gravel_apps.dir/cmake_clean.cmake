@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravel_apps.dir/color.cpp.o"
+  "CMakeFiles/gravel_apps.dir/color.cpp.o.d"
+  "CMakeFiles/gravel_apps.dir/gups.cpp.o"
+  "CMakeFiles/gravel_apps.dir/gups.cpp.o.d"
+  "CMakeFiles/gravel_apps.dir/gups_mod.cpp.o"
+  "CMakeFiles/gravel_apps.dir/gups_mod.cpp.o.d"
+  "CMakeFiles/gravel_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/gravel_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/gravel_apps.dir/mer.cpp.o"
+  "CMakeFiles/gravel_apps.dir/mer.cpp.o.d"
+  "CMakeFiles/gravel_apps.dir/mer_traverse.cpp.o"
+  "CMakeFiles/gravel_apps.dir/mer_traverse.cpp.o.d"
+  "CMakeFiles/gravel_apps.dir/pagerank.cpp.o"
+  "CMakeFiles/gravel_apps.dir/pagerank.cpp.o.d"
+  "CMakeFiles/gravel_apps.dir/sssp.cpp.o"
+  "CMakeFiles/gravel_apps.dir/sssp.cpp.o.d"
+  "libgravel_apps.a"
+  "libgravel_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravel_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravel_baselines.dir/cpu_agg.cpp.o"
+  "CMakeFiles/gravel_baselines.dir/cpu_agg.cpp.o.d"
+  "CMakeFiles/gravel_baselines.dir/cpu_apps.cpp.o"
+  "CMakeFiles/gravel_baselines.dir/cpu_apps.cpp.o.d"
+  "libgravel_baselines.a"
+  "libgravel_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravel_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

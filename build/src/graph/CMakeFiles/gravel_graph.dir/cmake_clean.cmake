@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravel_graph.dir/generators.cpp.o"
+  "CMakeFiles/gravel_graph.dir/generators.cpp.o.d"
+  "libgravel_graph.a"
+  "libgravel_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravel_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

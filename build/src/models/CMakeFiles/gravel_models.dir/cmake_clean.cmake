@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravel_models.dir/model.cpp.o"
+  "CMakeFiles/gravel_models.dir/model.cpp.o.d"
+  "libgravel_models.a"
+  "libgravel_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravel_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravel_perf.dir/netsim.cpp.o"
+  "CMakeFiles/gravel_perf.dir/netsim.cpp.o.d"
+  "libgravel_perf.a"
+  "libgravel_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravel_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

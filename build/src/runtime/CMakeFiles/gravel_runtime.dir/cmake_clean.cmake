@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gravel_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/gravel_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/gravel_runtime.dir/node_runtime.cpp.o"
+  "CMakeFiles/gravel_runtime.dir/node_runtime.cpp.o.d"
+  "libgravel_runtime.a"
+  "libgravel_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gravel_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

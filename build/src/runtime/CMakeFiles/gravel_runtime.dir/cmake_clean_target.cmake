@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgravel_runtime.a"
+)
