@@ -1,0 +1,45 @@
+// Bounded exponential backoff for spin loops: a burst of yields first (the
+// common case resolves in microseconds), then a sleep that doubles up to a
+// cap. A lost wake-up degrades to slow polling instead of a 100%-CPU spin,
+// and reset() restores full responsiveness once work reappears.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace gravel {
+
+class Backoff {
+ public:
+  explicit Backoff(
+      std::chrono::microseconds maxSleep = std::chrono::microseconds(1000),
+      std::uint32_t spinYields = 64)
+      : maxSleep_(maxSleep), spinYields_(spinYields) {}
+
+  /// One wait step: yield for the first `spinYields` calls since reset,
+  /// then sleep with exponential ramp (1 us, 2 us, ... maxSleep).
+  void wait() {
+    if (spins_ < spinYields_) {
+      ++spins_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(sleep_);
+    sleep_ = std::min(sleep_ * 2, maxSleep_);
+  }
+
+  /// Call when progress was made so the next stall starts hot again.
+  void reset() {
+    spins_ = 0;
+    sleep_ = std::chrono::microseconds(1);
+  }
+
+ private:
+  std::chrono::microseconds maxSleep_;
+  std::uint32_t spinYields_;
+  std::uint32_t spins_ = 0;
+  std::chrono::microseconds sleep_{1};
+};
+
+}  // namespace gravel

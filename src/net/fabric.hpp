@@ -7,12 +7,25 @@
 // link; the cost model in src/perf turns those counts into modeled time
 // (serialization at 7 GB/s plus a per-message overhead), which is how the
 // substitution preserves the aggregation economics the paper measures.
+//
+// `Fabric` is an interface with three implementations:
+//   - PerfectFabric (this file): exactly-once, in-order, instant — the seed
+//     behaviour every app/bench runs on by default.
+//   - FaultyFabric (fault.hpp): perturbs batches between send() and
+//     tryReceive() under a seeded FaultConfig (drop/dup/reorder/delay,
+//     partition windows).
+//   - ReliableFabric (reliable.hpp): seq/ack/retransmit/dedup sublayer that
+//     restores exactly-once in-order delivery on top of either wire.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -21,75 +34,182 @@
 
 namespace gravel::net {
 
-/// One in-flight batch (a flushed per-node queue).
+/// One in-flight batch (a flushed per-node queue). `seq` is the reliability
+/// layer's per-link sequence number of the batch (0 on fabrics without one);
+/// the receiver hands it back through markResolved() so cumulative ACKs are
+/// emitted only after the payload has actually been applied.
 struct Delivery {
   std::uint32_t src = 0;
+  std::uint64_t seq = 0;
   std::vector<rt::NetMessage> messages;
 };
 
 /// Per-link traffic counters, readable after a run (Table 5, Figure 12-15
-/// inputs).
+/// inputs). The reliability fields stay zero on fabrics without that layer.
 struct LinkStats {
   std::uint64_t batches = 0;   ///< network messages (flushed queues)
   std::uint64_t messages = 0;  ///< Gravel messages carried
   std::uint64_t bytes = 0;     ///< payload bytes carried
+  std::uint64_t retransmits = 0;  ///< sender-side timeout retransmissions
+  std::uint64_t dup_drops = 0;    ///< receiver-side duplicates discarded
+  std::uint64_t acks = 0;         ///< ACK parcels applied at the sender
+};
+
+/// Fault-injection counters (FaultyFabric); zero elsewhere.
+struct FaultStats {
+  std::uint64_t drops = 0;            ///< batches discarded at send()
+  std::uint64_t duplicates = 0;       ///< extra copies enqueued
+  std::uint64_t delays = 0;           ///< batches given a delivery delay
+  std::uint64_t reorders = 0;         ///< batches inserted out of order
+  std::uint64_t partition_drops = 0;  ///< drops due to a partition window
+};
+
+/// Reliability-sublayer counters (ReliableFabric); zero elsewhere.
+/// Per-link retransmit/dup/ack counts live in LinkStats.
+struct ReliabilityStats {
+  std::uint64_t acks_sent = 0;      ///< standalone ACK batches emitted
+  std::uint64_t reorder_drops = 0;  ///< out-of-window batches discarded
+  std::uint64_t reorder_peak = 0;   ///< deepest receiver reorder buffer seen
+};
+
+/// A link whose sender exhausted its retry budget: structured failure info
+/// surfaced by quiet() instead of silent loss.
+struct LinkFailureInfo {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t oldest_seq = 0;  ///< lowest unacknowledged sequence number
+  std::uint32_t retries = 0;     ///< retransmissions attempted for it
+};
+
+class LinkFailureError : public Error {
+ public:
+  explicit LinkFailureError(const LinkFailureInfo& info)
+      : Error("link " + std::to_string(info.src) + "->" +
+              std::to_string(info.dst) + " failed: seq " +
+              std::to_string(info.oldest_seq) + " unacknowledged after " +
+              std::to_string(info.retries) + " retransmissions"),
+        info_(info) {}
+  const LinkFailureInfo& info() const noexcept { return info_; }
+
+ private:
+  LinkFailureInfo info_;
 };
 
 /// The cluster interconnect. Thread-safe: senders are aggregator threads and
 /// the quiet protocol; receivers are per-node network threads.
 class Fabric {
  public:
-  explicit Fabric(std::uint32_t nodes)
-      : nodes_(nodes), inboxes_(nodes), links_(std::size_t{nodes} * nodes) {}
+  virtual ~Fabric() = default;
 
-  std::uint32_t nodes() const noexcept { return nodes_; }
+  virtual std::uint32_t nodes() const noexcept = 0;
 
   /// Ships a batch from `src` to `dst`. Empty batches are dropped.
-  void send(std::uint32_t src, std::uint32_t dst,
-            std::vector<rt::NetMessage>&& batch) {
-    GRAVEL_CHECK_MSG(src < nodes_ && dst < nodes_, "bad fabric endpoint");
-    if (batch.empty()) return;
-    {
-      std::scoped_lock lk(linkMutex_);
-      LinkStats& link = links_[std::size_t{src} * nodes_ + dst];
-      ++link.batches;
-      link.messages += batch.size();
-      link.bytes += batch.size() * sizeof(rt::NetMessage);
-      batchBytes_.add(double(batch.size() * sizeof(rt::NetMessage)));
-    }
-    inFlight_.fetch_add(batch.size(), std::memory_order_relaxed);
-    Inbox& inbox = inboxes_[dst];
-    std::scoped_lock lk(inbox.mutex);
-    inbox.pending.push_back(Delivery{src, std::move(batch)});
-  }
+  virtual void send(std::uint32_t src, std::uint32_t dst,
+                    std::vector<rt::NetMessage>&& batch) = 0;
 
   /// Non-blocking receive for node `dst`.
-  bool tryReceive(std::uint32_t dst, Delivery& out) {
+  virtual bool tryReceive(std::uint32_t dst, Delivery& out) = 0;
+
+  /// Called by node `self`'s network thread after resolving every message of
+  /// `d`; completion tracking (the quiet protocol's condition) keys off this.
+  virtual void markResolved(std::uint32_t self, const Delivery& d) = 0;
+
+  /// Housekeeping hook driven by node `self`'s network thread while polling
+  /// (the reliability layer retransmits timed-out batches here). No-op by
+  /// default.
+  virtual void poll(std::uint32_t self) { (void)self; }
+
+  /// True when every message handed to send() has been resolved at its
+  /// destination (and, with a reliability layer, acknowledged back).
+  virtual bool quiescent() const = 0;
+
+  /// Human-readable dump of whatever is still outstanding — per-link unacked
+  /// sequence numbers, inbox depths — for the quiet-deadline diagnostic.
+  virtual std::string describePending() const = 0;
+
+  /// Latched failure from an exhausted retry budget, if any.
+  virtual std::optional<LinkFailureInfo> failure() const { return {}; }
+
+  /// Snapshot of one directed link (src -> dst).
+  virtual LinkStats link(std::uint32_t src, std::uint32_t dst) const = 0;
+
+  /// Aggregate over all links.
+  virtual LinkStats total() const = 0;
+
+  /// Distribution of network-message (batch) sizes in bytes — Table 5's
+  /// "average message size" column is mean().
+  virtual RunningStat batchSizeBytes() const = 0;
+
+  virtual FaultStats faultStats() const { return {}; }
+  virtual ReliabilityStats reliabilityStats() const { return {}; }
+};
+
+/// Exactly-once, in-order, instant delivery — the seed transport.
+class PerfectFabric : public Fabric {
+ public:
+  explicit PerfectFabric(std::uint32_t nodes)
+      : nodes_(nodes), inboxes_(nodes), links_(std::size_t{nodes} * nodes) {}
+
+  std::uint32_t nodes() const noexcept override { return nodes_; }
+
+  void send(std::uint32_t src, std::uint32_t dst,
+            std::vector<rt::NetMessage>&& batch) override {
+    GRAVEL_CHECK_MSG(src < nodes_ && dst < nodes_, "bad fabric endpoint");
+    if (batch.empty()) return;
+    recordSend(src, dst, batch);
+    inFlight_.fetch_add(batch.size(), std::memory_order_relaxed);
+    enqueue(dst, Parcel{Delivery{src, 0, std::move(batch)}, {}});
+  }
+
+  bool tryReceive(std::uint32_t dst, Delivery& out) override {
     Inbox& inbox = inboxes_[dst];
     std::scoped_lock lk(inbox.mutex);
     if (inbox.pending.empty()) return false;
-    out = std::move(inbox.pending.front());
-    inbox.pending.pop_front();
-    return true;
+    // Delayed parcels (FaultyFabric) are skipped until ready; everything the
+    // perfect fabric enqueues is ready immediately.
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = inbox.pending.begin(); it != inbox.pending.end(); ++it) {
+      if (it->readyAt > now) continue;
+      out = std::move(it->delivery);
+      inbox.pending.erase(it);
+      return true;
+    }
+    return false;
   }
 
-  /// Called by the receiver after resolving each message of a delivery;
   /// quiet() waits for the in-flight count to hit zero.
-  void markResolved(std::uint64_t count) {
-    inFlight_.fetch_sub(count, std::memory_order_relaxed);
+  void markResolved(std::uint32_t self, const Delivery& d) override {
+    (void)self;
+    inFlight_.fetch_sub(d.messages.size(), std::memory_order_relaxed);
   }
+
   std::uint64_t inFlight() const noexcept {
     return inFlight_.load(std::memory_order_relaxed);
   }
 
-  /// Snapshot of one directed link (src -> dst).
-  LinkStats link(std::uint32_t src, std::uint32_t dst) const {
+  bool quiescent() const override { return inFlight() == 0; }
+
+  std::string describePending() const override {
+    std::ostringstream os;
+    os << "wire: " << inFlight() << " message(s) in flight";
+    for (std::uint32_t n = 0; n < nodes_; ++n) {
+      Inbox& inbox = inboxes_[n];
+      std::scoped_lock lk(inbox.mutex);
+      if (inbox.pending.empty()) continue;
+      std::uint64_t msgs = 0;
+      for (const Parcel& p : inbox.pending) msgs += p.delivery.messages.size();
+      os << "; inbox[" << n << "]: " << inbox.pending.size() << " batch(es), "
+         << msgs << " message(s)";
+    }
+    return os.str();
+  }
+
+  LinkStats link(std::uint32_t src, std::uint32_t dst) const override {
     std::scoped_lock lk(linkMutex_);
     return links_[std::size_t{src} * nodes_ + dst];
   }
 
-  /// Aggregate over all links.
-  LinkStats total() const {
+  LinkStats total() const override {
     std::scoped_lock lk(linkMutex_);
     LinkStats t;
     for (const auto& l : links_) {
@@ -100,21 +220,51 @@ class Fabric {
     return t;
   }
 
-  /// Distribution of network-message (batch) sizes in bytes — Table 5's
-  /// "average message size" column is mean().
-  RunningStat batchSizeBytes() const {
+  RunningStat batchSizeBytes() const override {
     std::scoped_lock lk(linkMutex_);
     return batchBytes_;
+  }
+
+ protected:
+  /// One queued batch; readyAt delays visibility (FaultyFabric's delay
+  /// injection). Default-constructed time_point == always ready.
+  struct Parcel {
+    Delivery delivery;
+    std::chrono::steady_clock::time_point readyAt{};
+  };
+
+  void recordSend(std::uint32_t src, std::uint32_t dst,
+                  const std::vector<rt::NetMessage>& batch) {
+    std::scoped_lock lk(linkMutex_);
+    LinkStats& link = links_[std::size_t{src} * nodes_ + dst];
+    ++link.batches;
+    link.messages += batch.size();
+    link.bytes += batch.size() * sizeof(rt::NetMessage);
+    batchBytes_.add(double(batch.size() * sizeof(rt::NetMessage)));
+  }
+
+  /// Appends a parcel to `dst`'s inbox, `displace` positions before the tail
+  /// (reorder injection; clamped to the current depth).
+  void enqueue(std::uint32_t dst, Parcel&& parcel, std::size_t displace = 0) {
+    Inbox& inbox = inboxes_[dst];
+    std::scoped_lock lk(inbox.mutex);
+    if (displace > inbox.pending.size()) displace = inbox.pending.size();
+    inbox.pending.insert(inbox.pending.end() - std::ptrdiff_t(displace),
+                         std::move(parcel));
+  }
+
+  void addInFlight(std::uint64_t n) {
+    inFlight_.fetch_add(n, std::memory_order_relaxed);
   }
 
  private:
   struct Inbox {
     std::mutex mutex;
-    std::deque<Delivery> pending;
+    std::deque<Parcel> pending;
   };
 
   std::uint32_t nodes_;
-  std::vector<Inbox> inboxes_;
+  mutable std::vector<Inbox> inboxes_;
   mutable std::mutex linkMutex_;
   std::vector<LinkStats> links_;
   RunningStat batchBytes_;

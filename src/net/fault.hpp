@@ -1,0 +1,164 @@
+// Fault injection for the in-process fabric: a hostile wire on purpose.
+//
+// FaultyFabric perturbs batches between send() and tryReceive() under a
+// seeded FaultConfig — probabilistic drop, duplication, reordering and
+// delivery delay per link, plus optional per-link partition windows during
+// which everything on the link is discarded. It models the failure surface
+// of the paper's MPI-over-InfiniBand transport that PerfectFabric idealizes
+// away; ReliableFabric (reliable.hpp) is what makes the runtime survive it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/fabric.hpp"
+
+namespace gravel::net {
+
+/// Knobs for one hostile wire. All-zero probabilities and no partitions mean
+/// the fabric behaves exactly like PerfectFabric.
+struct FaultConfig {
+  std::uint64_t seed = 1;  ///< per-link RNG streams derive from this
+
+  double drop_prob = 0.0;       ///< P(batch silently discarded)
+  double dup_prob = 0.0;        ///< P(batch delivered twice)
+  double reorder_prob = 0.0;    ///< P(batch jumps ahead in the inbox)
+  std::uint32_t reorder_window = 8;  ///< max positions a batch can jump
+
+  double delay_prob = 0.0;  ///< P(batch held back before delivery)
+  std::chrono::microseconds delay_min{1};
+  std::chrono::microseconds delay_max{50};
+
+  /// During [begin, end) after fabric construction, every batch on the
+  /// directed link src->dst is dropped.
+  struct PartitionWindow {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::chrono::microseconds begin{0};
+    std::chrono::microseconds end{0};
+  };
+  std::vector<PartitionWindow> partitions;
+
+  bool active() const noexcept {
+    return drop_prob > 0 || dup_prob > 0 || reorder_prob > 0 ||
+           delay_prob > 0 || !partitions.empty();
+  }
+};
+
+/// PerfectFabric with a seeded adversary between send() and the inbox.
+class FaultyFabric : public PerfectFabric {
+ public:
+  FaultyFabric(std::uint32_t nodes, const FaultConfig& config)
+      : PerfectFabric(nodes),
+        config_(config),
+        start_(std::chrono::steady_clock::now()) {
+    rngs_.reserve(std::size_t{nodes} * nodes);
+    for (std::size_t l = 0; l < std::size_t{nodes} * nodes; ++l)
+      rngs_.emplace_back(config.seed * 0x9e3779b97f4a7c15ULL + l);
+  }
+
+  void send(std::uint32_t src, std::uint32_t dst,
+            std::vector<rt::NetMessage>&& batch) override {
+    GRAVEL_CHECK_MSG(src < nodes() && dst < nodes(), "bad fabric endpoint");
+    if (batch.empty()) return;
+    // Wire-level stats and in-flight accounting count what was *attempted*:
+    // a dropped batch stays "in flight" forever because its resolution never
+    // happens — exactly how a lossy wire wedges completion tracking that
+    // counts sends (quiet()'s deadline diagnostic catches it). The
+    // reliability layer's ACK-based quiescence ignores this counter.
+    recordSend(src, dst, batch);
+    addInFlight(batch.size());
+
+    Decision d;
+    {
+      std::scoped_lock lk(rngMutex_);
+      d = decide(src, dst);
+    }
+    if (d.drop) {
+      std::scoped_lock lk(rngMutex_);
+      if (d.partitioned)
+        ++stats_.partition_drops;
+      else
+        ++stats_.drops;
+      return;
+    }
+
+    Parcel parcel{Delivery{src, 0, std::move(batch)}, d.readyAt};
+    if (d.duplicate) {
+      Parcel copy{Delivery{src, 0, parcel.delivery.messages}, d.readyAt};
+      addInFlight(copy.delivery.messages.size());
+      enqueue(dst, std::move(copy), d.displace);
+    }
+    enqueue(dst, std::move(parcel), d.displace);
+  }
+
+  FaultStats faultStats() const override {
+    std::scoped_lock lk(rngMutex_);
+    return stats_;
+  }
+
+  std::string describePending() const override {
+    std::ostringstream os;
+    os << PerfectFabric::describePending();
+    const FaultStats f = faultStats();
+    os << "; faults: " << f.drops << " dropped, " << f.partition_drops
+       << " partition-dropped, " << f.duplicates << " duplicated, "
+       << f.reorders << " reordered, " << f.delays << " delayed";
+    return os.str();
+  }
+
+ private:
+  struct Decision {
+    bool drop = false;
+    bool partitioned = false;
+    bool duplicate = false;
+    std::size_t displace = 0;
+    std::chrono::steady_clock::time_point readyAt{};
+  };
+
+  // Caller holds rngMutex_.
+  Decision decide(std::uint32_t src, std::uint32_t dst) {
+    Decision d;
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& w : config_.partitions) {
+      if (w.src != src || w.dst != dst) continue;
+      const auto elapsed = now - start_;
+      if (elapsed >= w.begin && elapsed < w.end) {
+        d.drop = d.partitioned = true;
+        return d;
+      }
+    }
+    Xoshiro256& rng = rngs_[std::size_t{src} * nodes() + dst];
+    if (config_.drop_prob > 0 && rng.uniform() < config_.drop_prob) {
+      d.drop = true;
+      return d;
+    }
+    if (config_.dup_prob > 0 && rng.uniform() < config_.dup_prob) {
+      d.duplicate = true;
+      ++stats_.duplicates;
+    }
+    if (config_.reorder_prob > 0 && rng.uniform() < config_.reorder_prob) {
+      d.displace = 1 + std::size_t(rng.below(config_.reorder_window));
+      ++stats_.reorders;
+    }
+    if (config_.delay_prob > 0 && rng.uniform() < config_.delay_prob) {
+      const auto span = std::uint64_t(
+          (config_.delay_max - config_.delay_min).count() + 1);
+      d.readyAt = now + config_.delay_min +
+                  std::chrono::microseconds(rng.below(span));
+      ++stats_.delays;
+    }
+    return d;
+  }
+
+  FaultConfig config_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex rngMutex_;
+  std::vector<Xoshiro256> rngs_;
+  FaultStats stats_;
+};
+
+}  // namespace gravel::net

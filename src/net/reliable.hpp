@@ -1,0 +1,404 @@
+// Reliable delivery over an unreliable wire: the sublayer that restores
+// exactly-once, in-order batch delivery on top of FaultyFabric (or any
+// Fabric), the way the paper's MPI transport would over a lossy link.
+//
+// Wire format: every batch ReliableFabric ships is prefixed with one
+// kControl NetMessage —
+//
+//   word  | data batch                   | standalone ACK
+//   ------+------------------------------+-------------------------------
+//   cmd   | kControl | kData<<8          | kControl | kAck<<8
+//   dest  | destination node             | destination node (the sender
+//         |                              | being acknowledged)
+//   addr  | seq: per-(src,dst) batch     | 0
+//         | sequence number, from 1      |
+//   value | cumAck: highest contiguously | cumAck, same
+//         | *resolved* seq of the        |
+//         | reverse link (piggyback)     |
+//
+// Sender side (per directed link): batches get consecutive seqs and are kept
+// until cumulatively acknowledged; a timeout retransmits the oldest unacked
+// batch with exponential backoff, and a bounded retry budget latches a
+// structured LinkFailureInfo instead of looping forever. Receiver side:
+// batches at seq <= delivered are duplicates (dropped, re-ACKed if already
+// resolved); gaps park in a bounded reorder window; in-order batches are
+// handed to the network thread, and the cumulative ACK advances only once
+// markResolved() says the payload was applied — so a duplicate can never
+// convince quiet() that unresolved work is done.
+//
+// ACKs travel on the same hostile wire (piggybacked on reverse data and as
+// standalone ACK batches); a lost ACK just means one more retransmission and
+// one more receiver-side dup-drop. Cumulative ACKs are idempotent.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace gravel::net {
+
+struct ReliabilityConfig {
+  bool enabled = false;
+
+  /// Initial retransmit timeout; doubles per retry up to rto_max.
+  std::chrono::microseconds rto_base{2000};
+  std::chrono::microseconds rto_max{50000};
+
+  /// Consecutive retransmissions of one batch without ACK progress before
+  /// the link is declared failed.
+  std::uint32_t max_retries = 40;
+
+  /// Receiver-side reorder buffer capacity (batches) per link; batches
+  /// beyond a gap wider than this are dropped and later retransmitted.
+  std::uint32_t reorder_window = 64;
+};
+
+/// Sequence/ACK/retransmit/dedup sublayer. Owns per-link protocol state;
+/// the wrapped `wire` does the actual (possibly faulty) transport.
+class ReliableFabric : public Fabric {
+ public:
+  ReliableFabric(Fabric& wire, const ReliabilityConfig& config)
+      : wire_(wire),
+        config_(config),
+        nodes_(wire.nodes()),
+        sendLinks_(std::size_t{nodes_} * nodes_),
+        recvLinks_(std::size_t{nodes_} * nodes_),
+        ready_(nodes_),
+        links_(std::size_t{nodes_} * nodes_) {}
+
+  std::uint32_t nodes() const noexcept override { return nodes_; }
+
+  void send(std::uint32_t src, std::uint32_t dst,
+            std::vector<rt::NetMessage>&& batch) override {
+    GRAVEL_CHECK_MSG(src < nodes_ && dst < nodes_, "bad fabric endpoint");
+    if (batch.empty()) return;
+    {
+      std::scoped_lock lk(statsMutex_);
+      LinkStats& link = links_[linkIndex(src, dst)];
+      ++link.batches;
+      link.messages += batch.size();
+      link.bytes += batch.size() * sizeof(rt::NetMessage);
+      batchBytes_.add(double(batch.size() * sizeof(rt::NetMessage)));
+    }
+    SendLink& L = sendLinks_[linkIndex(src, dst)];
+    std::uint64_t seq;
+    {
+      std::scoped_lock lk(L.mutex);
+      seq = L.nextSeq++;
+      L.unacked.emplace(seq, batch);  // keep a copy for retransmission
+      if (L.unacked.size() == 1) {
+        L.rto = config_.rto_base;
+        L.retries = 0;
+        L.nextRetryAt = std::chrono::steady_clock::now() + L.rto;
+      }
+    }
+    outstanding_.fetch_add(1, std::memory_order_release);
+    ship(src, dst, seq, std::move(batch));
+  }
+
+  bool tryReceive(std::uint32_t dst, Delivery& out) override {
+    // Drain the wire first: ACKs are absorbed here, data batches pass
+    // through dedup/reorder into the ready queue.
+    Delivery raw;
+    while (wire_.tryReceive(dst, raw)) {
+      wire_.markResolved(dst, raw);  // wire-level accounting only
+      GRAVEL_CHECK_MSG(!raw.messages.empty() &&
+                           raw.messages.front().command() ==
+                               rt::Command::kControl,
+                       "reliable fabric received an unframed batch");
+      const rt::NetMessage header = raw.messages.front();
+      applyAck(dst, raw.src, header.cumAck());
+      if (header.controlKind() == rt::ControlKind::kData)
+        admitData(raw.src, dst, header.seq(), std::move(raw.messages));
+    }
+    ReadyQueue& rq = ready_[dst];
+    std::scoped_lock lk(rq.mutex);
+    if (rq.pending.empty()) return false;
+    out = std::move(rq.pending.front());
+    rq.pending.pop_front();
+    readyCount_.fetch_sub(1, std::memory_order_release);
+    return true;
+  }
+
+  /// Resolution is what advances the cumulative ACK: the network thread has
+  /// applied every message of `d`, so tell the sender.
+  void markResolved(std::uint32_t self, const Delivery& d) override {
+    RecvLink& R = recvLinks_[linkIndex(d.src, self)];
+    // Per-link deliveries reach the (single) network thread in seq order,
+    // so a plain store keeps `resolved` monotonic.
+    R.resolved.store(d.seq, std::memory_order_release);
+    {
+      std::scoped_lock lk(statsMutex_);
+      ++relStats_.acks_sent;
+    }
+    wire_.send(self, d.src,
+               {rt::NetMessage::control(d.src, rt::ControlKind::kAck, 0, d.seq)});
+  }
+
+  /// Retransmit scan, driven by node `self`'s network thread.
+  void poll(std::uint32_t self) override {
+    const auto now = std::chrono::steady_clock::now();
+    for (std::uint32_t dst = 0; dst < nodes_; ++dst) {
+      SendLink& L = sendLinks_[linkIndex(self, dst)];
+      std::vector<rt::NetMessage> frame;
+      std::uint64_t seq = 0;
+      {
+        std::scoped_lock lk(L.mutex);
+        if (L.unacked.empty() || now < L.nextRetryAt) continue;
+        const auto oldest = L.unacked.begin();
+        if (L.retries >= config_.max_retries) {
+          latchFailure(LinkFailureInfo{self, dst, oldest->first, L.retries});
+          L.nextRetryAt = now + L.rto;  // stop hot-looping a dead link
+          continue;
+        }
+        ++L.retries;
+        L.rto = std::min(L.rto * 2, config_.rto_max);
+        L.nextRetryAt = now + L.rto;
+        seq = oldest->first;
+        frame = oldest->second;  // copy; the original stays until ACKed
+      }
+      {
+        std::scoped_lock lk(statsMutex_);
+        ++links_[linkIndex(self, dst)].retransmits;
+      }
+      ship(self, dst, seq, std::move(frame));
+    }
+  }
+
+  /// Quiescence is ACK-based, deliberately ignoring the wire's own in-flight
+  /// count: on a lossy wire that count includes batches the adversary
+  /// discarded (they will never resolve — that is how a naive quiet() wedges).
+  /// outstanding_ == 0 means every data batch was resolved at its destination
+  /// and acknowledged back; whatever still sits in wire inboxes can only be
+  /// duplicates, stale retransmissions or ACKs, all idempotent.
+  bool quiescent() const override {
+    return outstanding_.load(std::memory_order_acquire) == 0 &&
+           readyCount_.load(std::memory_order_acquire) == 0;
+  }
+
+  std::optional<LinkFailureInfo> failure() const override {
+    std::scoped_lock lk(failureMutex_);
+    return failure_;
+  }
+
+  std::string describePending() const override {
+    std::ostringstream os;
+    os << "reliability: " << outstanding_.load() << " unacked batch(es)";
+    for (std::uint32_t s = 0; s < nodes_; ++s) {
+      for (std::uint32_t d = 0; d < nodes_; ++d) {
+        const SendLink& L = sendLinks_[linkIndex(s, d)];
+        std::scoped_lock lk(L.mutex);
+        if (L.unacked.empty()) continue;
+        os << "; link " << s << "->" << d << ": " << L.unacked.size()
+           << " unacked (oldest seq " << L.unacked.begin()->first
+           << ", next seq " << L.nextSeq << ", retries " << L.retries << ")";
+      }
+    }
+    for (std::uint32_t s = 0; s < nodes_; ++s) {
+      for (std::uint32_t d = 0; d < nodes_; ++d) {
+        const RecvLink& R = recvLinks_[linkIndex(s, d)];
+        std::scoped_lock lk(R.mutex);
+        if (R.reorder.empty()) continue;
+        os << "; reorder " << s << "->" << d << ": " << R.reorder.size()
+           << " parked (delivered " << R.delivered << ")";
+      }
+    }
+    for (std::uint32_t n = 0; n < nodes_; ++n) {
+      const ReadyQueue& rq = ready_[n];
+      std::scoped_lock lk(rq.mutex);
+      if (!rq.pending.empty())
+        os << "; ready[" << n << "]: " << rq.pending.size()
+           << " undelivered batch(es)";
+    }
+    os << "; " << wire_.describePending();
+    return os.str();
+  }
+
+  LinkStats link(std::uint32_t src, std::uint32_t dst) const override {
+    std::scoped_lock lk(statsMutex_);
+    return links_[linkIndex(src, dst)];
+  }
+
+  LinkStats total() const override {
+    std::scoped_lock lk(statsMutex_);
+    LinkStats t;
+    for (const auto& l : links_) {
+      t.batches += l.batches;
+      t.messages += l.messages;
+      t.bytes += l.bytes;
+      t.retransmits += l.retransmits;
+      t.dup_drops += l.dup_drops;
+      t.acks += l.acks;
+    }
+    return t;
+  }
+
+  RunningStat batchSizeBytes() const override {
+    std::scoped_lock lk(statsMutex_);
+    return batchBytes_;
+  }
+
+  FaultStats faultStats() const override { return wire_.faultStats(); }
+
+  ReliabilityStats reliabilityStats() const override {
+    std::scoped_lock lk(statsMutex_);
+    return relStats_;
+  }
+
+  /// The wrapped transport (wire-level counters include retransmissions,
+  /// duplicates and ACK traffic; this layer's counters are app-level).
+  Fabric& wire() noexcept { return wire_; }
+
+ private:
+  struct SendLink {
+    mutable std::mutex mutex;
+    std::uint64_t nextSeq = 1;
+    std::map<std::uint64_t, std::vector<rt::NetMessage>> unacked;
+    std::chrono::steady_clock::time_point nextRetryAt{};
+    std::chrono::microseconds rto{0};
+    std::uint32_t retries = 0;
+  };
+  struct RecvLink {
+    mutable std::mutex mutex;
+    std::uint64_t delivered = 0;  ///< highest seq handed upward (contiguous)
+    std::map<std::uint64_t, std::vector<rt::NetMessage>> reorder;
+    std::atomic<std::uint64_t> resolved{0};  ///< cumulative ACK level
+  };
+  struct ReadyQueue {
+    mutable std::mutex mutex;
+    std::deque<Delivery> pending;
+  };
+
+  std::size_t linkIndex(std::uint32_t src, std::uint32_t dst) const noexcept {
+    return std::size_t{src} * nodes_ + dst;
+  }
+
+  /// Frames `payload` with a kData header (fresh piggybacked ACK each time,
+  /// retransmissions included) and puts it on the wire.
+  void ship(std::uint32_t src, std::uint32_t dst, std::uint64_t seq,
+            std::vector<rt::NetMessage>&& payload) {
+    // Piggyback the reverse link's resolution level: dst's traffic into src.
+    const std::uint64_t piggy =
+        recvLinks_[linkIndex(dst, src)].resolved.load(
+            std::memory_order_acquire);
+    std::vector<rt::NetMessage> frame;
+    frame.reserve(payload.size() + 1);
+    frame.push_back(
+        rt::NetMessage::control(dst, rt::ControlKind::kData, seq, piggy));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    wire_.send(src, dst, std::move(frame));
+  }
+
+  void applyAck(std::uint32_t self, std::uint32_t from, std::uint64_t ack) {
+    if (ack == 0) return;
+    SendLink& L = sendLinks_[linkIndex(self, from)];
+    std::uint64_t erased = 0;
+    {
+      std::scoped_lock lk(L.mutex);
+      auto end = L.unacked.upper_bound(ack);
+      for (auto it = L.unacked.begin(); it != end;) {
+        it = L.unacked.erase(it);
+        ++erased;
+      }
+      if (erased > 0) {
+        L.retries = 0;
+        L.rto = config_.rto_base;
+        L.nextRetryAt = std::chrono::steady_clock::now() + L.rto;
+      }
+    }
+    if (erased > 0) {
+      outstanding_.fetch_sub(erased, std::memory_order_release);
+      std::scoped_lock lk(statsMutex_);
+      ++links_[linkIndex(self, from)].acks;
+    }
+  }
+
+  /// `frame` includes the header at index 0; it is stripped before delivery.
+  void admitData(std::uint32_t src, std::uint32_t self, std::uint64_t seq,
+                 std::vector<rt::NetMessage>&& frame) {
+    frame.erase(frame.begin());
+    RecvLink& R = recvLinks_[linkIndex(src, self)];
+    bool reack = false;
+    {
+      std::scoped_lock lk(R.mutex);
+      if (seq <= R.delivered) {
+        // Duplicate (wire dup, or retransmit after a lost ACK). If already
+        // resolved, the sender clearly missed the ACK: send it again.
+        bumpDupDrop(src, self);
+        reack = seq <= R.resolved.load(std::memory_order_acquire);
+      } else if (seq == R.delivered + 1) {
+        pushReady(self, Delivery{src, seq, std::move(frame)});
+        R.delivered = seq;
+        // Drain whatever the gap was hiding.
+        for (auto it = R.reorder.begin();
+             it != R.reorder.end() && it->first == R.delivered + 1;
+             it = R.reorder.erase(it)) {
+          pushReady(self, Delivery{src, it->first, std::move(it->second)});
+          R.delivered = it->first;
+        }
+      } else if (R.reorder.count(seq)) {
+        bumpDupDrop(src, self);
+      } else if (R.reorder.size() >= config_.reorder_window) {
+        // Out of window: drop; the sender's retransmit closes the gap first.
+        std::scoped_lock slk(statsMutex_);
+        ++relStats_.reorder_drops;
+      } else {
+        R.reorder.emplace(seq, std::move(frame));
+        std::scoped_lock slk(statsMutex_);
+        relStats_.reorder_peak =
+            std::max(relStats_.reorder_peak,
+                     std::uint64_t(R.reorder.size()));
+      }
+    }
+    if (reack) {
+      const std::uint64_t level =
+          R.resolved.load(std::memory_order_acquire);
+      wire_.send(self, src,
+                 {rt::NetMessage::control(src, rt::ControlKind::kAck, 0, level)});
+    }
+  }
+
+  void bumpDupDrop(std::uint32_t src, std::uint32_t self) {
+    std::scoped_lock lk(statsMutex_);
+    ++links_[linkIndex(src, self)].dup_drops;
+  }
+
+  void pushReady(std::uint32_t self, Delivery&& d) {
+    ReadyQueue& rq = ready_[self];
+    std::scoped_lock lk(rq.mutex);
+    rq.pending.push_back(std::move(d));
+    readyCount_.fetch_add(1, std::memory_order_release);
+  }
+
+  void latchFailure(const LinkFailureInfo& info) {
+    std::scoped_lock lk(failureMutex_);
+    if (!failure_) failure_ = info;
+  }
+
+  Fabric& wire_;
+  ReliabilityConfig config_;
+  std::uint32_t nodes_;
+
+  std::vector<SendLink> sendLinks_;
+  std::vector<RecvLink> recvLinks_;
+  std::vector<ReadyQueue> ready_;
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::atomic<std::uint64_t> readyCount_{0};
+
+  mutable std::mutex statsMutex_;
+  std::vector<LinkStats> links_;
+  RunningStat batchBytes_;
+  ReliabilityStats relStats_;
+
+  mutable std::mutex failureMutex_;
+  std::optional<LinkFailureInfo> failure_;
+};
+
+}  // namespace gravel::net

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/backoff.hpp"
 #include "common/stats.hpp"
 #include "net/fabric.hpp"
 #include "queue/gravel_queue.hpp"
@@ -58,11 +59,13 @@ class Aggregator {
   }
 
   /// Force every partially-filled per-node queue onto the wire (quiet
-  /// protocol / end of kernel). Thread-safe against the worker.
+  /// protocol / end of kernel). Thread-safe against the workers.
   void flushAll() {
-    std::scoped_lock lk(bufferMutex_);
-    for (std::uint32_t dst = 0; dst < buffers_.size(); ++dst)
-      flushLocked(dst);
+    for (std::uint32_t dst = 0; dst < buffers_.size(); ++dst) {
+      Buffer& b = buffers_[dst];
+      std::scoped_lock lk(b.mutex);
+      flushLocked(b, dst);
+    }
   }
 
   /// Messages repacked so far, by destination kind.
@@ -84,32 +87,37 @@ class Aggregator {
   }
 
  private:
+  /// One per-destination queue with its own lock, so aggregator_threads > 1
+  /// (Fig. 12 sweeps) only contend when routing to the same destination.
   struct Buffer {
+    std::mutex mutex;
     std::vector<NetMessage> messages;
     std::chrono::steady_clock::time_point openedAt{};
   };
 
   void run() {
     GravelQueue::SlotRef ref;
-    const YieldFn idle = [this] {
+    // Idle polls decay to short sleeps (paper's aggregator polls 65% of the
+    // time, §8.1 — no need to burn a core doing it) but stay well under the
+    // flush timeout so checkTimeouts() keeps its resolution.
+    Backoff backoff(std::chrono::microseconds(20));
+    const YieldFn idle = [this, &backoff] {
       // While waiting for GPU work, retire buffers that sat past the
       // timeout (the paper's 125 us rule, applied when the queue is idle so
       // a 1-core host's scheduling gaps do not shred aggregation).
       polls_.fetch_add(1, std::memory_order_relaxed);
       checkTimeouts();
-      std::this_thread::yield();
+      backoff.wait();
     };
     while (queue_.acquireRead(ref, stopped_, idle)) {
-      {
-        std::scoped_lock lk(bufferMutex_);
-        for (std::uint32_t lane = 0; lane < ref.count; ++lane) {
-          NetMessage m;
-          m.cmd = queue_.wordAt(ref, 0, lane);
-          m.dest = queue_.wordAt(ref, 1, lane);
-          m.addr = queue_.wordAt(ref, 2, lane);
-          m.value = queue_.wordAt(ref, 3, lane);
-          routeLocked(m);
-        }
+      backoff.reset();
+      for (std::uint32_t lane = 0; lane < ref.count; ++lane) {
+        NetMessage m;
+        m.cmd = queue_.wordAt(ref, 0, lane);
+        m.dest = queue_.wordAt(ref, 1, lane);
+        m.addr = queue_.wordAt(ref, 2, lane);
+        m.value = queue_.wordAt(ref, 3, lane);
+        route(m);
       }
       queue_.release(ref);
       messagesRouted_.fetch_add(ref.count, std::memory_order_relaxed);
@@ -119,17 +127,18 @@ class Aggregator {
     flushAll();
   }
 
-  void routeLocked(const NetMessage& m) {
+  void route(const NetMessage& m) {
     Buffer& b = buffers_[m.dest];
+    std::scoped_lock lk(b.mutex);
     if (b.messages.empty())
       b.openedAt = std::chrono::steady_clock::now();
     b.messages.push_back(m);
     if (b.messages.size() >= capacityMsgs_)
-      flushLocked(static_cast<std::uint32_t>(m.dest));
+      flushLocked(b, static_cast<std::uint32_t>(m.dest));
   }
 
-  void flushLocked(std::uint32_t dst) {
-    Buffer& b = buffers_[dst];
+  // Caller holds b.mutex.
+  void flushLocked(Buffer& b, std::uint32_t dst) {
     if (b.messages.empty()) return;
     std::vector<NetMessage> batch;
     batch.reserve(capacityMsgs_);
@@ -139,11 +148,11 @@ class Aggregator {
 
   void checkTimeouts() {
     const auto now = std::chrono::steady_clock::now();
-    std::scoped_lock lk(bufferMutex_);
     for (std::uint32_t dst = 0; dst < buffers_.size(); ++dst) {
       Buffer& b = buffers_[dst];
+      std::scoped_lock lk(b.mutex);
       if (!b.messages.empty() && now - b.openedAt >= timeout_)
-        flushLocked(dst);
+        flushLocked(b, dst);
     }
   }
 
@@ -153,7 +162,6 @@ class Aggregator {
   std::size_t capacityMsgs_;
   std::chrono::steady_clock::duration timeout_;
 
-  std::mutex bufferMutex_;
   std::vector<Buffer> buffers_;
 
   std::atomic<bool> stopped_{true};

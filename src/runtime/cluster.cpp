@@ -1,22 +1,35 @@
 #include "runtime/cluster.hpp"
 
+#include <chrono>
+#include <sstream>
 #include <thread>
 
+#include "common/backoff.hpp"
 #include "common/error.hpp"
 
 namespace gravel::rt {
 
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
-      fabric_(config.nodes),
       allocator_(config.heap_bytes),
       opBase_(config.nodes),
       devBase_(config.nodes) {
   GRAVEL_CHECK_MSG(config.nodes > 0, "cluster needs at least one node");
+  if (config_.fault.active())
+    wire_ = std::make_unique<net::FaultyFabric>(config_.nodes, config_.fault);
+  else
+    wire_ = std::make_unique<net::PerfectFabric>(config_.nodes);
+  if (config_.reliability.enabled) {
+    reliable_ =
+        std::make_unique<net::ReliableFabric>(*wire_, config_.reliability);
+    fabric_ = reliable_.get();
+  } else {
+    fabric_ = wire_.get();
+  }
   nodes_.reserve(config.nodes);
   for (std::uint32_t i = 0; i < config.nodes; ++i)
     nodes_.push_back(
-        std::make_unique<NodeRuntime>(i, config_, fabric_, registry_));
+        std::make_unique<NodeRuntime>(i, config_, *fabric_, registry_));
 }
 
 Cluster::~Cluster() {
@@ -87,17 +100,51 @@ void Cluster::hostParallel(const std::function<void(std::uint32_t)>& work) {
   quiet();
 }
 
+void Cluster::quietDeadlineExpired(const char* stage) {
+  // Dump everything a hang post-mortem needs: which wait stalled, per-link
+  // reliability state, inbox depths, and the aggregator/queue positions.
+  std::ostringstream os;
+  os << "quiet deadline (" << config_.quiet_deadline.count()
+     << " ms) expired while " << stage << ". " << fabric_->describePending();
+  for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+    os << "; node " << i << ": aggregator "
+       << nodes_[i]->aggregator().slotsProcessed() << "/"
+       << nodes_[i]->queue().reservedCount() << " slots routed";
+  }
+  GRAVEL_CHECK_MSG(false, os.str());
+}
+
 void Cluster::quiet() {
   if (!threadsStarted_) return;
+  const bool bounded = config_.quiet_deadline.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        config_.quiet_deadline;
+  const auto check = [&](const char* stage) {
+    if (auto f = fabric_->failure()) throw net::LinkFailureError(*f);
+    if (bounded && std::chrono::steady_clock::now() >= deadline)
+      quietDeadlineExpired(stage);
+  };
+  Backoff backoff;
   // 1. Every reserved GPU-queue slot must be routed by the aggregator.
   for (auto& n : nodes_) {
-    while (n->aggregator().slotsProcessed() < n->queue().reservedCount())
-      std::this_thread::yield();
+    while (n->aggregator().slotsProcessed() < n->queue().reservedCount()) {
+      check("waiting for aggregators to drain the GPU queues");
+      backoff.wait();
+    }
   }
   // 2. Push every partially-filled per-node queue onto the wire.
   for (auto& n : nodes_) n->aggregator().flushAll();
-  // 3. Wait until every message in flight has been resolved at its home.
-  while (fabric_.inFlight() != 0) std::this_thread::yield();
+  // 3. Wait until every message in flight has been resolved at its home —
+  // and, with the reliability layer, acknowledged back to its sender, so a
+  // dropped or duplicated batch can never fake completion.
+  backoff.reset();
+  while (!fabric_->quiescent()) {
+    check("waiting for in-flight messages to resolve");
+    backoff.wait();
+  }
+  // A retry budget can exhaust in the instant quiescence is observed
+  // elsewhere; surface it rather than silently succeeding.
+  if (auto f = fabric_->failure()) throw net::LinkFailureError(*f);
 }
 
 ClusterRunStats Cluster::runStats() const {
@@ -123,11 +170,23 @@ ClusterRunStats Cluster::runStats() const {
     s.predication_overhead_ops +=
         d.predication_overhead_ops - db.predication_overhead_ops;
   }
-  const net::LinkStats t = fabric_.total();
+  const net::LinkStats t = fabric_->total();
   s.net_batches = t.batches - fabricBase_.batches;
   s.net_messages = t.messages - fabricBase_.messages;
   s.net_bytes = t.bytes - fabricBase_.bytes;
-  const RunningStat b = fabric_.batchSizeBytes();
+  s.retransmits = t.retransmits - fabricBase_.retransmits;
+  s.dup_drops = t.dup_drops - fabricBase_.dup_drops;
+  s.acks = t.acks - fabricBase_.acks;
+  const net::ReliabilityStats r = fabric_->reliabilityStats();
+  s.acks_sent = r.acks_sent - relBase_.acks_sent;
+  s.reorder_drops = r.reorder_drops - relBase_.reorder_drops;
+  s.reorder_peak = r.reorder_peak;  // high-water mark, not a delta
+  const net::FaultStats f = fabric_->faultStats();
+  s.injected_drops =
+      (f.drops + f.partition_drops) - (faultBase_.drops +
+                                       faultBase_.partition_drops);
+  s.injected_dups = f.duplicates - faultBase_.duplicates;
+  const RunningStat b = fabric_->batchSizeBytes();
   // Window mean from cumulative sums.
   const double cnt = double(b.count()) - double(batchBase_.count());
   s.avg_batch_bytes = cnt > 0 ? (b.sum() - batchBase_.sum()) / cnt : 0.0;
@@ -139,8 +198,10 @@ void Cluster::resetStats() {
     opBase_[i] = nodes_[i]->opStats();
     devBase_[i] = nodes_[i]->device().stats();
   }
-  fabricBase_ = fabric_.total();
-  batchBase_ = fabric_.batchSizeBytes();
+  fabricBase_ = fabric_->total();
+  batchBase_ = fabric_->batchSizeBytes();
+  relBase_ = fabric_->reliabilityStats();
+  faultBase_ = fabric_->faultStats();
 }
 
 }  // namespace gravel::rt

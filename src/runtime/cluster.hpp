@@ -10,6 +10,8 @@
 
 #include "common/stats.hpp"
 #include "net/fabric.hpp"
+#include "net/fault.hpp"
+#include "net/reliable.hpp"
 #include "runtime/active_message.hpp"
 #include "runtime/cluster_stats.hpp"
 #include "runtime/config.hpp"
@@ -28,7 +30,15 @@ class Cluster {
   std::uint32_t nodes() const noexcept { return config_.nodes; }
   const ClusterConfig& config() const noexcept { return config_; }
   NodeRuntime& node(std::uint32_t i) { return *nodes_[i]; }
-  net::Fabric& fabric() noexcept { return fabric_; }
+
+  /// The transport the runtime sends through: PerfectFabric by default,
+  /// FaultyFabric when config.fault is active, with ReliableFabric stacked
+  /// on top when config.reliability.enabled.
+  net::Fabric& fabric() noexcept { return *fabric_; }
+
+  /// The raw wire under any reliability layer (== fabric() without one);
+  /// its counters include retransmissions, duplicates and ACK traffic.
+  net::Fabric& wireFabric() noexcept { return *wire_; }
 
   /// Symmetric allocation: the same offset is reserved on every node's heap.
   template <typename T>
@@ -63,7 +73,12 @@ class Cluster {
   void start() { ensureThreadsStarted(); }
 
   /// Drains GPU queues, flushes aggregators and waits until every message
-  /// in flight has been resolved (the PGAS fence + cluster barrier).
+  /// in flight has been resolved (the PGAS fence + cluster barrier). With a
+  /// reliability layer, completion is ACK-based: every batch must be
+  /// acknowledged by its destination, so drops and duplicates cannot wedge
+  /// or corrupt the count. Throws net::LinkFailureError if a link exhausted
+  /// its retry budget, and a generic Error with a per-link diagnostic if
+  /// config.quiet_deadline expires before the cluster quiesces.
   void quiet();
 
   /// Per-run traffic/operation roll-up; resetStats() starts a new window.
@@ -72,9 +87,12 @@ class Cluster {
 
  private:
   void ensureThreadsStarted();
+  [[noreturn]] void quietDeadlineExpired(const char* stage);
 
   ClusterConfig config_;
-  net::Fabric fabric_;
+  std::unique_ptr<net::Fabric> wire_;             ///< transport (maybe faulty)
+  std::unique_ptr<net::ReliableFabric> reliable_; ///< optional sublayer
+  net::Fabric* fabric_ = nullptr;                 ///< top of the stack
   AmRegistry registry_;
   SymmetricAllocator allocator_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
@@ -83,6 +101,8 @@ class Cluster {
   // Snapshot baselines so runStats() reports per-window deltas.
   net::LinkStats fabricBase_{};
   RunningStat batchBase_{};
+  net::ReliabilityStats relBase_{};
+  net::FaultStats faultBase_{};
   std::vector<NodeOpStats> opBase_;
   std::vector<simt::DeviceStats> devBase_;
 };

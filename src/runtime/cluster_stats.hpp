@@ -28,11 +28,26 @@ struct ClusterRunStats {
   std::uint64_t active_arrivals = 0;
   std::uint64_t predication_overhead_ops = 0;
 
-  // Network traffic (summed over links).
+  // Network traffic (summed over links). With a reliability layer these are
+  // app-level counts: retransmissions, duplicates and ACK overhead appear in
+  // the reliability counters below (and in the wire fabric's own stats),
+  // not here — so Table 5 semantics are preserved under fault injection.
   std::uint64_t net_batches = 0;   ///< network messages (flushed queues)
   std::uint64_t net_messages = 0;  ///< Gravel messages carried
   std::uint64_t net_bytes = 0;
   double avg_batch_bytes = 0;  ///< Table 5 "average message size"
+
+  // Reliability sublayer (zero when it is disabled).
+  std::uint64_t retransmits = 0;   ///< sender-side timeout retransmissions
+  std::uint64_t dup_drops = 0;     ///< receiver-side duplicates discarded
+  std::uint64_t acks = 0;          ///< ACK parcels applied at senders
+  std::uint64_t acks_sent = 0;     ///< standalone ACK batches emitted
+  std::uint64_t reorder_drops = 0; ///< out-of-window batches discarded
+  std::uint64_t reorder_peak = 0;  ///< deepest reorder buffer (absolute)
+
+  // Fault injection on the wire (zero on PerfectFabric).
+  std::uint64_t injected_drops = 0;  ///< batches the adversary discarded
+  std::uint64_t injected_dups = 0;   ///< extra copies it delivered
 
   std::uint64_t opsTotal() const {
     return put_local + put_remote + inc_local + inc_remote + am_local +

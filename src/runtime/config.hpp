@@ -6,6 +6,8 @@
 #include <cstdint>
 
 #include "common/units.hpp"
+#include "net/fault.hpp"
+#include "net/reliable.hpp"
 #include "simt/types.hpp"
 
 namespace gravel::rt {
@@ -36,6 +38,21 @@ struct ClusterConfig {
 
   /// Aggregator threads consuming the GPU queue (Table 3: 1).
   std::uint32_t aggregator_threads = 1;
+
+  /// Fault injection on the wire. Inactive (all-zero) means the cluster runs
+  /// on PerfectFabric exactly as before; any nonzero knob swaps in
+  /// FaultyFabric.
+  net::FaultConfig fault{};
+
+  /// Reliable-delivery sublayer (seq/ack/retransmit/dedup). Off by default;
+  /// required for correct results whenever `fault` can lose or duplicate
+  /// batches.
+  net::ReliabilityConfig reliability{};
+
+  /// Upper bound on each quiet() wait loop. On expiry quiet() throws with a
+  /// per-link diagnostic instead of hanging the process. Zero disables the
+  /// deadline.
+  std::chrono::milliseconds quiet_deadline{120000};
 
   simt::DeviceConfig device{};
 };

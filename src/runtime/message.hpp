@@ -15,6 +15,14 @@ enum class Command : std::uint8_t {
   kPut = 0,        ///< store `value` at symmetric-heap offset `addr`
   kAtomicInc = 1,  ///< 64-bit increment at symmetric-heap offset `addr`
   kActiveMessage = 2,  ///< run handler (cmd>>32) with args (addr, value)
+  kControl = 3,  ///< reliability-layer header: never reaches a heap resolver
+};
+
+/// Reliability-layer control kinds, packed into a kControl message's cmd
+/// word (bits 8..15). See ReliableFabric for the full wire format.
+enum class ControlKind : std::uint8_t {
+  kData = 0,  ///< header of a sequenced data batch; addr = seq
+  kAck = 1,   ///< standalone cumulative acknowledgement
 };
 
 /// One queue message; exactly GravelQueue rows = 4.
@@ -45,6 +53,20 @@ struct NetMessage {
     return {std::uint64_t(Command::kActiveMessage) |
                 (std::uint64_t(handler) << 32),
             dest, arg0, arg1};
+  }
+
+  /// Reliability header: kind in cmd bits 8..15, batch sequence number in
+  /// addr (0 for pure ACKs), cumulative ACK for the reverse link in value.
+  ControlKind controlKind() const noexcept {
+    return static_cast<ControlKind>((cmd >> 8) & 0xff);
+  }
+  std::uint64_t seq() const noexcept { return addr; }
+  std::uint64_t cumAck() const noexcept { return value; }
+
+  static NetMessage control(std::uint32_t dest, ControlKind kind,
+                            std::uint64_t seq, std::uint64_t cumAck) {
+    return {std::uint64_t(Command::kControl) | (std::uint64_t(kind) << 8),
+            dest, seq, cumAck};
   }
 };
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/backoff.hpp"
 #include "net/fabric.hpp"
 #include "runtime/active_message.hpp"
 #include "runtime/message.hpp"
@@ -54,20 +55,27 @@ class NetworkThread {
     };
     AmContext ctx(heap_, self_, send);
     net::Delivery d;
+    // Bounded backoff: an idle network thread decays to ~100 us sleeps
+    // (cheap CPU) but snaps back to hot spinning on the first delivery.
+    Backoff backoff(std::chrono::microseconds(100));
     for (;;) {
+      // Drive the fabric's housekeeping (reliability-layer retransmit
+      // timers) even while traffic keeps us busy.
+      fabric_.poll(self_);
       if (fabric_.tryReceive(self_, d)) {
         for (const NetMessage& m : d.messages) resolve(ctx, m);
-        fabric_.markResolved(d.messages.size());
+        fabric_.markResolved(self_, d);
         resolved_.fetch_add(d.messages.size(), std::memory_order_relaxed);
+        backoff.reset();
       } else if (stopped_.load(std::memory_order_acquire)) {
         // Drain once more after observing stop; quiet() guarantees no new
         // sends race this.
         if (!fabric_.tryReceive(self_, d)) return;
         for (const NetMessage& m : d.messages) resolve(ctx, m);
-        fabric_.markResolved(d.messages.size());
+        fabric_.markResolved(self_, d);
         resolved_.fetch_add(d.messages.size(), std::memory_order_relaxed);
       } else {
-        std::this_thread::yield();
+        backoff.wait();
       }
     }
   }
@@ -82,6 +90,11 @@ class NetworkThread {
         break;
       case Command::kActiveMessage:
         registry_.run(m.handler(), ctx, m.addr, m.value);
+        break;
+      case Command::kControl:
+        // Reliability framing is stripped inside ReliableFabric; a control
+        // message reaching the resolver means a layering bug.
+        GRAVEL_CHECK_MSG(false, "control message escaped the fabric layer");
         break;
     }
   }

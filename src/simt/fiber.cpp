@@ -2,6 +2,23 @@
 
 #include <cstring>
 
+// Stack switches must be announced to AddressSanitizer or its stack-bounds
+// checks misfire on the foreign stack (google/sanitizers#189). These hooks
+// compile to nothing without -fsanitize=address.
+#if defined(__SANITIZE_ADDRESS__)
+#define GRAVEL_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GRAVEL_ASAN_FIBERS 1
+#endif
+#endif
+#ifndef GRAVEL_ASAN_FIBERS
+#define GRAVEL_ASAN_FIBERS 0
+#endif
+#if GRAVEL_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 extern "C" {
 /// Assembly switch in context.S: saves the current continuation into
 /// *save_sp and resumes restore_sp.
@@ -15,24 +32,65 @@ namespace gravel::simt {
 
 namespace {
 thread_local Fiber* tlsCurrentFiber = nullptr;
+
+// Wrap the ASan fiber API so every switch site reads the same with and
+// without sanitizers. Protocol: the departing context calls startSwitch with
+// the *destination* stack's bounds (nullptr fakeSave on a final exit frees
+// the fake stack); the first statement executed after arriving calls
+// finishSwitch with the fakeSave this context stashed before it left.
+inline void startSwitch(void** fakeSave, const void* bottom,
+                        std::size_t size) {
+#if GRAVEL_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(fakeSave, bottom, size);
+#else
+  (void)fakeSave;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+inline void finishSwitch(void* fakeSave, const void** bottomOld,
+                         std::size_t* sizeOld) {
+#if GRAVEL_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fakeSave, bottomOld, sizeOld);
+#else
+  (void)fakeSave;
+  (void)bottomOld;
+  (void)sizeOld;
+#endif
+}
 }  // namespace
+
+// The entry path must stay un-instrumented under ASan: the compiler deduces
+// it never returns and would plant __asan_handle_no_return, which tries to
+// unpoison "the thread stack" while running on the fiber's heap-allocated
+// one.
+#if GRAVEL_ASAN_FIBERS
+#define GRAVEL_NO_ASAN __attribute__((no_sanitize_address))
+#else
+#define GRAVEL_NO_ASAN
+#endif
 
 /// C++ side of the fiber entry path. Runs the body, captures any exception,
 /// and switches back to the scheduler for good. Never returns.
-void fiberTrampoline(Fiber* f) noexcept {
+GRAVEL_NO_ASAN void fiberTrampoline(Fiber* f) noexcept {
+  // First arrival on this stack: learn the scheduler's bounds for yields.
+  finishSwitch(nullptr, &f->schedStackBottom_, &f->schedStackSize_);
   try {
     f->body_();
   } catch (...) {
     f->pending_ = std::current_exception();
   }
   f->finished_ = true;
-  // Final switch out; fiberSp_ is dead after this.
+  // Final switch out; fiberSp_ is dead after this (nullptr fakeSave tells
+  // ASan to release this stack's fake frames).
+  startSwitch(nullptr, f->schedStackBottom_, f->schedStackSize_);
   gravel_ctx_swap(&f->fiberSp_, f->schedulerSp_);
   // Unreachable: a finished fiber is never resumed (resume() checks).
   std::terminate();
 }
 
-extern "C" void gravel_fiber_trampoline(void* f) {
+extern "C" GRAVEL_NO_ASAN void gravel_fiber_trampoline(void* f) {
   fiberTrampoline(static_cast<Fiber*>(f));
 }
 
@@ -85,7 +143,10 @@ bool Fiber::resume() {
   }
   Fiber* prev = tlsCurrentFiber;
   tlsCurrentFiber = this;
+  void* fakeSave = nullptr;
+  startSwitch(&fakeSave, stack_.get(), stackBytes_);
   gravel_ctx_swap(&schedulerSp_, fiberSp_);
+  finishSwitch(fakeSave, nullptr, nullptr);
   tlsCurrentFiber = prev;
   if (pending_) {
     auto e = pending_;
@@ -97,7 +158,10 @@ bool Fiber::resume() {
 
 void Fiber::yield() {
   GRAVEL_CHECK_MSG(tlsCurrentFiber == this, "yield() outside the fiber");
+  void* fakeSave = nullptr;
+  startSwitch(&fakeSave, schedStackBottom_, schedStackSize_);
   gravel_ctx_swap(&fiberSp_, schedulerSp_);
+  finishSwitch(fakeSave, &schedStackBottom_, &schedStackSize_);
 }
 
 Fiber* Fiber::current() noexcept { return tlsCurrentFiber; }

@@ -50,6 +50,10 @@ class Fiber {
   std::size_t stackBytes_;
   void* fiberSp_ = nullptr;      // saved SP when suspended
   void* schedulerSp_ = nullptr;  // saved SP of the resume() caller
+  // ASan fiber-switch bookkeeping (unused without -fsanitize=address): the
+  // scheduler stack bounds learned on fiber entry, reused when yielding back.
+  const void* schedStackBottom_ = nullptr;
+  std::size_t schedStackSize_ = 0;
   std::function<void()> body_;
   std::exception_ptr pending_;
   bool started_ = false;

@@ -1,0 +1,247 @@
+// Fault-injection suite: the reliability sublayer must restore exactly-once
+// semantics on a hostile wire, and the quiet protocol must fail fast (with a
+// usable diagnostic) instead of hanging when it cannot.
+//
+// The workload mixes the three Gravel primitives so every delivery bug has a
+// witness: PUTs to per-writer-unique addresses (duplicates or losses change
+// the heap), all-to-all atomic increments (commutative, so only exactly-once
+// delivery reproduces the count), and active-message chains where handlers
+// forward follow-on messages (exercises quiet()'s handling of work created
+// mid-drain). Every operation commutes or targets a unique address, so any
+// two exactly-once executions — whatever the adversary reordered or
+// retransmitted — must leave bit-identical heaps.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+
+namespace gravel::rt {
+namespace {
+
+constexpr std::uint32_t kNodes = 4;
+constexpr std::uint64_t kGrid = 256;   // work-items per node
+constexpr std::uint32_t kWg = 32;
+constexpr std::uint64_t kSlots = 8;    // increment targets
+constexpr std::uint64_t kChains = 8;   // AM chains started per node
+constexpr std::uint64_t kHops = 3;     // forwards after the first handler
+
+ClusterConfig base() {
+  ClusterConfig c;
+  c.nodes = kNodes;
+  c.heap_bytes = 1 << 20;
+  c.gpu_queue_bytes = 1 << 13;
+  c.pernode_queue_bytes = 512;  // tiny batches -> many wire messages to hit
+  c.device.wavefront_width = 8;
+  c.device.max_wg_size = 32;
+  c.quiet_deadline = std::chrono::milliseconds(60000);
+  return c;
+}
+
+/// Short timeouts so retransmission-heavy tests converge quickly.
+net::ReliabilityConfig fastReliability() {
+  net::ReliabilityConfig r;
+  r.enabled = true;
+  r.rto_base = std::chrono::microseconds(500);
+  r.rto_max = std::chrono::microseconds(8000);
+  return r;
+}
+
+struct RunResult {
+  std::vector<std::uint64_t> heap;  ///< every word the workload can touch
+  ClusterRunStats stats;
+};
+
+RunResult runWorkload(const ClusterConfig& c) {
+  Cluster cluster(c);
+  auto counters = cluster.alloc<std::uint64_t>(kSlots);
+  auto puts = cluster.alloc<std::uint64_t>(kNodes * kGrid);
+  auto chains = cluster.alloc<std::uint64_t>(kChains);
+  auto hid = std::make_shared<std::uint32_t>(0);
+  *hid = cluster.registerHandler(
+      [chains, hid](AmContext& ctx, std::uint64_t slot, std::uint64_t hops) {
+        // Only the home network thread touches this word: plain load/store.
+        ctx.heap().storeU64(chains.at(slot),
+                            ctx.heap().loadU64(chains.at(slot)) + 1);
+        if (hops > 0) ctx.sendAm((ctx.self() + 1) % kNodes, *hid, slot, hops - 1);
+      });
+  cluster.launchAll(kGrid, kWg, [&](std::uint32_t n, simt::WorkItem& wi) {
+    const std::uint64_t gid = wi.globalId();
+    cluster.node(n).shmemInc(wi, std::uint32_t((n + gid) % kNodes),
+                             counters.at(gid % kSlots));
+    cluster.node(n).shmemPut(wi, (n + 1) % kNodes, puts.at(n * kGrid + gid),
+                             (std::uint64_t(n) << 32) | gid);
+    cluster.node(n).shmemAm(wi, (n + 1) % kNodes, *hid, gid % kChains, kHops,
+                            /*active=*/gid < kChains);
+  });
+  RunResult r;
+  r.stats = cluster.runStats();
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    auto& heap = cluster.node(n).heap();
+    for (std::uint64_t i = 0; i < kSlots; ++i)
+      r.heap.push_back(heap.loadU64(counters.at(i)));
+    for (std::uint64_t i = 0; i < kChains; ++i)
+      r.heap.push_back(heap.loadU64(chains.at(i)));
+    for (std::uint64_t i = 0; i < kNodes * kGrid; ++i)
+      r.heap.push_back(heap.loadU64(puts.at(i)));
+  }
+  return r;
+}
+
+/// Fault-free PerfectFabric run: the ground truth every faulty run must hit.
+const RunResult& baseline() {
+  static const RunResult r = runWorkload(base());
+  return r;
+}
+
+TEST(Fault, BaselineWorkloadIsSelfConsistent) {
+  const RunResult& b = baseline();
+  const std::uint64_t perNode = kSlots + kChains + kNodes * kGrid;
+  ASSERT_EQ(b.heap.size(), std::size_t(kNodes * perNode));
+  // Increments: kNodes * kGrid total, spread over kSlots words per node.
+  std::uint64_t incs = 0, chainHits = 0;
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    for (std::uint64_t i = 0; i < kSlots; ++i)
+      incs += b.heap[n * perNode + i];
+    for (std::uint64_t i = 0; i < kChains; ++i)
+      chainHits += b.heap[n * perNode + kSlots + i];
+  }
+  EXPECT_EQ(incs, kNodes * kGrid);
+  // Each chain runs its first handler plus kHops forwarded ones.
+  EXPECT_EQ(chainHits, kNodes * kChains * (kHops + 1));
+  // PUTs: node m holds exactly the values written by node (m+3)%4.
+  for (std::uint32_t m = 0; m < kNodes; ++m) {
+    const std::uint32_t writer = (m + kNodes - 1) % kNodes;
+    for (std::uint64_t g = 0; g < kGrid; ++g) {
+      EXPECT_EQ(b.heap[m * perNode + kSlots + kChains + writer * kGrid + g],
+                (std::uint64_t(writer) << 32) | g);
+    }
+  }
+}
+
+TEST(Fault, ReliabilityOnPerfectWireIsExact) {
+  ClusterConfig c = base();
+  c.reliability.enabled = true;
+  const RunResult r = runWorkload(c);
+  EXPECT_EQ(r.heap, baseline().heap);
+  EXPECT_GT(r.stats.acks_sent, 0u);
+  EXPECT_GT(r.stats.acks, 0u);
+  EXPECT_EQ(r.stats.injected_drops, 0u);
+  // App-level traffic must match the fault-free run (framing and ACKs are
+  // wire-level overhead, invisible up here).
+  EXPECT_EQ(r.stats.net_messages, baseline().stats.net_messages);
+}
+
+TEST(Fault, SweepSeedsAndMixesBitIdentical) {
+  struct Mix {
+    const char* name;
+    net::FaultConfig fault;
+  };
+  net::FaultConfig full;  // the acceptance mix: everything at once
+  full.drop_prob = 0.05;
+  full.dup_prob = 0.05;
+  full.reorder_prob = 0.25;
+  full.reorder_window = 8;
+  full.delay_prob = 0.5;
+  full.delay_min = std::chrono::microseconds(1);
+  full.delay_max = std::chrono::microseconds(50);
+  net::FaultConfig dropHeavy;
+  dropHeavy.drop_prob = 0.10;
+  net::FaultConfig dupReorder;
+  dupReorder.dup_prob = 0.10;
+  dupReorder.reorder_prob = 0.5;
+  const Mix mixes[] = {{"full", full},
+                       {"dropHeavy", dropHeavy},
+                       {"dupReorder", dupReorder}};
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (const Mix& mix : mixes) {
+      SCOPED_TRACE(std::string(mix.name) + " seed " + std::to_string(seed));
+      ClusterConfig c = base();
+      c.fault = mix.fault;
+      c.fault.seed = seed;
+      c.reliability = fastReliability();
+      const RunResult r = runWorkload(c);
+      EXPECT_EQ(r.heap, baseline().heap);
+      EXPECT_GT(r.stats.acks, 0u);
+      if (mix.fault.drop_prob > 0) {
+        EXPECT_GT(r.stats.injected_drops, 0u);
+        EXPECT_GT(r.stats.retransmits, 0u);
+      }
+      if (mix.fault.dup_prob > 0) {
+        EXPECT_GT(r.stats.injected_dups, 0u);
+        EXPECT_GT(r.stats.dup_drops, 0u);
+      }
+    }
+  }
+}
+
+TEST(Fault, DropsWithoutReliabilityFailFastWithDiagnostic) {
+  // An unreliable wire under a quiet() that counts sends must wedge — the
+  // deadline turns the hang into a structured post-mortem.
+  ClusterConfig c = base();
+  c.fault.seed = 7;
+  c.fault.drop_prob = 0.3;
+  c.quiet_deadline = std::chrono::milliseconds(1500);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    runWorkload(c);
+    FAIL() << "quiet() should have hit its deadline";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quiet deadline"), std::string::npos) << what;
+    EXPECT_NE(what.find("in flight"), std::string::npos) << what;
+    EXPECT_NE(what.find("dropped"), std::string::npos) << what;
+    EXPECT_NE(what.find("aggregator"), std::string::npos) << what;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+TEST(Fault, PartitionWindowHealsThroughRetransmit) {
+  // Link 0->1 blacked out for the first 800 ms (long enough that the first
+  // sends land inside the window even under sanitizer-slowed start-up):
+  // retransmission must carry everything across once it lifts, exactly.
+  ClusterConfig c = base();
+  c.fault.seed = 11;
+  c.fault.partitions.push_back(
+      {0, 1, std::chrono::microseconds(0), std::chrono::microseconds(800000)});
+  c.reliability = fastReliability();
+  c.reliability.max_retries = 500;  // paced by rto_max: outlives the window
+  const RunResult r = runWorkload(c);
+  EXPECT_EQ(r.heap, baseline().heap);
+  EXPECT_GT(r.stats.retransmits, 0u);
+  EXPECT_GT(r.stats.injected_drops, 0u);
+}
+
+TEST(Fault, ExhaustedRetryBudgetSurfacesLinkFailure) {
+  // A partition outliving the retry budget must surface as a structured
+  // LinkFailureError naming the link — not as a hang or silent loss.
+  ClusterConfig c = base();
+  c.fault.seed = 13;
+  c.fault.partitions.push_back(
+      {0, 1, std::chrono::microseconds(0), std::chrono::seconds(10)});
+  c.reliability.enabled = true;
+  c.reliability.rto_base = std::chrono::microseconds(200);
+  c.reliability.rto_max = std::chrono::microseconds(1000);
+  c.reliability.max_retries = 4;
+  c.quiet_deadline = std::chrono::milliseconds(30000);
+  Cluster cluster(c);
+  auto slot = cluster.alloc<std::uint64_t>(1);
+  try {
+    // Only node 0 sends, only toward node 1: the failing link is unambiguous.
+    cluster.launchAll(32, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+      cluster.node(n).shmemInc(wi, 1, slot.at(0), /*active=*/n == 0);
+    });
+    FAIL() << "expected LinkFailureError";
+  } catch (const net::LinkFailureError& e) {
+    EXPECT_EQ(e.info().src, 0u);
+    EXPECT_EQ(e.info().dst, 1u);
+    EXPECT_GE(e.info().retries, 4u);
+    EXPECT_GE(e.info().oldest_seq, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace gravel::rt

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -72,18 +74,20 @@ TEST(NetMessage, PackingRoundTrips) {
 }
 
 TEST(Fabric, DeliversAndCounts) {
-  net::Fabric f(2);
+  net::PerfectFabric f(2);
   std::vector<NetMessage> batch{NetMessage::put(1, 0, 42),
                                 NetMessage::put(1, 8, 43)};
   f.send(0, 1, std::move(batch));
   EXPECT_EQ(f.inFlight(), 2u);
+  EXPECT_FALSE(f.quiescent());
   net::Delivery d;
   EXPECT_FALSE(f.tryReceive(0, d));
   ASSERT_TRUE(f.tryReceive(1, d));
   EXPECT_EQ(d.src, 0u);
   ASSERT_EQ(d.messages.size(), 2u);
-  f.markResolved(2);
+  f.markResolved(1, d);
   EXPECT_EQ(f.inFlight(), 0u);
+  EXPECT_TRUE(f.quiescent());
   auto link = f.link(0, 1);
   EXPECT_EQ(link.batches, 1u);
   EXPECT_EQ(link.messages, 2u);
@@ -91,11 +95,49 @@ TEST(Fabric, DeliversAndCounts) {
 }
 
 TEST(Fabric, EmptyBatchIsDropped) {
-  net::Fabric f(2);
+  net::PerfectFabric f(2);
   f.send(0, 1, {});
   net::Delivery d;
   EXPECT_FALSE(f.tryReceive(1, d));
   EXPECT_EQ(f.total().batches, 0u);
+}
+
+TEST(Aggregator, TimeoutFlushesPartialBufferWithoutFlushAll) {
+  // A message parked in a partially-filled per-node buffer must reach the
+  // wire within the configured timeout through checkTimeouts() alone —
+  // flushAll() is never called here.
+  ClusterConfig c;
+  c.nodes = 2;
+  c.pernode_queue_bytes = 1 << 10;  // 32-message buffers; we park only 3
+  c.flush_timeout = std::chrono::milliseconds(2);
+  GravelQueue queue(GravelQueueConfig{1 << 13, 32, NetMessage::kRows});
+  net::PerfectFabric fabric(2);
+  Aggregator agg(0, queue, fabric, c);
+  agg.start(1);
+  auto ref = queue.acquireWrite(3);
+  const NetMessage msgs[3] = {NetMessage::put(1, 0, 7),
+                              NetMessage::put(1, 8, 8),
+                              NetMessage::atomicInc(1, 16)};
+  for (std::uint32_t lane = 0; lane < 3; ++lane) {
+    queue.wordAt(ref, 0, lane) = msgs[lane].cmd;
+    queue.wordAt(ref, 1, lane) = msgs[lane].dest;
+    queue.wordAt(ref, 2, lane) = msgs[lane].addr;
+    queue.wordAt(ref, 3, lane) = msgs[lane].value;
+  }
+  queue.publish(ref);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fabric.link(0, 1).batches == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "timeout flush never pushed the partial buffer onto the wire";
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(fabric.link(0, 1).messages, 3u);
+  net::Delivery d;
+  ASSERT_TRUE(fabric.tryReceive(1, d));
+  ASSERT_EQ(d.messages.size(), 3u);
+  EXPECT_EQ(d.messages[0].value, 7u);
+  agg.stop();
 }
 
 // --- end-to-end cluster tests -------------------------------------------
