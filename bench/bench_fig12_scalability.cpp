@@ -18,6 +18,10 @@ int main() {
   printHeader("Gravel scalability: speedup vs one node",
               "Figure 12 (geomean 5.3x at 8 nodes)");
 
+  BenchJson json("fig12_scalability");
+  json.meta("artifact", "Figure 12");
+  json.meta("scale", benchScale());
+
   const std::vector<std::uint32_t> nodeCounts{1, 2, 4, 8};
   TextTable table({"workload", "1 node", "2 nodes", "4 nodes", "8 nodes",
                    "validated"});
@@ -32,15 +36,25 @@ int main() {
       seconds[n] = timeRun(run, perf::Style::kGravel);
     }
     std::vector<std::string> row{name};
+    json.beginRow();
+    json.cell("workload", name);
     for (auto n : nodeCounts) {
       const double sp = seconds[1] / seconds[n];
       speedups[n].push_back(sp);
       row.push_back(TextTable::num(sp));
+      json.cell("seconds_" + std::to_string(n), seconds[n]);
+      json.cell("speedup_" + std::to_string(n), sp);
     }
+    json.cell("validated", allValid ? 1.0 : 0.0);
     row.push_back(allValid ? "yes" : "NO");
     table.addRow(row);
     std::fflush(stdout);
   }
+
+  json.beginRow();
+  json.cell("workload", "geomean");
+  for (auto n : nodeCounts)
+    json.cell("speedup_" + std::to_string(n), geomean(speedups[n]));
 
   std::vector<std::string> geo{"geo. mean"};
   for (auto n : nodeCounts) geo.push_back(TextTable::num(geomean(speedups[n])));

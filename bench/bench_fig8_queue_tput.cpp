@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "common/cacheline.hpp"
 #include "common/table.hpp"
 #include "queue/gravel_queue.hpp"
@@ -143,6 +144,10 @@ int main() {
       "MPMC collapse on small messages)\n"
       "==================================================================\n");
 
+  bench::BenchJson json("fig8_queue_tput");
+  json.meta("artifact", "Figure 8");
+  json.meta("run_seconds", kRunSeconds);
+
   TextTable table({"msg bytes", "Gravel GB/s", "SPSC GB/s", "MPMC GB/s",
                    "lines/msg Gravel", "lines/msg padded"});
   for (std::size_t bytes : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u,
@@ -156,6 +161,13 @@ int main() {
     const double gravelLines =
         double(linesFor(bytes * 256)) / 256.0 + 2.0 / 256.0;
     const double paddedLines = double(linesFor(bytes)) + 2.0;
+    json.beginRow();
+    json.cell("msg_bytes", double(bytes));
+    json.cell("gravel_gbs", g);
+    json.cell("spsc_gbs", s);
+    json.cell("mpmc_gbs", m);
+    json.cell("gravel_lines_per_msg", gravelLines);
+    json.cell("padded_lines_per_msg", paddedLines);
     table.addRow({std::to_string(bytes), TextTable::num(g, 3),
                   TextTable::num(s, 3), TextTable::num(m, 3),
                   TextTable::num(gravelLines, 3),

@@ -17,6 +17,11 @@ int main() {
 
   printHeader("Network statistics at 8 nodes", "Table 5");
 
+  BenchJson json("table5_netstats");
+  json.meta("artifact", "Table 5");
+  json.meta("nodes", 8.0);
+  json.meta("scale", benchScale());
+
   struct PaperRow {
     double remote;
     double bytes;
@@ -34,6 +39,15 @@ int main() {
   for (const auto& name : workloadNames()) {
     const WorkloadRun run = runWorkload(name, 8);
     const auto& p = paper.at(name);
+    json.beginRow();
+    json.cell("workload", name);
+    json.cell("remote_pct", 100.0 * run.report.stats.remoteFraction());
+    json.cell("paper_remote_pct", p.remote);
+    json.cell("avg_msg_bytes", run.report.stats.avg_batch_bytes);
+    json.cell("paper_msg_bytes", p.bytes);
+    json.cell("net_batches", double(run.report.stats.net_batches));
+    json.cell("net_messages", double(run.report.stats.net_messages));
+    json.cell("validated", run.report.validated ? 1.0 : 0.0);
     table.addRow({name,
                   TextTable::num(100.0 * run.report.stats.remoteFraction(), 1),
                   TextTable::num(p.remote, 1),

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -23,6 +24,7 @@
 #include "apps/sssp.hpp"
 #include "common/table.hpp"
 #include "graph/generators.hpp"
+#include "obs/json.hpp"
 #include "perf/pipeline.hpp"
 
 namespace gravel::bench {
@@ -134,6 +136,93 @@ inline double geomean(const std::vector<double>& xs) {
   for (double x : xs) logSum += std::log(x);
   return xs.empty() ? 0.0 : std::exp(logSum / double(xs.size()));
 }
+
+/// Machine-readable bench output alongside the printed tables: when
+/// GRAVEL_BENCH_JSON is set, each bench writes BENCH_<name>.json (into
+/// GRAVEL_BENCH_JSON_DIR, or the working directory) on destruction:
+///
+///   {"bench": "...", "meta": {...}, "rows": [{"col": val, ...}, ...]}
+///
+/// Values are numbers or strings; every row carries its own keys, so
+/// sweeps with ragged columns serialize naturally. With the env var unset
+/// every call is a no-op, keeping the default bench output byte-identical.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+  ~BenchJson() { write(); }
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  static bool enabled() {
+    const char* v = std::getenv("GRAVEL_BENCH_JSON");
+    return v != nullptr && *v != '\0' && std::string(v) != "0";
+  }
+
+  void meta(const std::string& key, const std::string& value) {
+    if (enabled()) meta_.push_back({key, 0, value, /*isNumber=*/false});
+  }
+  void meta(const std::string& key, double value) {
+    if (enabled()) meta_.push_back({key, value, {}, /*isNumber=*/true});
+  }
+
+  void beginRow() {
+    if (enabled()) rows_.emplace_back();
+  }
+  void cell(const std::string& key, double value) {
+    if (enabled()) rows_.back().push_back({key, value, {}, true});
+  }
+  void cell(const std::string& key, const std::string& value) {
+    if (enabled()) rows_.back().push_back({key, 0, value, false});
+  }
+
+  /// Writes the file now (also runs at destruction; second call is a no-op).
+  void write() {
+    if (!enabled() || written_) return;
+    written_ = true;
+    std::string dir = ".";
+    if (const char* d = std::getenv("GRAVEL_BENCH_JSON_DIR")) dir = d;
+    const std::string path = dir + "/BENCH_" + bench_ + ".json";
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "BenchJson: cannot open %s\n", path.c_str());
+      return;
+    }
+    obs::JsonWriter w(os);
+    w.beginObject().kv("bench", bench_);
+    w.key("meta").beginObject();
+    for (const Entry& e : meta_) writeEntry(w, e);
+    w.endObject();
+    w.key("rows").beginArray();
+    for (const auto& row : rows_) {
+      w.beginObject();
+      for (const Entry& e : row) writeEntry(w, e);
+      w.endObject();
+    }
+    w.endArray().endObject();
+    std::fprintf(stderr, "bench json: %s\n", path.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    double number;
+    std::string text;
+    bool isNumber;
+  };
+
+  static void writeEntry(obs::JsonWriter& w, const Entry& e) {
+    if (e.isNumber)
+      w.kv(e.key, e.number);
+    else
+      w.kv(e.key, e.text);
+  }
+
+  std::string bench_;
+  std::vector<Entry> meta_;
+  std::vector<std::vector<Entry>> rows_;
+  bool written_ = false;
+};
 
 inline void printHeader(const std::string& title, const std::string& paper) {
   std::printf("==================================================================\n");

@@ -3,7 +3,15 @@
 // at a random remote element — the smallest end-to-end Gravel program.
 //
 // Build & run:  ./examples/quickstart
+//
+// Set GRAVEL_TRACE=1 to record a sampled message-lifecycle trace and write
+// gravel_trace.json (open it at https://ui.perfetto.dev) plus a
+// gravel_metrics.json registry snapshot next to the working directory.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
 
 #include "common/rng.hpp"
 #include "runtime/cluster.hpp"
@@ -16,6 +24,15 @@ int main() {
   // and a network thread per node.
   rt::ClusterConfig config;
   config.nodes = 4;
+
+  const char* traceEnv = std::getenv("GRAVEL_TRACE");
+  const bool tracing = traceEnv != nullptr && *traceEnv != '\0' &&
+                       std::string_view(traceEnv) != "0";
+  if (tracing) {
+    config.obs.enabled = true;
+    config.obs.sample_interval = 16;  // 1 in 16 messages gets a flow
+    config.obs.gauge_period = std::chrono::microseconds(200);
+  }
   rt::Cluster cluster(config);
 
   // Symmetric allocation: the same offset is valid on every node.
@@ -46,5 +63,17 @@ int main() {
               100.0 * stats.remoteFraction());
   std::printf("network messages     : %llu batches, avg %.0f bytes\n",
               (unsigned long long)stats.net_batches, stats.avg_batch_bytes);
+
+  if (tracing) {
+    // Everything is quiescent after launchAll(): drain the trace buffers
+    // into a Perfetto-loadable file and the registry into a JSON snapshot.
+    std::ofstream trace("gravel_trace.json");
+    cluster.writeTrace(trace);
+    std::ofstream metrics("gravel_metrics.json");
+    cluster.writeMetricsJson(metrics);
+    std::printf("trace written        : gravel_trace.json "
+                "(open in https://ui.perfetto.dev)\n");
+    std::printf("metrics written      : gravel_metrics.json\n");
+  }
   return total == 4ull * 64 * 1024 ? 0 : 1;
 }

@@ -10,16 +10,25 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "common/cacheline.hpp"
 
 namespace gravel {
 
 /// A relaxed atomic counter. Relaxed is sufficient: counters are read only
 /// after the threads that bump them have been joined.
-class Counter {
+///
+/// Padded to a full cache line: counters sit next to each other in stats
+/// blocks, and an unpadded array of them would put several hot atomics on
+/// one line — every add() from a different thread then ping-pongs the line
+/// (false sharing on the stats path).
+class alignas(kCacheLineSize) Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
     value_.fetch_add(n, std::memory_order_relaxed);
@@ -31,6 +40,50 @@ class Counter {
 
  private:
   std::atomic<std::uint64_t> value_{0};
+};
+
+static_assert(sizeof(Counter) == kCacheLineSize);
+
+/// A counter sharded across cache lines so concurrent writers (aggregator
+/// worker threads bumping per-message counts) never contend on one line.
+/// Each writer thread hashes to a fixed shard; get() sums all shards. The
+/// default acquire/release pair makes a summed read at least as fresh as
+/// any write that happened-before it — the property the quiet protocol's
+/// slots-processed comparison relies on.
+class ShardedCounter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1,
+           std::memory_order order = std::memory_order_release) noexcept {
+    shards_[shardIndex()].value.fetch_add(n, order);
+  }
+
+  std::uint64_t get(std::memory_order order =
+                        std::memory_order_acquire) const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.value.load(order);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  static std::size_t shardIndex() noexcept {
+    // One stable shard per thread; hashing the thread id spreads OS-assigned
+    // ids (often sequential, often aligned) across the shard array.
+    thread_local const std::size_t shard =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+    return shard;
+  }
+
+  Shard shards_[kShards];
 };
 
 /// Running mean/min/max/total over a stream of samples (e.g. flushed

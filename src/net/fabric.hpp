@@ -30,6 +30,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 #include "runtime/message.hpp"
 
 namespace gravel::net {
@@ -142,6 +143,33 @@ class Fabric {
 
   virtual FaultStats faultStats() const { return {}; }
   virtual ReliabilityStats reliabilityStats() const { return {}; }
+
+  /// Observability hook: when set, the wire records a kWireSend trace event
+  /// for every sampled (trace-ID-stamped) message it accepts. Layered
+  /// fabrics forward the tracer to the transport they wrap.
+  virtual void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Batches handed to send() whose resolution (or acknowledgement) is
+  /// still pending — the depth the quiet protocol waits on. Sampled by the
+  /// observability gauge thread.
+  virtual std::uint64_t pendingCount() const { return 0; }
+
+ protected:
+  /// Records wire-send events for every traced message of `batch`; no-op
+  /// without a tracer. Control frames (reliability headers/ACKs) carry no
+  /// trace ID and are skipped.
+  void traceWireSend(std::uint32_t src, std::uint32_t dst,
+                     const std::vector<rt::NetMessage>& batch) {
+    if (!tracer_ || !tracer_->enabled()) return;
+    for (const rt::NetMessage& m : batch) {
+      if (m.command() == rt::Command::kControl) continue;
+      if (const std::uint32_t id = m.traceId())
+        tracer_->recordStage(obs::Stage::kWireSend, id, std::uint8_t(src),
+                             std::uint16_t(dst), m.addr);
+    }
+  }
+
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// Exactly-once, in-order, instant delivery — the seed transport.
@@ -189,6 +217,8 @@ class PerfectFabric : public Fabric {
 
   bool quiescent() const override { return inFlight() == 0; }
 
+  std::uint64_t pendingCount() const override { return inFlight(); }
+
   std::string describePending() const override {
     std::ostringstream os;
     os << "wire: " << inFlight() << " message(s) in flight";
@@ -235,6 +265,7 @@ class PerfectFabric : public Fabric {
 
   void recordSend(std::uint32_t src, std::uint32_t dst,
                   const std::vector<rt::NetMessage>& batch) {
+    traceWireSend(src, dst, batch);
     std::scoped_lock lk(linkMutex_);
     LinkStats& link = links_[std::size_t{src} * nodes_ + dst];
     ++link.batches;

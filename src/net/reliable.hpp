@@ -252,6 +252,56 @@ class ReliableFabric : public Fabric {
     return relStats_;
   }
 
+  /// The tracer also reaches the wrapped wire, so kWireSend events fire at
+  /// the real transport boundary (retransmissions included).
+  void setTracer(obs::Tracer* tracer) override {
+    Fabric::setTracer(tracer);
+    wire_.setTracer(tracer);
+  }
+
+  /// Unacked data batches — the ACK-based quiescence depth.
+  std::uint64_t pendingCount() const override {
+    return outstanding_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of one directed link's sender-side protocol state, for the
+  /// metrics registry and the quiet-deadline post-mortem. Only links with
+  /// unacked traffic are reported.
+  struct LinkSendState {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint64_t unacked = 0;     ///< batches awaiting cumulative ACK
+    std::uint64_t oldest_seq = 0;  ///< lowest unacknowledged sequence
+    std::uint64_t next_seq = 0;    ///< next sequence the sender will assign
+    std::uint32_t retries = 0;     ///< consecutive retransmits w/o progress
+  };
+
+  std::vector<LinkSendState> sendStates() const {
+    std::vector<LinkSendState> out;
+    for (std::uint32_t s = 0; s < nodes_; ++s) {
+      for (std::uint32_t d = 0; d < nodes_; ++d) {
+        const SendLink& L = sendLinks_[linkIndex(s, d)];
+        std::scoped_lock lk(L.mutex);
+        if (L.unacked.empty()) continue;
+        out.push_back(LinkSendState{s, d, L.unacked.size(),
+                                    L.unacked.begin()->first, L.nextSeq,
+                                    L.retries});
+      }
+    }
+    return out;
+  }
+
+  /// Batches currently parked in receiver reorder buffers, cluster-wide.
+  /// Gauge-cadence only: walks every link under its lock.
+  std::uint64_t reorderDepth() const {
+    std::uint64_t depth = 0;
+    for (const RecvLink& R : recvLinks_) {
+      std::scoped_lock lk(R.mutex);
+      depth += R.reorder.size();
+    }
+    return depth;
+  }
+
   /// The wrapped transport (wire-level counters include retransmissions,
   /// duplicates and ACK traffic; this layer's counters are app-level).
   Fabric& wire() noexcept { return wire_; }

@@ -1,0 +1,144 @@
+// Minimal streaming JSON writer shared by every observability exporter
+// (metrics snapshots, Chrome-trace files, BENCH_*.json). No DOM, no
+// dependencies: the exporters only ever append, so a comma-tracking stack
+// over an ostream is all that is needed, and the output stays valid JSON by
+// construction (mismatched scope closes throw).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gravel::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& beginObject() {
+    element();
+    os_ << '{';
+    scopes_.push_back(Scope{'}', true});
+    return *this;
+  }
+  JsonWriter& endObject() { return close('}'); }
+
+  JsonWriter& beginArray() {
+    element();
+    os_ << '[';
+    scopes_.push_back(Scope{']', true});
+    return *this;
+  }
+  JsonWriter& endArray() { return close(']'); }
+
+  /// Object member key; must be followed by exactly one value/scope.
+  JsonWriter& key(std::string_view k) {
+    element();
+    writeString(k);
+    os_ << ':';
+    pendingValue_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    element();
+    writeString(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    element();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    element();
+    // JSON has no inf/nan; clamp to null, which consumers treat as missing.
+    if (v != v || v == std::numeric_limits<double>::infinity() ||
+        v == -std::numeric_limits<double>::infinity()) {
+      os_ << "null";
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    element();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    element();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint32_t v) { return value(std::uint64_t{v}); }
+  JsonWriter& value(int v) { return value(std::int64_t{v}); }
+
+  /// key + scalar in one call: w.kv("name", 3.5)
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  struct Scope {
+    char closer;
+    bool first;
+  };
+
+  void element() {
+    if (pendingValue_) {
+      pendingValue_ = false;  // the value following a key needs no comma
+      return;
+    }
+    if (scopes_.empty()) return;
+    if (!scopes_.back().first) os_ << ',';
+    scopes_.back().first = false;
+  }
+
+  JsonWriter& close(char closer) {
+    GRAVEL_CHECK_MSG(!scopes_.empty() && scopes_.back().closer == closer,
+                     "unbalanced JSON scope close");
+    scopes_.pop_back();
+    os_ << closer;
+    return *this;
+  }
+
+  void writeString(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<Scope> scopes_;
+  bool pendingValue_ = false;
+};
+
+}  // namespace gravel::obs

@@ -1,0 +1,272 @@
+// Message-lifecycle tracing: sampled trace IDs stamped into messages at GPU
+// enqueue and followed through aggregator -> per-node queue flush -> wire ->
+// network-thread resolution, with per-stage timestamps recorded into
+// single-writer per-thread buffers.
+//
+// Design constraints (ISSUE 2 tentpole):
+//   - near-zero overhead when disabled: every record site is guarded by one
+//     branch on a plain bool; nothing else is touched;
+//   - no locks on the hot path: each recording thread owns a fixed-capacity
+//     event buffer (acquired once through a mutex, then written single-writer
+//     with a release-published count); readers only run at quiescent points
+//     (after quiet()/join) or tolerate a slightly stale tail;
+//   - the trace ID travels *in* the message: NetMessage's cmd word has 16
+//     free bits (16..31) on every data command, so no wire-format growth and
+//     the ID survives aggregation, framing, retransmission and reordering.
+//
+// The Perfetto/Chrome-trace exporter over these buffers lives in
+// trace_export.hpp; depth-gauge samples recorded here render as counter
+// tracks there.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gravel::obs {
+
+/// Lifecycle stages of one Gravel message, in pipeline order (paper §3.4).
+enum class Stage : std::uint8_t {
+  kEnqueue = 0,    ///< GPU work-item deposited it into the Gravel queue
+  kAggregate = 1,  ///< aggregator drained it into a per-destination buffer
+  kFlush = 2,      ///< its per-destination buffer was handed to the fabric
+  kWireSend = 3,   ///< the (possibly faulty) wire accepted the framed batch
+  kDeliver = 4,    ///< destination network thread pulled it from its inbox
+  kResolve = 5,    ///< resolved as a local memory op / active message
+  kGauge = 6,      ///< not a message stage: a sampled gauge value
+};
+
+inline const char* stageName(Stage s) noexcept {
+  switch (s) {
+    case Stage::kEnqueue: return "enqueue";
+    case Stage::kAggregate: return "aggregate";
+    case Stage::kFlush: return "flush";
+    case Stage::kWireSend: return "wire-send";
+    case Stage::kDeliver: return "deliver";
+    case Stage::kResolve: return "resolve";
+    case Stage::kGauge: return "gauge";
+  }
+  return "?";
+}
+
+/// Number of message stages (kGauge excluded).
+inline constexpr int kMessageStages = 6;
+
+/// One recorded event, 24 bytes. For message stages `id` is the sampled
+/// trace ID (1..65535) and `value` carries the symmetric-heap address (a
+/// cheap payload correlator); for kGauge `id` names the gauge and `value`
+/// is the sample.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;  ///< nanoseconds since the tracer's epoch
+  std::uint64_t value = 0;
+  std::uint32_t id = 0;
+  Stage stage = Stage::kEnqueue;
+  std::uint8_t node = 0;   ///< node whose pipeline recorded the event
+  std::uint16_t aux = 0;   ///< destination node for message stages
+};
+
+/// Fixed-capacity single-writer event buffer. The writer publishes with a
+/// release store of the count; concurrent readers acquire the count and read
+/// only below it, so drains at quiescent points are race-free without locks.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity)
+      : capacity_(capacity), events_(new TraceEvent[capacity]) {}
+
+  void record(const TraceEvent& e) noexcept {
+    const std::size_t n = count_.load(std::memory_order_relaxed);
+    if (n >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events_[n] = e;
+    count_.store(n + 1, std::memory_order_release);
+  }
+
+  std::size_t size() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+  const TraceEvent& operator[](std::size_t i) const noexcept {
+    return events_[i];
+  }
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::size_t capacity_;
+  std::unique_ptr<TraceEvent[]> events_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::string name_ = "thread";
+};
+
+/// Tracing knobs, embedded in ClusterConfig as `config.obs`.
+struct TraceConfig {
+  /// Master switch. Off means no sampling, no stamping, no recording — the
+  /// only residual cost is one branch per record site.
+  bool enabled = false;
+
+  /// Sample 1 in N candidate messages (per node, deterministic round-robin
+  /// over the enqueue count). 1 traces everything.
+  std::uint32_t sample_interval = 64;
+
+  /// Events per recording thread; overflow drops (counted, reported by the
+  /// exporter) rather than reallocating on the hot path.
+  std::size_t buffer_events = 1 << 16;
+
+  /// Queue-depth / occupancy gauge sampling cadence; zero disables the
+  /// sampler thread.
+  std::chrono::microseconds gauge_period{0};
+};
+
+/// Well-known gauge IDs (TraceEvent::id when stage == kGauge).
+enum class Gauge : std::uint32_t {
+  kGpuQueueDepth = 1,   ///< reserved-but-unrouted Gravel queue slots
+  kAggBufferFill = 2,   ///< messages sitting in per-destination buffers
+  kFabricPending = 3,   ///< unresolved (or unacked) batches in the fabric
+  kReorderDepth = 4,    ///< parked out-of-order batches (reliability layer)
+};
+
+inline const char* gaugeName(Gauge g) noexcept {
+  switch (g) {
+    case Gauge::kGpuQueueDepth: return "gpu_queue_depth";
+    case Gauge::kAggBufferFill: return "agg_buffer_fill";
+    case Gauge::kFabricPending: return "fabric_pending";
+    case Gauge::kReorderDepth: return "reorder_depth";
+  }
+  return "?";
+}
+
+/// The per-cluster trace sink. Threads acquire a private buffer on first
+/// record (mutex once), then record lock-free. Trace IDs are 16-bit, never
+/// 0, assigned round-robin to every sample_interval-th candidate.
+class Tracer {
+ public:
+  explicit Tracer(const TraceConfig& config)
+      : config_(config),
+        enabled_(config.enabled),
+        epoch_(std::chrono::steady_clock::now()),
+        gen_(nextGeneration()) {}
+
+  bool enabled() const noexcept { return enabled_; }
+  const TraceConfig& config() const noexcept { return config_; }
+
+  std::uint64_t nowNs() const noexcept {
+    return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - epoch_)
+                             .count());
+  }
+
+  /// Sampling decision for one candidate message: 0 = not sampled, else a
+  /// fresh nonzero 16-bit trace ID to stamp into the message.
+  std::uint32_t maybeSample() noexcept {
+    if (!enabled_) return 0;
+    const std::uint32_t interval = std::max(1u, config_.sample_interval);
+    if (candidates_.fetch_add(1, std::memory_order_relaxed) % interval != 0)
+      return 0;
+    std::uint32_t id;
+    do {
+      id = nextId_.fetch_add(1, std::memory_order_relaxed) & 0xffffu;
+    } while (id == 0);
+    return id;
+  }
+
+  /// Records a message-stage event. Call only with id != 0.
+  void recordStage(Stage stage, std::uint32_t id, std::uint8_t node,
+                   std::uint16_t dest, std::uint64_t value = 0) noexcept {
+    if (!enabled_) return;
+    threadBuffer().record(TraceEvent{nowNs(), value, id, stage, node, dest});
+  }
+
+  /// Records a gauge sample (renders as a Perfetto counter track).
+  void recordGauge(Gauge gauge, std::uint8_t node, std::uint64_t value) {
+    if (!enabled_) return;
+    threadBuffer().record(TraceEvent{nowNs(), value,
+                                     std::uint32_t(gauge), Stage::kGauge,
+                                     node, 0});
+  }
+
+  /// Names the calling thread's buffer (its Perfetto track).
+  void nameThread(const std::string& name) {
+    if (!enabled_) return;
+    threadBuffer().setName(name);
+  }
+
+  /// All buffers created so far. Safe to iterate at quiescent points; each
+  /// buffer's size() is release-published by its writer.
+  std::vector<const TraceBuffer*> buffers() const {
+    std::scoped_lock lk(mutex_);
+    std::vector<const TraceBuffer*> out;
+    out.reserve(buffers_.size());
+    for (const auto& b : buffers_) out.push_back(b.get());
+    return out;
+  }
+
+  /// Every event from every buffer, sorted by timestamp. Convenience for
+  /// tests and latency analysis.
+  std::vector<TraceEvent> allEvents() const {
+    std::vector<TraceEvent> out;
+    for (const TraceBuffer* b : buffers()) {
+      const std::size_t n = b->size();
+      for (std::size_t i = 0; i < n; ++i) out.push_back((*b)[i]);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.ts_ns < b.ts_ns;
+              });
+    return out;
+  }
+
+  std::uint64_t droppedEvents() const {
+    std::uint64_t d = 0;
+    for (const TraceBuffer* b : buffers()) d += b->dropped();
+    return d;
+  }
+
+  std::uint64_t sampledCandidates() const noexcept {
+    return candidates_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::uint64_t nextGeneration() noexcept {
+    static std::atomic<std::uint64_t> gen{1};
+    return gen.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  TraceBuffer& threadBuffer() {
+    // Generation (not pointer) keyed: a new Tracer at a recycled address
+    // must not inherit a stale buffer pointer.
+    thread_local std::uint64_t tlsGen = 0;
+    thread_local TraceBuffer* tlsBuf = nullptr;
+    if (tlsGen != gen_) {
+      std::scoped_lock lk(mutex_);
+      buffers_.push_back(std::make_unique<TraceBuffer>(config_.buffer_events));
+      buffers_.back()->setName("thread-" + std::to_string(buffers_.size()));
+      tlsBuf = buffers_.back().get();
+      tlsGen = gen_;
+    }
+    return *tlsBuf;
+  }
+
+  TraceConfig config_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t gen_;
+
+  std::atomic<std::uint64_t> candidates_{0};
+  std::atomic<std::uint32_t> nextId_{1};
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+};
+
+}  // namespace gravel::obs

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "common/backoff.hpp"
 #include "common/stats.hpp"
 #include "net/fabric.hpp"
+#include "obs/trace.hpp"
 #include "queue/gravel_queue.hpp"
 #include "runtime/config.hpp"
 #include "runtime/message.hpp"
@@ -24,10 +26,11 @@ namespace gravel::rt {
 class Aggregator {
  public:
   Aggregator(std::uint32_t self, GravelQueue& queue, net::Fabric& fabric,
-             const ClusterConfig& config)
+             const ClusterConfig& config, obs::Tracer& tracer)
       : self_(self),
         queue_(queue),
         fabric_(fabric),
+        tracer_(tracer),
         capacityMsgs_(config.pernode_queue_bytes / sizeof(NetMessage)),
         timeout_(config.flush_timeout),
         buffers_(fabric.nodes()) {
@@ -42,7 +45,11 @@ class Aggregator {
   void start(std::uint32_t threads) {
     stopped_.store(false);
     for (std::uint32_t t = 0; t < threads; ++t)
-      workers_.emplace_back([this] { run(); });
+      workers_.emplace_back([this, t] {
+        tracer_.nameThread("agg." + std::to_string(self_) + "." +
+                           std::to_string(t));
+        run();
+      });
   }
 
   void stop() {
@@ -55,7 +62,7 @@ class Aggregator {
   /// Number of queue slots fully routed into per-node buffers. The quiet
   /// protocol compares this with the queue's reservation count.
   std::uint64_t slotsProcessed() const noexcept {
-    return slotsProcessed_.load(std::memory_order_acquire);
+    return slotsProcessed_.get(std::memory_order_acquire);
   }
 
   /// Force every partially-filled per-node queue onto the wire (quiet
@@ -70,7 +77,7 @@ class Aggregator {
 
   /// Messages repacked so far, by destination kind.
   std::uint64_t messagesRouted() const noexcept {
-    return messagesRouted_.load(std::memory_order_relaxed);
+    return messagesRouted_.get(std::memory_order_relaxed);
   }
 
   /// Idle poll iterations (spins of acquireRead with nothing to consume).
@@ -78,13 +85,39 @@ class Aggregator {
   /// nodes — the motivation for a hardware aggregator. The poll *fraction*
   /// here is pollCount / (pollCount + slotsProcessed).
   std::uint64_t pollCount() const noexcept {
-    return polls_.load(std::memory_order_relaxed);
+    return polls_.get(std::memory_order_relaxed);
   }
   double pollFraction() const noexcept {
     const double p = double(pollCount());
     const double s = double(slotsProcessed());
     return (p + s) > 0 ? p / (p + s) : 0.0;
   }
+
+  /// Messages currently parked in per-destination buffers (occupancy gauge;
+  /// sampler-cadence only — takes each buffer's lock briefly).
+  std::uint64_t bufferedMessages() {
+    std::uint64_t total = 0;
+    for (Buffer& b : buffers_) {
+      std::scoped_lock lk(b.mutex);
+      total += b.messages.size();
+    }
+    return total;
+  }
+
+  /// Per-destination buffer fills, for depth histograms.
+  void sampleBufferFills(const std::function<void(std::uint32_t dst,
+                                                  std::uint64_t fill)>& fn) {
+    for (std::uint32_t dst = 0; dst < buffers_.size(); ++dst) {
+      std::uint64_t fill;
+      {
+        std::scoped_lock lk(buffers_[dst].mutex);
+        fill = buffers_[dst].messages.size();
+      }
+      fn(dst, fill);
+    }
+  }
+
+  std::size_t capacityMsgs() const noexcept { return capacityMsgs_; }
 
  private:
   /// One per-destination queue with its own lock, so aggregator_threads > 1
@@ -105,7 +138,7 @@ class Aggregator {
       // While waiting for GPU work, retire buffers that sat past the
       // timeout (the paper's 125 us rule, applied when the queue is idle so
       // a 1-core host's scheduling gaps do not shred aggregation).
-      polls_.fetch_add(1, std::memory_order_relaxed);
+      polls_.add(1, std::memory_order_relaxed);
       checkTimeouts();
       backoff.wait();
     };
@@ -120,14 +153,19 @@ class Aggregator {
         route(m);
       }
       queue_.release(ref);
-      messagesRouted_.fetch_add(ref.count, std::memory_order_relaxed);
-      slotsProcessed_.fetch_add(1, std::memory_order_release);
+      messagesRouted_.add(ref.count, std::memory_order_relaxed);
+      slotsProcessed_.add(1, std::memory_order_release);
     }
     // Producers are done and the queue is drained: final flush.
     flushAll();
   }
 
   void route(const NetMessage& m) {
+    if (tracer_.enabled()) {
+      if (const std::uint32_t id = m.traceId())
+        tracer_.recordStage(obs::Stage::kAggregate, id, std::uint8_t(self_),
+                            std::uint16_t(m.dest), m.addr);
+    }
     Buffer& b = buffers_[m.dest];
     std::scoped_lock lk(b.mutex);
     if (b.messages.empty())
@@ -140,6 +178,12 @@ class Aggregator {
   // Caller holds b.mutex.
   void flushLocked(Buffer& b, std::uint32_t dst) {
     if (b.messages.empty()) return;
+    if (tracer_.enabled()) {
+      for (const NetMessage& m : b.messages)
+        if (const std::uint32_t id = m.traceId())
+          tracer_.recordStage(obs::Stage::kFlush, id, std::uint8_t(self_),
+                              std::uint16_t(dst), m.addr);
+    }
     std::vector<NetMessage> batch;
     batch.reserve(capacityMsgs_);
     batch.swap(b.messages);
@@ -159,15 +203,19 @@ class Aggregator {
   std::uint32_t self_;
   GravelQueue& queue_;
   net::Fabric& fabric_;
+  obs::Tracer& tracer_;
   std::size_t capacityMsgs_;
   std::chrono::steady_clock::duration timeout_;
 
   std::vector<Buffer> buffers_;
 
   std::atomic<bool> stopped_{true};
-  std::atomic<std::uint64_t> slotsProcessed_{0};
-  std::atomic<std::uint64_t> messagesRouted_{0};
-  std::atomic<std::uint64_t> polls_{0};
+  // Sharded per worker thread: with aggregator_threads > 1 these are the
+  // hottest shared words on the stats path (one bump per slot / message /
+  // poll), and unsharded they false-share a single line.
+  ShardedCounter slotsProcessed_;
+  ShardedCounter messagesRouted_;
+  ShardedCounter polls_;
   std::vector<std::thread> workers_;
 };
 

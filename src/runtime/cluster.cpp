@@ -6,11 +6,13 @@
 
 #include "common/backoff.hpp"
 #include "common/error.hpp"
+#include "obs/trace_export.hpp"
 
 namespace gravel::rt {
 
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
+      tracer_(config.obs),
       allocator_(config.heap_bytes),
       opBase_(config.nodes),
       devBase_(config.nodes) {
@@ -26,13 +28,18 @@ Cluster::Cluster(const ClusterConfig& config)
   } else {
     fabric_ = wire_.get();
   }
+  // The top of the stack forwards the tracer down to the wire, so kWireSend
+  // events fire at the real transport boundary (retransmissions included).
+  fabric_->setTracer(&tracer_);
   nodes_.reserve(config.nodes);
   for (std::uint32_t i = 0; i < config.nodes; ++i)
-    nodes_.push_back(
-        std::make_unique<NodeRuntime>(i, config_, *fabric_, registry_));
+    nodes_.push_back(std::make_unique<NodeRuntime>(i, config_, *fabric_,
+                                                   registry_, tracer_));
 }
 
 Cluster::~Cluster() {
+  samplerStop_.store(true, std::memory_order_release);
+  if (gaugeSampler_.joinable()) gaugeSampler_.join();
   for (auto& n : nodes_) n->stopThreads();
 }
 
@@ -46,6 +53,8 @@ std::uint32_t Cluster::registerHandler(AmHandler handler) {
 void Cluster::ensureThreadsStarted() {
   if (threadsStarted_) return;
   for (auto& n : nodes_) n->startThreads();
+  if (tracer_.enabled() && config_.obs.gauge_period.count() > 0)
+    gaugeSampler_ = std::thread([this] { gaugeSamplerLoop(); });
   threadsStarted_ = true;
 }
 
@@ -67,6 +76,7 @@ void Cluster::launchAll(const std::vector<std::uint64_t>& grids,
     gpus.emplace_back([this, i, &grids, wgSize, &kernel, &errors] {
       try {
         if (grids[i] == 0) return;
+        tracer_.nameThread("gpu." + std::to_string(i));
         node(i).device().launch(
             {grids[i], wgSize},
             [this, i, &kernel](simt::WorkItem& wi) { kernel(i, wi); });
@@ -101,16 +111,33 @@ void Cluster::hostParallel(const std::function<void(std::uint32_t)>& work) {
 }
 
 void Cluster::quietDeadlineExpired(const char* stage) {
-  // Dump everything a hang post-mortem needs: which wait stalled, per-link
-  // reliability state, inbox depths, and the aggregator/queue positions.
+  // A hang post-mortem built from the metrics-registry snapshot: which wait
+  // stalled, how deep every pipeline stage is, and — with a reliability
+  // layer — which link is stuck and which sequence range it still owes.
+  const obs::MetricsSnapshot snap = collectMetrics();
   std::ostringstream os;
   os << "quiet deadline (" << config_.quiet_deadline.count()
      << " ms) expired while " << stage << ". " << fabric_->describePending();
   for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+    const std::string node = "node=" + std::to_string(i);
     os << "; node " << i << ": aggregator "
-       << nodes_[i]->aggregator().slotsProcessed() << "/"
-       << nodes_[i]->queue().reservedCount() << " slots routed";
+       << std::uint64_t(snap.number("agg.slots_processed", node)) << "/"
+       << std::uint64_t(snap.number("gpu_queue.slots_reserved", node))
+       << " slots routed";
   }
+  // Stalled links, from the registry's per-link reliability gauges.
+  for (const auto& [key, m] : snap.metrics) {
+    if (key.first != "rel.link_unacked") continue;
+    const std::string& link = key.second;  // "link=S->D"
+    os << "; stalled " << link << ": " << std::uint64_t(m.value)
+       << " unacked, oldest seq "
+       << std::uint64_t(snap.number("rel.link_oldest_seq", link))
+       << ", next seq "
+       << std::uint64_t(snap.number("rel.link_next_seq", link))
+       << ", retries "
+       << std::uint64_t(snap.number("rel.link_retries", link));
+  }
+  os << "; registry captured " << snap.metrics.size() << " metric(s)";
   GRAVEL_CHECK_MSG(false, os.str());
 }
 
@@ -202,6 +229,151 @@ void Cluster::resetStats() {
   batchBase_ = fabric_->batchSizeBytes();
   relBase_ = fabric_->reliabilityStats();
   faultBase_ = fabric_->faultStats();
+}
+
+// --- observability ---------------------------------------------------------
+
+void Cluster::gaugeSamplerLoop() {
+  tracer_.nameThread("sampler");
+  while (!samplerStop_.load(std::memory_order_acquire)) {
+    sampleGauges();
+    std::this_thread::sleep_for(config_.obs.gauge_period);
+  }
+}
+
+void Cluster::sampleGauges() {
+  for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+    const std::string node = "node=" + std::to_string(i);
+    NodeRuntime& n = *nodes_[i];
+    // Gravel-queue slots reserved by producers but not yet routed.
+    const std::uint64_t reserved = n.queue().reservedCount();
+    const std::uint64_t routed = n.aggregator().slotsProcessed();
+    const std::uint64_t depth = reserved > routed ? reserved - routed : 0;
+    tracer_.recordGauge(obs::Gauge::kGpuQueueDepth, std::uint8_t(i), depth);
+    metrics_.observeHistogram("gpu_queue.depth", node, depth);
+
+    // Per-destination aggregation buffer fill.
+    std::uint64_t buffered = 0;
+    n.aggregator().sampleBufferFills(
+        [&](std::uint32_t dst, std::uint64_t fill) {
+          (void)dst;
+          buffered += fill;
+          metrics_.observeHistogram("agg.buffer_fill", node, fill);
+        });
+    tracer_.recordGauge(obs::Gauge::kAggBufferFill, std::uint8_t(i), buffered);
+  }
+
+  // Fabric depth: unresolved batches (unacked, with a reliability layer).
+  const std::uint64_t pending = fabric_->pendingCount();
+  tracer_.recordGauge(obs::Gauge::kFabricPending, 0, pending);
+  metrics_.observeHistogram("fabric.pending", "", pending);
+  if (reliable_) {
+    const std::uint64_t reorder = reliable_->reorderDepth();
+    tracer_.recordGauge(obs::Gauge::kReorderDepth, 0, reorder);
+    metrics_.observeHistogram("rel.reorder_depth", "", reorder);
+  }
+}
+
+obs::MetricsSnapshot Cluster::collectMetrics() {
+  // Per-node pipeline counters.
+  for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+    const std::string node = "node=" + std::to_string(i);
+    NodeRuntime& n = *nodes_[i];
+    const NodeOpStats& op = n.opStats();
+    metrics_.setCounter("ops.put_local", node, op.put_local);
+    metrics_.setCounter("ops.put_remote", node, op.put_remote);
+    metrics_.setCounter("ops.inc_local", node, op.inc_local);
+    metrics_.setCounter("ops.inc_remote", node, op.inc_remote);
+    metrics_.setCounter("ops.am_local", node, op.am_local);
+    metrics_.setCounter("ops.am_remote", node, op.am_remote);
+    metrics_.setCounter("gpu_queue.slots_reserved", node,
+                        n.queue().reservedCount());
+    metrics_.setCounter("gpu_queue.atomic_rmws", node,
+                        n.queue().atomicRmwCount());
+    metrics_.setCounter("agg.slots_processed", node,
+                        n.aggregator().slotsProcessed());
+    metrics_.setCounter("agg.messages_routed", node,
+                        n.aggregator().messagesRouted());
+    metrics_.setCounter("agg.polls", node, n.aggregator().pollCount());
+    metrics_.setCounter("net.messages_resolved", node,
+                        n.network().messagesResolved());
+  }
+
+  // Fabric totals and per-link traffic (nonzero links only; app-level view).
+  const net::LinkStats t = fabric_->total();
+  metrics_.setCounter("fabric.batches", "", t.batches);
+  metrics_.setCounter("fabric.messages", "", t.messages);
+  metrics_.setCounter("fabric.bytes", "", t.bytes);
+  metrics_.setCounter("fabric.retransmits", "", t.retransmits);
+  metrics_.setCounter("fabric.dup_drops", "", t.dup_drops);
+  metrics_.setCounter("fabric.acks", "", t.acks);
+  metrics_.setGauge("fabric.pending_now", "", double(fabric_->pendingCount()));
+  metrics_.setStat("fabric.batch_bytes", "", fabric_->batchSizeBytes());
+  for (std::uint32_t src = 0; src < config_.nodes; ++src) {
+    for (std::uint32_t dst = 0; dst < config_.nodes; ++dst) {
+      const net::LinkStats l = fabric_->link(src, dst);
+      if (l.batches == 0) continue;
+      const std::string link =
+          "link=" + std::to_string(src) + "->" + std::to_string(dst);
+      metrics_.setCounter("link.batches", link, l.batches);
+      metrics_.setCounter("link.messages", link, l.messages);
+      metrics_.setCounter("link.bytes", link, l.bytes);
+      if (l.retransmits)
+        metrics_.setCounter("link.retransmits", link, l.retransmits);
+    }
+  }
+
+  const net::ReliabilityStats r = fabric_->reliabilityStats();
+  metrics_.setCounter("rel.acks_sent", "", r.acks_sent);
+  metrics_.setCounter("rel.reorder_drops", "", r.reorder_drops);
+  metrics_.setGauge("rel.reorder_peak", "", double(r.reorder_peak));
+  if (reliable_) {
+    for (const auto& ls : reliable_->sendStates()) {
+      const std::string link =
+          "link=" + std::to_string(ls.src) + "->" + std::to_string(ls.dst);
+      metrics_.setGauge("rel.link_unacked", link, double(ls.unacked));
+      metrics_.setGauge("rel.link_oldest_seq", link, double(ls.oldest_seq));
+      metrics_.setGauge("rel.link_next_seq", link, double(ls.next_seq));
+      metrics_.setGauge("rel.link_retries", link, double(ls.retries));
+    }
+  }
+
+  const net::FaultStats f = fabric_->faultStats();
+  metrics_.setCounter("fault.drops", "", f.drops);
+  metrics_.setCounter("fault.partition_drops", "", f.partition_drops);
+  metrics_.setCounter("fault.duplicates", "", f.duplicates);
+  metrics_.setCounter("fault.reorders", "", f.reorders);
+  metrics_.setCounter("fault.delays", "", f.delays);
+
+  // Trace-derived stage latencies (sampled messages only).
+  if (tracer_.enabled()) {
+    const obs::StageLatencies lat = obs::stageLatencies(tracer_);
+    for (int st = 0; st + 1 < obs::kMessageStages; ++st) {
+      const std::string name =
+          std::string("trace.latency_ns.") +
+          obs::stageName(obs::Stage(st)) + "_to_" +
+          obs::stageName(obs::Stage(st + 1));
+      if (lat.stage[st].count()) metrics_.setStat(name, "", lat.stage[st]);
+    }
+    if (lat.end_to_end.count())
+      metrics_.setStat("trace.latency_ns.end_to_end", "", lat.end_to_end);
+    metrics_.setCounter("trace.candidates", "", tracer_.sampledCandidates());
+    metrics_.setCounter("trace.dropped_events", "", tracer_.droppedEvents());
+  }
+
+  return metrics_.snapshot();
+}
+
+void Cluster::writeTrace(std::ostream& os) const {
+  obs::writeChromeTrace(os, tracer_);
+}
+
+void Cluster::writeMetricsJson(std::ostream& os) {
+  collectMetrics().toJson(os);
+}
+
+void Cluster::writeMetricsCsv(std::ostream& os) {
+  collectMetrics().toCsv(os);
 }
 
 }  // namespace gravel::rt

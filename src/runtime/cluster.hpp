@@ -3,15 +3,20 @@
 // protocol and the per-run statistics roll-up the benches print.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <ostream>
+#include <thread>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "net/fabric.hpp"
 #include "net/fault.hpp"
 #include "net/reliable.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/active_message.hpp"
 #include "runtime/cluster_stats.hpp"
 #include "runtime/config.hpp"
@@ -85,11 +90,37 @@ class Cluster {
   ClusterRunStats runStats() const;
   void resetStats();
 
+  // --- observability (src/obs) -------------------------------------------
+
+  /// The message-lifecycle tracer (enabled via config.obs.enabled).
+  obs::Tracer& tracer() noexcept { return tracer_; }
+  const obs::Tracer& tracer() const noexcept { return tracer_; }
+
+  /// The metrics registry; the depth sampler feeds it continuously, and
+  /// collectMetrics() publishes every runtime counter into it.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Publishes all runtime/fabric/trace-derived metrics into the registry
+  /// and returns a snapshot. Call at quiescent points (after quiet()).
+  obs::MetricsSnapshot collectMetrics();
+
+  /// Chrome-trace JSON of everything recorded so far (open the file in
+  /// https://ui.perfetto.dev). Call at a quiescent point.
+  void writeTrace(std::ostream& os) const;
+
+  /// Metrics snapshot as JSON / CSV (collectMetrics() first).
+  void writeMetricsJson(std::ostream& os);
+  void writeMetricsCsv(std::ostream& os);
+
  private:
   void ensureThreadsStarted();
   [[noreturn]] void quietDeadlineExpired(const char* stage);
+  void gaugeSamplerLoop();
+  void sampleGauges();
 
   ClusterConfig config_;
+  obs::Tracer tracer_;        ///< must outlive nodes_/fabric (they hold refs)
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<net::Fabric> wire_;             ///< transport (maybe faulty)
   std::unique_ptr<net::ReliableFabric> reliable_; ///< optional sublayer
   net::Fabric* fabric_ = nullptr;                 ///< top of the stack
@@ -97,6 +128,9 @@ class Cluster {
   SymmetricAllocator allocator_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   bool threadsStarted_ = false;
+
+  std::thread gaugeSampler_;
+  std::atomic<bool> samplerStop_{false};
 
   // Snapshot baselines so runStats() reports per-window deltas.
   net::LinkStats fabricBase_{};

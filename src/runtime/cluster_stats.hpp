@@ -3,6 +3,7 @@
 // model in src/perf: everything timing-related is derived from these counts.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "simt/types.hpp"
@@ -48,6 +49,50 @@ struct ClusterRunStats {
   // Fault injection on the wire (zero on PerfectFabric).
   std::uint64_t injected_drops = 0;  ///< batches the adversary discarded
   std::uint64_t injected_dups = 0;   ///< extra copies it delivered
+
+  /// Combines another window (or another cluster's shard) into this one.
+  /// Field semantics differ and naive `+=` over the whole struct is wrong:
+  /// peak-style fields (`reorder_peak`) are high-water marks and combine
+  /// with max, `avg_batch_bytes` is a mean and must be re-weighted by batch
+  /// count, and `nodes` describes the topology rather than a quantity. Use
+  /// this instead of summing fields at call sites.
+  void merge(const ClusterRunStats& o) {
+    nodes = std::max(nodes, o.nodes);
+
+    put_local += o.put_local;
+    put_remote += o.put_remote;
+    inc_local += o.inc_local;
+    inc_remote += o.inc_remote;
+    am_local += o.am_local;
+    am_remote += o.am_remote;
+
+    lanes_executed += o.lanes_executed;
+    workgroups_executed += o.workgroups_executed;
+    collective_ops += o.collective_ops;
+    collective_arrivals += o.collective_arrivals;
+    active_arrivals += o.active_arrivals;
+    predication_overhead_ops += o.predication_overhead_ops;
+
+    // Weighted mean before the counts it derives from are summed.
+    const double total = double(net_batches) + double(o.net_batches);
+    if (total > 0)
+      avg_batch_bytes = (avg_batch_bytes * double(net_batches) +
+                         o.avg_batch_bytes * double(o.net_batches)) /
+                        total;
+    net_batches += o.net_batches;
+    net_messages += o.net_messages;
+    net_bytes += o.net_bytes;
+
+    retransmits += o.retransmits;
+    dup_drops += o.dup_drops;
+    acks += o.acks;
+    acks_sent += o.acks_sent;
+    reorder_drops += o.reorder_drops;
+    reorder_peak = std::max(reorder_peak, o.reorder_peak);  // peak, not sum
+
+    injected_drops += o.injected_drops;
+    injected_dups += o.injected_dups;
+  }
 
   std::uint64_t opsTotal() const {
     return put_local + put_remote + inc_local + inc_remote + am_local +

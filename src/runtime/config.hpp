@@ -8,6 +8,7 @@
 #include "common/units.hpp"
 #include "net/fault.hpp"
 #include "net/reliable.hpp"
+#include "obs/trace.hpp"
 #include "simt/types.hpp"
 
 namespace gravel::rt {
@@ -53,6 +54,12 @@ struct ClusterConfig {
   /// per-link diagnostic instead of hanging the process. Zero disables the
   /// deadline.
   std::chrono::milliseconds quiet_deadline{120000};
+
+  /// Observability (src/obs): message-lifecycle tracing, depth gauges and
+  /// the metrics registry feed. Off by default; when `obs.enabled` is false
+  /// the hot paths pay one predictable branch per record site and nothing
+  /// else.
+  obs::TraceConfig obs{};
 
   simt::DeviceConfig device{};
 };

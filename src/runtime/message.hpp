@@ -41,6 +41,22 @@ struct NetMessage {
     return static_cast<std::uint32_t>(cmd >> 32);
   }
 
+  /// Observability: a sampled trace ID rides in cmd bits 16..31, which every
+  /// data command leaves free (kControl uses 8..15 for its kind; the AM
+  /// handler sits in 32..63). 0 means untraced; the ID survives aggregation,
+  /// framing and retransmission because the payload words are never
+  /// rewritten past the enqueue.
+  static constexpr int kTraceShift = 16;
+  static constexpr std::uint64_t kTraceMask = 0xffffull << kTraceShift;
+
+  std::uint32_t traceId() const noexcept {
+    return static_cast<std::uint32_t>((cmd & kTraceMask) >> kTraceShift);
+  }
+  void setTraceId(std::uint32_t id) noexcept {
+    cmd = (cmd & ~kTraceMask) |
+          ((std::uint64_t(id) << kTraceShift) & kTraceMask);
+  }
+
   static NetMessage put(std::uint32_t dest, std::uint64_t addr,
                         std::uint64_t value) {
     return {std::uint64_t(Command::kPut), dest, addr, value};

@@ -11,6 +11,7 @@
 
 #include "common/backoff.hpp"
 #include "net/fabric.hpp"
+#include "obs/trace.hpp"
 #include "runtime/active_message.hpp"
 #include "runtime/message.hpp"
 #include "runtime/symmetric_heap.hpp"
@@ -20,8 +21,12 @@ namespace gravel::rt {
 class NetworkThread {
  public:
   NetworkThread(std::uint32_t self, net::Fabric& fabric, SymmetricHeap& heap,
-                const AmRegistry& registry)
-      : self_(self), fabric_(fabric), heap_(heap), registry_(registry) {}
+                const AmRegistry& registry, obs::Tracer& tracer)
+      : self_(self),
+        fabric_(fabric),
+        heap_(heap),
+        registry_(registry),
+        tracer_(tracer) {}
 
   ~NetworkThread() { stop(); }
 
@@ -44,6 +49,7 @@ class NetworkThread {
 
  private:
   void run() {
+    tracer_.nameThread("net." + std::to_string(self_));
     // Handler-initiated follow-on messages ship immediately as one-message
     // batches: chained walks are latency-bound, not bandwidth-bound, and
     // shipping before markResolved() keeps the quiet protocol's in-flight
@@ -81,6 +87,11 @@ class NetworkThread {
   }
 
   void resolve(AmContext& ctx, const NetMessage& m) {
+    const std::uint32_t traceId =
+        tracer_.enabled() ? m.traceId() : 0;
+    if (traceId)
+      tracer_.recordStage(obs::Stage::kDeliver, traceId, std::uint8_t(self_),
+                          std::uint16_t(self_), m.addr);
     switch (m.command()) {
       case Command::kPut:
         heap_.storeU64(m.addr, m.value);
@@ -97,12 +108,16 @@ class NetworkThread {
         GRAVEL_CHECK_MSG(false, "control message escaped the fabric layer");
         break;
     }
+    if (traceId)
+      tracer_.recordStage(obs::Stage::kResolve, traceId, std::uint8_t(self_),
+                          std::uint16_t(self_), m.addr);
   }
 
   std::uint32_t self_;
   net::Fabric& fabric_;
   SymmetricHeap& heap_;
   const AmRegistry& registry_;
+  obs::Tracer& tracer_;
   std::atomic<bool> stopped_{true};
   std::atomic<std::uint64_t> resolved_{0};
   std::thread worker_;

@@ -19,6 +19,18 @@ void NodeRuntime::enqueueGroup(simt::WorkItem& wi, const NetMessage& m,
       lane, CollectiveOp::kPrefixSumExclusive, active ? 1 : 0, active, fb);
   const bool isLeader = active && lane == leader;
 
+  // Observability: sample this lane's message and stamp the trace ID into
+  // the command word before the payload is written — from here the ID rides
+  // the wire format through every downstream stage for free.
+  NetMessage traced = m;
+  if (active && tracer_.enabled()) {
+    if (const std::uint32_t traceId = tracer_.maybeSample()) {
+      traced.setTraceId(traceId);
+      tracer_.recordStage(obs::Stage::kEnqueue, traceId, std::uint8_t(id_),
+                          std::uint16_t(m.dest), m.addr);
+    }
+  }
+
   GravelQueue::SlotRef ref{};
   std::uint64_t packed = 0;
   std::uint32_t count = 0;
@@ -36,10 +48,10 @@ void NodeRuntime::enqueueGroup(simt::WorkItem& wi, const NetMessage& m,
 
   if (active) {
     const auto slot = unpackRef(packed, /*count=*/0);
-    queue_.wordAt(slot, 0, static_cast<std::uint32_t>(myOff)) = m.cmd;
-    queue_.wordAt(slot, 1, static_cast<std::uint32_t>(myOff)) = m.dest;
-    queue_.wordAt(slot, 2, static_cast<std::uint32_t>(myOff)) = m.addr;
-    queue_.wordAt(slot, 3, static_cast<std::uint32_t>(myOff)) = m.value;
+    queue_.wordAt(slot, 0, static_cast<std::uint32_t>(myOff)) = traced.cmd;
+    queue_.wordAt(slot, 1, static_cast<std::uint32_t>(myOff)) = traced.dest;
+    queue_.wordAt(slot, 2, static_cast<std::uint32_t>(myOff)) = traced.addr;
+    queue_.wordAt(slot, 3, static_cast<std::uint32_t>(myOff)) = traced.value;
   }
   // Every lane's column must be in place before the leader publishes.
   wg.collective(lane, CollectiveOp::kBarrier, 0, true, fb);

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "net/fabric.hpp"
+#include "obs/trace.hpp"
 #include "queue/gravel_queue.hpp"
 #include "runtime/active_message.hpp"
 #include "runtime/aggregator.hpp"
@@ -42,15 +43,17 @@ struct NodeOpStats {
 class NodeRuntime {
  public:
   NodeRuntime(std::uint32_t id, const ClusterConfig& config,
-              net::Fabric& fabric, const AmRegistry& registry)
+              net::Fabric& fabric, const AmRegistry& registry,
+              obs::Tracer& tracer)
       : id_(id),
         config_(config),
+        tracer_(tracer),
         heap_(config.heap_bytes),
         queue_(GravelQueueConfig{config.gpu_queue_bytes,
                                  config.device.max_wg_size,
                                  NetMessage::kRows}),
-        aggregator_(id, queue_, fabric, config),
-        network_(id, fabric, heap_, registry),
+        aggregator_(id, queue_, fabric, config, tracer),
+        network_(id, fabric, heap_, registry, tracer),
         device_(config.device) {}
 
   std::uint32_t id() const noexcept { return id_; }
@@ -154,6 +157,7 @@ class NodeRuntime {
 
   std::uint32_t id_;
   const ClusterConfig& config_;
+  obs::Tracer& tracer_;
   SymmetricHeap heap_;
   GravelQueue queue_;
   Aggregator aggregator_;

@@ -139,6 +139,72 @@ TEST(Stats, Pow2HistogramBuckets) {
   EXPECT_EQ(h.bucket(11), 1u);
 }
 
+TEST(Stats, CounterIsCacheLinePadded) {
+  // Counters sit side by side in stats blocks; padding each to a full line
+  // is what keeps concurrent add()s from false-sharing.
+  static_assert(sizeof(Counter) == kCacheLineSize);
+  static_assert(alignof(Counter) == kCacheLineSize);
+  Counter c[2];
+  const auto a0 = reinterpret_cast<std::uintptr_t>(&c[0]);
+  const auto a1 = reinterpret_cast<std::uintptr_t>(&c[1]);
+  EXPECT_EQ(a1 - a0, kCacheLineSize);
+}
+
+TEST(Stats, ShardedCounterSumsAcrossThreads) {
+  ShardedCounter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.get(), 80000u);
+  c.add(5);
+  EXPECT_EQ(c.get(), 80005u);
+  c.reset();
+  EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(Stats, RunningStatMergeWithEmptySides) {
+  RunningStat empty;
+  RunningStat full;
+  full.add(3.0);
+  full.add(7.0);
+
+  RunningStat a = full;
+  a.merge(empty);  // empty right side: nothing changes
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+
+  RunningStat b;
+  b.merge(full);  // empty left side: adopts the other's moments
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(b.min(), 3.0);
+  EXPECT_DOUBLE_EQ(b.max(), 7.0);
+
+  RunningStat c;
+  c.merge(empty);  // both empty: still reports zeros, not infinities
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.min(), 0.0);
+  EXPECT_EQ(c.max(), 0.0);
+}
+
+TEST(Stats, Pow2HistogramEdgeCases) {
+  Pow2Histogram h;
+  h.add(0);  // zero has no leading bit: defined to land in bucket 0
+  h.add(1);
+  h.add((std::uint64_t(1) << 62));
+  h.add(~std::uint64_t(0));  // 2^64-1: beyond kBuckets, saturates to the top
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  // 2^62 has bit index 62 -> raw bucket 63, clamped to kBuckets-1; the max
+  // value clamps there too, so saturation accumulates rather than drops.
+  EXPECT_EQ(h.bucket(Pow2Histogram::kBuckets - 1), 2u);
+}
+
 TEST(Stats, MetricSetAccumulates) {
   MetricSet a, b;
   a["bytes"] = 10;

@@ -199,6 +199,34 @@ TEST(Fault, DropsWithoutReliabilityFailFastWithDiagnostic) {
   EXPECT_LT(elapsed, std::chrono::seconds(30));
 }
 
+TEST(Fault, QuietDeadlineDumpNamesStalledLinkAndSequenceRange) {
+  // With the reliability layer on, the deadline post-mortem must go beyond
+  // "something is in flight": it names the stalled link and the unacked
+  // sequence range it still owes, straight from the metrics registry.
+  ClusterConfig c = base();
+  c.fault.seed = 17;
+  c.fault.partitions.push_back(
+      {0, 1, std::chrono::microseconds(0), std::chrono::seconds(60)});
+  c.reliability = fastReliability();
+  c.reliability.max_retries = 1000000;  // never exhausts: the deadline fires
+  c.quiet_deadline = std::chrono::milliseconds(1500);
+  Cluster cluster(c);
+  auto slot = cluster.alloc<std::uint64_t>(1);
+  try {
+    cluster.launchAll(32, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+      cluster.node(n).shmemInc(wi, 1, slot.at(0), /*active=*/n == 0);
+    });
+    FAIL() << "quiet() should have hit its deadline";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quiet deadline"), std::string::npos) << what;
+    EXPECT_NE(what.find("stalled link=0->1"), std::string::npos) << what;
+    EXPECT_NE(what.find("unacked"), std::string::npos) << what;
+    EXPECT_NE(what.find("oldest seq"), std::string::npos) << what;
+    EXPECT_NE(what.find("next seq"), std::string::npos) << what;
+  }
+}
+
 TEST(Fault, PartitionWindowHealsThroughRetransmit) {
   // Link 0->1 blacked out for the first 800 ms (long enough that the first
   // sends land inside the window even under sanitizer-slowed start-up):

@@ -1,0 +1,393 @@
+// Observability layer: metrics registry snapshot/delta/export semantics,
+// message-lifecycle tracing through a real cluster run (including a hostile
+// wire), and the Chrome-trace exporter's output shape.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "runtime/cluster.hpp"
+
+namespace gravel {
+namespace {
+
+using obs::MetricKind;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::Stage;
+using obs::TraceConfig;
+using obs::TraceEvent;
+using obs::Tracer;
+
+// --- JSON well-formedness (structural, no parser dependency) ---------------
+
+/// Checks brace/bracket balance and quote pairing outside of strings — the
+/// failure modes a hand-rolled writer can actually have.
+bool jsonBalanced(const std::string& s) {
+  int depth = 0;
+  bool inString = false, escaped = false;
+  for (char ch : s) {
+    if (inString) {
+      if (escaped)
+        escaped = false;
+      else if (ch == '\\')
+        escaped = true;
+      else if (ch == '"')
+        inString = false;
+      continue;
+    }
+    switch (ch) {
+      case '"': inString = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !inString;
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(Metrics, RegistryRoundTripsKinds) {
+  MetricsRegistry reg;
+  reg.setCounter("msgs", "node=0", 42);
+  reg.setGauge("depth", "", 7.5);
+  reg.observe("lat", "", 10.0);
+  reg.observe("lat", "", 30.0);
+  reg.observeHistogram("size", "", 8);
+
+  const MetricsSnapshot s = reg.snapshot();
+  ASSERT_TRUE(s.contains("msgs", "node=0"));
+  EXPECT_EQ(s.find("msgs", "node=0")->kind, MetricKind::kCounter);
+  EXPECT_EQ(s.number("msgs", "node=0"), 42.0);
+  EXPECT_EQ(s.number("depth"), 7.5);
+  const obs::MetricValue* lat = s.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 2u);
+  EXPECT_EQ(lat->mean(), 20.0);
+  EXPECT_EQ(lat->min, 10.0);
+  EXPECT_EQ(lat->max, 30.0);
+  const obs::MetricValue* size = s.find("size");
+  ASSERT_NE(size, nullptr);
+  EXPECT_EQ(size->kind, MetricKind::kHistogram);
+  // 8 lands in bucket [2^3, 2^4) = index 4 under the 64-countl_zero rule.
+  EXPECT_EQ(size->buckets[4], 1u);
+  EXPECT_EQ(s.number("absent"), 0.0);
+}
+
+TEST(Metrics, DeltaWindowsCountersAndKeepsGauges) {
+  MetricsRegistry reg;
+  reg.setCounter("sent", "", 100);
+  reg.setGauge("depth", "", 5);
+  reg.observe("lat", "", 10);
+  const MetricsSnapshot base = reg.snapshot();
+
+  reg.setCounter("sent", "", 140);
+  reg.setGauge("depth", "", 2);
+  reg.observe("lat", "", 20);
+  const MetricsSnapshot now = reg.snapshot();
+
+  const MetricsSnapshot d = now.delta(base);
+  EXPECT_EQ(d.number("sent"), 40.0);    // counter: subtracted
+  EXPECT_EQ(d.number("depth"), 2.0);    // gauge: current level
+  const obs::MetricValue* lat = d.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 1u);            // stat: window count
+  EXPECT_EQ(lat->mean(), 20.0);         // window sum / window count
+}
+
+TEST(Metrics, JsonAndCsvExportAreWellFormed) {
+  MetricsRegistry reg;
+  reg.setCounter("a.count", "node=0", 3);
+  reg.setGauge("b.level", "link=0->1", 1.5);
+  reg.observe("c.stat", "", 2.0);
+  reg.observeHistogram("d.hist", "", 1024);
+  const MetricsSnapshot s = reg.snapshot();
+
+  std::ostringstream json;
+  s.toJson(json);
+  EXPECT_TRUE(jsonBalanced(json.str())) << json.str();
+  EXPECT_NE(json.str().find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"link=0->1\""), std::string::npos);
+
+  std::ostringstream csv;
+  s.toCsv(csv);
+  EXPECT_EQ(csv.str().rfind("name,labels,kind,count,value,min,max\n", 0), 0u);
+  // Header + one row per metric.
+  std::size_t lines = 0;
+  for (char ch : csv.str())
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 1 + s.metrics.size());
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  TraceConfig cfg;  // enabled = false
+  Tracer t(cfg);
+  EXPECT_EQ(t.maybeSample(), 0u);
+  t.recordStage(Stage::kEnqueue, 1, 0, 0, 0);
+  t.recordGauge(obs::Gauge::kGpuQueueDepth, 0, 5);
+  t.nameThread("ignored");
+  EXPECT_TRUE(t.allEvents().empty());
+  EXPECT_TRUE(t.buffers().empty());
+}
+
+TEST(Trace, SamplingHonorsIntervalAndNeverReturnsZero) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.sample_interval = 4;
+  Tracer t(cfg);
+  std::uint32_t sampled = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t id = t.maybeSample();
+    if (id != 0) ++sampled;
+    EXPECT_LE(id, 0xffffu);
+  }
+  EXPECT_EQ(sampled, 16u);  // 1 in 4
+  EXPECT_EQ(t.sampledCandidates(), 64u);
+}
+
+TEST(Trace, BufferOverflowDropsAndCounts) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.buffer_events = 4;
+  Tracer t(cfg);
+  for (std::uint32_t i = 0; i < 10; ++i)
+    t.recordStage(Stage::kEnqueue, i + 1, 0, 0, i);
+  EXPECT_EQ(t.allEvents().size(), 4u);
+  EXPECT_EQ(t.droppedEvents(), 6u);
+}
+
+// --- End-to-end through a cluster run --------------------------------------
+
+rt::ClusterConfig tracedConfig() {
+  rt::ClusterConfig c;
+  c.nodes = 2;
+  c.heap_bytes = 1 << 20;
+  c.gpu_queue_bytes = 1 << 13;
+  c.pernode_queue_bytes = 512;
+  c.device.wavefront_width = 8;
+  c.device.max_wg_size = 32;
+  c.quiet_deadline = std::chrono::milliseconds(60000);
+  c.obs.enabled = true;
+  c.obs.sample_interval = 1;  // trace every message
+  c.obs.gauge_period = std::chrono::microseconds(200);
+  return c;
+}
+
+void runTracedWorkload(rt::Cluster& cluster) {
+  auto slots = cluster.alloc<std::uint64_t>(64);
+  cluster.launchAll(128, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+    cluster.node(n).shmemInc(wi, (n + 1) % 2, slots.at(wi.globalId() % 64));
+  });
+}
+
+TEST(Trace, ClusterRunProducesOrderedLifecycles) {
+  rt::Cluster cluster(tracedConfig());
+  runTracedWorkload(cluster);
+
+  const auto lifecycles = obs::reconstructLifecycles(cluster.tracer());
+  ASSERT_FALSE(lifecycles.empty());
+  std::size_t complete = 0;
+  for (const auto& lc : lifecycles) {
+    // Observed stages must be timestamp-ordered along the pipeline.
+    std::uint64_t prev = 0;
+    for (int s = 0; s < obs::kMessageStages; ++s) {
+      if (lc.ts_ns[s] == 0) continue;
+      EXPECT_GE(lc.ts_ns[s], prev)
+          << "stage " << obs::stageName(Stage(s)) << " out of order for id "
+          << lc.id;
+      prev = lc.ts_ns[s];
+    }
+    if (lc.complete()) ++complete;
+  }
+  // At least one sampled message must have been seen at every stage:
+  // enqueue -> aggregate -> flush -> wire-send -> deliver -> resolve.
+  EXPECT_GT(complete, 0u);
+
+  // Stage latencies derive from those lifecycles.
+  const obs::StageLatencies lat = obs::stageLatencies(cluster.tracer());
+  EXPECT_GT(lat.end_to_end.count(), 0u);
+  EXPECT_GE(lat.end_to_end.min(), 0.0);
+}
+
+TEST(Trace, ChromeTraceExportHasFlowsAndCounters) {
+  rt::Cluster cluster(tracedConfig());
+  runTracedWorkload(cluster);
+
+  std::ostringstream os;
+  cluster.writeTrace(os);
+  const std::string j = os.str();
+  EXPECT_TRUE(jsonBalanced(j));
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(j.find("\"thread_name\""), std::string::npos);
+  // Named pipeline tracks.
+  EXPECT_NE(j.find("agg.0.0"), std::string::npos);
+  EXPECT_NE(j.find("net.0"), std::string::npos);
+  EXPECT_NE(j.find("gpu.0"), std::string::npos);
+  // Message slices for every stage.
+  for (int s = 0; s < obs::kMessageStages; ++s)
+    EXPECT_NE(j.find(std::string("\"") + obs::stageName(Stage(s)) + "\""),
+              std::string::npos)
+        << obs::stageName(Stage(s));
+  // At least one full flow chain: start, step, finish (with binding point).
+  EXPECT_NE(j.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(j.find("\"bp\":\"e\""), std::string::npos);
+  // Depth-gauge counter tracks from the sampler thread.
+  EXPECT_NE(j.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(j.find("gpu_queue_depth"), std::string::npos);
+}
+
+TEST(Trace, SurvivesFaultyWireWithReliability) {
+  // The trace ID lives in the message's cmd word, so it must survive drops,
+  // duplicates, reordering and retransmission — complete flows included.
+  rt::ClusterConfig c = tracedConfig();
+  c.fault.seed = 5;
+  c.fault.drop_prob = 0.15;
+  c.fault.dup_prob = 0.05;
+  c.fault.reorder_prob = 0.25;
+  c.reliability.enabled = true;
+  c.reliability.rto_base = std::chrono::microseconds(500);
+  c.reliability.rto_max = std::chrono::microseconds(8000);
+  rt::Cluster cluster(c);
+  runTracedWorkload(cluster);
+
+  std::size_t complete = 0;
+  for (const auto& lc : obs::reconstructLifecycles(cluster.tracer()))
+    if (lc.complete()) ++complete;
+  EXPECT_GT(complete, 0u);
+
+  std::ostringstream os;
+  cluster.writeTrace(os);
+  EXPECT_TRUE(jsonBalanced(os.str()));
+
+  // The registry snapshot carries the fault/reliability counters too. Any
+  // dropped batch — data or ACK — can only have been healed by at least one
+  // retransmission.
+  const MetricsSnapshot snap = cluster.collectMetrics();
+  EXPECT_GT(snap.number("fault.drops") + snap.number("fault.duplicates"), 0.0);
+  if (snap.number("fault.drops") > 0.0)
+    EXPECT_GT(snap.number("fabric.retransmits"), 0.0);
+  EXPECT_GT(snap.number("trace.candidates"), 0.0);
+}
+
+TEST(Trace, ClusterMetricsSnapshotCoversPipeline) {
+  rt::Cluster cluster(tracedConfig());
+  runTracedWorkload(cluster);
+  const MetricsSnapshot snap = cluster.collectMetrics();
+
+  // 2 nodes x 128 work-items, every op a shmemInc.
+  EXPECT_EQ(snap.number("ops.inc_local", "node=0") +
+                snap.number("ops.inc_remote", "node=0"),
+            128.0);
+  EXPECT_EQ(snap.number("agg.messages_routed", "node=0") +
+                snap.number("agg.messages_routed", "node=1"),
+            256.0);
+  EXPECT_EQ(snap.number("net.messages_resolved", "node=0") +
+                snap.number("net.messages_resolved", "node=1"),
+            256.0);
+  EXPECT_EQ(snap.number("fabric.messages"),
+            snap.number("ops.inc_remote", "node=0") +
+                snap.number("ops.inc_remote", "node=1"));
+  // The gauge sampler fed depth histograms on its cadence.
+  EXPECT_TRUE(snap.contains("gpu_queue.depth", "node=0"));
+  EXPECT_TRUE(snap.contains("fabric.pending"));
+  // Trace-derived end-to-end latency made it into the registry.
+  EXPECT_TRUE(snap.contains("trace.latency_ns.end_to_end"));
+
+  std::ostringstream json;
+  cluster.writeMetricsJson(json);
+  EXPECT_TRUE(jsonBalanced(json.str()));
+}
+
+TEST(Trace, DisabledObservabilityLeavesMessagesUnstamped) {
+  rt::ClusterConfig c = tracedConfig();
+  c.obs.enabled = false;
+  c.obs.gauge_period = std::chrono::microseconds(0);
+  rt::Cluster cluster(c);
+  runTracedWorkload(cluster);
+  EXPECT_TRUE(cluster.tracer().allEvents().empty());
+  EXPECT_EQ(cluster.tracer().sampledCandidates(), 0u);
+  std::ostringstream os;
+  cluster.writeTrace(os);
+  EXPECT_TRUE(jsonBalanced(os.str()));  // valid, just empty of events
+}
+
+// --- NetMessage trace-ID stamping ------------------------------------------
+
+TEST(Trace, TraceIdRoundTripsThroughCmdWord) {
+  rt::NetMessage m = rt::NetMessage::put(3, 0x1000, 42);
+  EXPECT_EQ(m.traceId(), 0u);
+  m.setTraceId(0xbeef);
+  EXPECT_EQ(m.traceId(), 0xbeefu);
+  // Stamping must not disturb the command or the payload.
+  EXPECT_EQ(m.command(), rt::Command::kPut);
+  EXPECT_EQ(m.dest, 3u);
+  EXPECT_EQ(m.addr, 0x1000u);
+  EXPECT_EQ(m.value, 42u);
+  m.setTraceId(0);
+  EXPECT_EQ(m.traceId(), 0u);
+  EXPECT_EQ(m.command(), rt::Command::kPut);
+}
+
+// --- ClusterRunStats::merge ------------------------------------------------
+
+TEST(Stats, ClusterRunStatsMergeSemantics) {
+  rt::ClusterRunStats a;
+  a.nodes = 4;
+  a.put_remote = 10;
+  a.net_batches = 2;
+  a.net_messages = 20;
+  a.avg_batch_bytes = 100.0;
+  a.reorder_peak = 5;
+  rt::ClusterRunStats b;
+  b.nodes = 4;
+  b.put_remote = 30;
+  b.net_batches = 6;
+  b.net_messages = 60;
+  b.avg_batch_bytes = 200.0;
+  b.reorder_peak = 3;
+
+  a.merge(b);
+  EXPECT_EQ(a.nodes, 4u);            // topology, not a quantity
+  EXPECT_EQ(a.put_remote, 40u);      // counts sum
+  EXPECT_EQ(a.net_batches, 8u);
+  EXPECT_EQ(a.net_messages, 80u);
+  EXPECT_EQ(a.reorder_peak, 5u);     // peak combines with max, not +
+  // Mean re-weighted by batch count: (100*2 + 200*6) / 8.
+  EXPECT_DOUBLE_EQ(a.avg_batch_bytes, 175.0);
+}
+
+TEST(Stats, ClusterRunStatsMergeWithEmptySides) {
+  rt::ClusterRunStats empty;
+  rt::ClusterRunStats full;
+  full.net_batches = 4;
+  full.avg_batch_bytes = 50.0;
+  full.reorder_peak = 2;
+
+  rt::ClusterRunStats a = full;
+  a.merge(empty);  // merging nothing changes nothing
+  EXPECT_EQ(a.net_batches, 4u);
+  EXPECT_DOUBLE_EQ(a.avg_batch_bytes, 50.0);
+
+  rt::ClusterRunStats b = empty;
+  b.merge(full);  // merging into nothing adopts the other side
+  EXPECT_EQ(b.net_batches, 4u);
+  EXPECT_DOUBLE_EQ(b.avg_batch_bytes, 50.0);
+  EXPECT_EQ(b.reorder_peak, 2u);
+}
+
+}  // namespace
+}  // namespace gravel

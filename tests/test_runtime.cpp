@@ -112,7 +112,8 @@ TEST(Aggregator, TimeoutFlushesPartialBufferWithoutFlushAll) {
   c.flush_timeout = std::chrono::milliseconds(2);
   GravelQueue queue(GravelQueueConfig{1 << 13, 32, NetMessage::kRows});
   net::PerfectFabric fabric(2);
-  Aggregator agg(0, queue, fabric, c);
+  obs::Tracer tracer(c.obs);
+  Aggregator agg(0, queue, fabric, c, tracer);
   agg.start(1);
   auto ref = queue.acquireWrite(3);
   const NetMessage msgs[3] = {NetMessage::put(1, 0, 7),
