@@ -1,0 +1,59 @@
+// Repo-wide atomics entry point (DESIGN.md §8).
+//
+// All shared-memory synchronization in src/ goes through gravel::atomic<T>,
+// gravel::atomic_flag, and gravel::mutex from this header — never raw
+// std::atomic / std::mutex (enforced by tools/lint_concurrency.py). Two
+// build modes:
+//
+//   - Normal builds: the gravel names are plain aliases for the std types.
+//     Zero cost — same codegen, same layout (bench_fig8_queue_tput guards
+//     this). The verify hooks (dataLoad/dataStore/spinYield/choose) compile
+//     to nothing / a plain yield.
+//
+//   - GRAVEL_VERIFY=1 builds: the names resolve to the instrumented shim in
+//     src/verify/shim.hpp. Every operation becomes a schedule point under
+//     the model checker, loads can observe stale-but-coherent values, and
+//     plain payload accesses announced via dataLoad/dataStore are checked
+//     for data races. See tests/test_verify.cpp for usage.
+//
+// House rules this header exists to make checkable:
+//   1. every load/store/RMW names its memory_order explicitly (the shim's
+//      signatures have no defaulted order arguments);
+//   2. spin loops call gravel::verify::spinYield() when they back off, so
+//      the model checker can block them instead of replaying empty reads;
+//   3. code that hands raw payload memory across a synchronization edge
+//      announces the access via dataLoad/dataStore.
+#pragma once
+
+#if defined(GRAVEL_VERIFY) && GRAVEL_VERIFY
+
+#include "verify/shim.hpp"
+
+#else  // normal builds: straight aliases, no-op hooks
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace gravel {
+
+template <typename T>
+using atomic = std::atomic<T>;
+using atomic_flag = std::atomic_flag;
+using mutex = std::mutex;
+
+namespace verify {
+
+inline constexpr bool kEnabled = false;
+
+inline void dataLoad(const void* /*addr*/) noexcept {}
+inline void dataStore(const void* /*addr*/) noexcept {}
+inline void spinYield() { std::this_thread::yield(); }
+inline int choose(int /*numOptions*/) noexcept { return 0; }
+inline void fail(const std::string& /*message*/) noexcept {}
+
+}  // namespace verify
+}  // namespace gravel
+
+#endif  // GRAVEL_VERIFY

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <functional>
@@ -17,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic.hpp"
 #include "common/cacheline.hpp"
 
 namespace gravel {
@@ -39,7 +39,7 @@ class alignas(kCacheLineSize) Counter {
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  atomic<std::uint64_t> value_{0};
 };
 
 static_assert(sizeof(Counter) == kCacheLineSize);
@@ -72,7 +72,7 @@ class ShardedCounter {
 
  private:
   struct alignas(kCacheLineSize) Shard {
-    std::atomic<std::uint64_t> value{0};
+    atomic<std::uint64_t> value{0};
   };
 
   static std::size_t shardIndex() noexcept {

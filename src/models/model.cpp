@@ -1,7 +1,8 @@
 #include "models/model.hpp"
 
-#include <atomic>
 #include <mutex>
+
+#include "common/atomic.hpp"
 #include <thread>
 #include <vector>
 
@@ -199,7 +200,7 @@ apps::AppReport runGupsModel(rt::Cluster& cluster, const GupsConfig& cfg,
           wg, cluster.config().pernode_queue_bytes / sizeof(NetMessage));
       struct DestQueue {
         std::vector<NetMessage> slots;
-        std::atomic<std::uint32_t> count{0};
+        atomic<std::uint32_t> count{0};
       };
       // queues[node][dest]
       std::vector<std::vector<DestQueue>> queues(nodes);
@@ -225,7 +226,8 @@ apps::AppReport runGupsModel(rt::Cluster& cluster, const GupsConfig& cfg,
             const std::uint64_t cnt = wi.wgReduceSum(mine ? 1 : 0);
             std::uint64_t base = 0;
             if (mine && myOff + 1 == cnt)  // leader = last active lane
-              base = queues[nodeId][d].count.fetch_add(std::uint32_t(cnt));
+              base = queues[nodeId][d].count.fetch_add(
+                  std::uint32_t(cnt), std::memory_order_seq_cst);
             base = wi.wgReduceSum(base);
             if (mine)
               queues[nodeId][d].slots[base + myOff] =
@@ -236,7 +238,8 @@ apps::AppReport runGupsModel(rt::Cluster& cluster, const GupsConfig& cfg,
         for (std::uint32_t i = 0; i < nodes; ++i) {
           for (std::uint32_t d = 0; d < nodes; ++d) {
             auto& dq = queues[i][d];
-            const std::uint32_t cnt = dq.count.exchange(0);
+            const std::uint32_t cnt =
+                dq.count.exchange(0, std::memory_order_seq_cst);
             if (cnt == 0) continue;
             std::vector<NetMessage> batch(dq.slots.begin(),
                                           dq.slots.begin() + cnt);

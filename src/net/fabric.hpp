@@ -18,7 +18,6 @@
 //     restores exactly-once in-order delivery on top of either wire.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -28,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "obs/trace.hpp"
@@ -290,16 +290,16 @@ class PerfectFabric : public Fabric {
 
  private:
   struct Inbox {
-    std::mutex mutex;
+    gravel::mutex mutex;
     std::deque<Parcel> pending;
   };
 
   std::uint32_t nodes_;
   mutable std::vector<Inbox> inboxes_;
-  mutable std::mutex linkMutex_;
+  mutable gravel::mutex linkMutex_;
   std::vector<LinkStats> links_;
   RunningStat batchBytes_;
-  std::atomic<std::uint64_t> inFlight_{0};
+  atomic<std::uint64_t> inFlight_{0};
 };
 
 }  // namespace gravel::net

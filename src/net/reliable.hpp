@@ -40,6 +40,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/atomic.hpp"
 #include "net/fabric.hpp"
 
 namespace gravel::net {
@@ -119,10 +120,16 @@ class ReliableFabric : public Fabric {
         admitData(raw.src, dst, header.seq(), std::move(raw.messages));
     }
     ReadyQueue& rq = ready_[dst];
-    std::scoped_lock lk(rq.mutex);
-    if (rq.pending.empty()) return false;
-    out = std::move(rq.pending.front());
-    rq.pending.pop_front();
+    {
+      std::scoped_lock lk(rq.mutex);
+      if (rq.pending.empty()) return false;
+      out = std::move(rq.pending.front());
+      rq.pending.pop_front();
+    }
+    // Decrement outside the critical section (keeps the lock hold short).
+    // Ordering vs quiescent(): the count was incremented before the batch
+    // became poppable, so this sub can never drive the count below the
+    // number of still-pending batches.
     readyCount_.fetch_sub(1, std::memory_order_release);
     return true;
   }
@@ -190,7 +197,8 @@ class ReliableFabric : public Fabric {
 
   std::string describePending() const override {
     std::ostringstream os;
-    os << "reliability: " << outstanding_.load() << " unacked batch(es)";
+    os << "reliability: " << outstanding_.load(std::memory_order_acquire)
+       << " unacked batch(es)";
     for (std::uint32_t s = 0; s < nodes_; ++s) {
       for (std::uint32_t d = 0; d < nodes_; ++d) {
         const SendLink& L = sendLinks_[linkIndex(s, d)];
@@ -308,7 +316,7 @@ class ReliableFabric : public Fabric {
 
  private:
   struct SendLink {
-    mutable std::mutex mutex;
+    mutable gravel::mutex mutex;
     std::uint64_t nextSeq = 1;
     std::map<std::uint64_t, std::vector<rt::NetMessage>> unacked;
     std::chrono::steady_clock::time_point nextRetryAt{};
@@ -316,13 +324,13 @@ class ReliableFabric : public Fabric {
     std::uint32_t retries = 0;
   };
   struct RecvLink {
-    mutable std::mutex mutex;
+    mutable gravel::mutex mutex;
     std::uint64_t delivered = 0;  ///< highest seq handed upward (contiguous)
     std::map<std::uint64_t, std::vector<rt::NetMessage>> reorder;
-    std::atomic<std::uint64_t> resolved{0};  ///< cumulative ACK level
+    atomic<std::uint64_t> resolved{0};  ///< cumulative ACK level
   };
   struct ReadyQueue {
-    mutable std::mutex mutex;
+    mutable gravel::mutex mutex;
     std::deque<Delivery> pending;
   };
 
@@ -422,9 +430,11 @@ class ReliableFabric : public Fabric {
 
   void pushReady(std::uint32_t self, Delivery&& d) {
     ReadyQueue& rq = ready_[self];
+    // Increment before the push becomes visible: quiescent() may over-count
+    // briefly (conservative) but never under-counts a pending batch.
+    readyCount_.fetch_add(1, std::memory_order_release);
     std::scoped_lock lk(rq.mutex);
     rq.pending.push_back(std::move(d));
-    readyCount_.fetch_add(1, std::memory_order_release);
   }
 
   void latchFailure(const LinkFailureInfo& info) {
@@ -439,15 +449,15 @@ class ReliableFabric : public Fabric {
   std::vector<SendLink> sendLinks_;
   std::vector<RecvLink> recvLinks_;
   std::vector<ReadyQueue> ready_;
-  std::atomic<std::uint64_t> outstanding_{0};
-  std::atomic<std::uint64_t> readyCount_{0};
+  atomic<std::uint64_t> outstanding_{0};
+  atomic<std::uint64_t> readyCount_{0};
 
-  mutable std::mutex statsMutex_;
+  mutable gravel::mutex statsMutex_;
   std::vector<LinkStats> links_;
   RunningStat batchBytes_;
   ReliabilityStats relStats_;
 
-  mutable std::mutex failureMutex_;
+  mutable gravel::mutex failureMutex_;
   std::optional<LinkFailureInfo> failure_;
 };
 

@@ -20,13 +20,14 @@
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/atomic.hpp"
 
 namespace gravel::obs {
 
@@ -104,8 +105,8 @@ class TraceBuffer {
  private:
   std::size_t capacity_;
   std::unique_ptr<TraceEvent[]> events_;
-  std::atomic<std::size_t> count_{0};
-  std::atomic<std::uint64_t> dropped_{0};
+  atomic<std::size_t> count_{0};
+  atomic<std::uint64_t> dropped_{0};
   std::string name_ = "thread";
 };
 
@@ -238,7 +239,7 @@ class Tracer {
 
  private:
   static std::uint64_t nextGeneration() noexcept {
-    static std::atomic<std::uint64_t> gen{1};
+    static atomic<std::uint64_t> gen{1};
     return gen.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -262,8 +263,8 @@ class Tracer {
   std::chrono::steady_clock::time_point epoch_;
   std::uint64_t gen_;
 
-  std::atomic<std::uint64_t> candidates_{0};
-  std::atomic<std::uint32_t> nextId_{1};
+  atomic<std::uint64_t> candidates_{0};
+  atomic<std::uint32_t> nextId_{1};
 
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<TraceBuffer>> buffers_;

@@ -20,17 +20,23 @@
 // their messages into shared cache lines (memory coalescing); the CPU-only
 // baselines in spsc_queue.hpp / mpmc_queue.hpp need a padded cache line per
 // message instead, which is the §4.3 bandwidth gap for small messages.
+//
+// The memory-order protocol here is model-checked: tests/test_verify.cpp
+// explores bounded configurations exhaustively, and the mutation self-test
+// weakens each acquire/release below to relaxed and asserts the checker
+// objects (DESIGN.md §8).
+//
+// gravel-lint: hot-path
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <span>
-#include <thread>
 #include <vector>
 
+#include "common/atomic.hpp"
 #include "common/cacheline.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -95,6 +101,8 @@ class GravelQueue {
     // the ticket instead of re-counting.
     const std::uint64_t ticket = idx / slotCount_;
     // Wait for our round: N == ticket and the slot drained (F clear).
+    // The acquire on round pairs with release()'s round.store: it orders this
+    // producer's payload writes after the previous round's consumer reads.
     spinUntil(
         [&] {
           return s.round.load(std::memory_order_acquire) == ticket &&
@@ -109,8 +117,23 @@ class GravelQueue {
   /// needed between lanes of the same group.
   std::uint64_t& wordAt(const SlotRef& ref, std::uint32_t row,
                         std::uint32_t lane) noexcept {
-    return payload_[ref.slot * slotWords_ + std::size_t{row} * config_.lanes +
-                    lane];
+    return payload_[wordIndex(ref, row, lane)];
+  }
+
+  /// wordAt with the access announced to the verification layer's race
+  /// detector (no-ops in normal builds). New code and the typed facade use
+  /// these; the reference-returning wordAt remains for coalescing loops.
+  void putWord(const SlotRef& ref, std::uint32_t row, std::uint32_t lane,
+               std::uint64_t value) noexcept {
+    std::uint64_t& w = payload_[wordIndex(ref, row, lane)];
+    verify::dataStore(&w);
+    w = value;
+  }
+  std::uint64_t getWord(const SlotRef& ref, std::uint32_t row,
+                        std::uint32_t lane) const noexcept {
+    const std::uint64_t& w = payload_[wordIndex(ref, row, lane)];
+    verify::dataLoad(&w);
+    return w;
   }
 
   /// Producer side, step 3: make the slot visible to consumers. Called once
@@ -118,6 +141,8 @@ class GravelQueue {
   void publish(const SlotRef& ref) {
     Slot& s = slots_[ref.slot];
     s.count.store(ref.count, std::memory_order_relaxed);
+    // Release: the payload and count written above become visible to the
+    // consumer whose acquire load sees F set.
     s.full.store(true, std::memory_order_release);
     publishCount_.fetch_add(1, std::memory_order_release);
   }
@@ -130,7 +155,17 @@ class GravelQueue {
   /// writeIdx_ > readIdx_, i.e. some producer has already claimed that round
   /// of the ring; every producer that claims publishes in finite time, so the
   /// spin on F terminates.
-  bool acquireRead(SlotRef& out, const std::atomic<bool>& stopped,
+  ///
+  /// Stopped-drain: the relaxed readIdx_ re-read below is intentional. It can
+  /// only observe a *stale (smaller)* value, which keeps the consumer in the
+  /// loop for another iteration — never an early exit. Exit requires
+  /// readIdx >= writeIdx with writeIdx read acquire AFTER observing
+  /// stopped == true (acquire), and the stop protocol releases `stopped`
+  /// after all producers quiesce, so no claimed slot can be missed. This is
+  /// not just an argument: tests/test_verify.cpp GravelQueueStoppedDrain
+  /// explores the interleavings exhaustively and checks the no-lost-message
+  /// invariant.
+  bool acquireRead(SlotRef& out, const atomic<bool>& stopped,
                    const YieldFn& yield = {}) {
     std::uint64_t claimed;
     for (;;) {
@@ -138,6 +173,7 @@ class GravelQueue {
       const std::uint64_t written = writeIdx_.load(std::memory_order_acquire);
       if (claimed < written) {
         if (readIdx_.compare_exchange_weak(claimed, claimed + 1,
+                                           std::memory_order_relaxed,
                                            std::memory_order_relaxed)) {
           bumpAtomics();
           break;
@@ -155,6 +191,8 @@ class GravelQueue {
     // Per-slot read ticket (paper's ReadTick), derived from the global claim
     // index for the same reason as on the write side.
     const std::uint64_t ticket = claimed / slotCount_;
+    // The acquire on full pairs with publish()'s release store; it makes the
+    // producer's payload writes visible before getWord reads them.
     spinUntil(
         [&] {
           return s.round.load(std::memory_order_acquire) == ticket &&
@@ -167,11 +205,10 @@ class GravelQueue {
     return true;
   }
 
-  /// Consumer side, step 2 is wordAt() on the claimed columns.
+  /// Consumer side, step 2 is wordAt()/getWord() on the claimed columns.
   const std::uint64_t& wordAt(const SlotRef& ref, std::uint32_t row,
                               std::uint32_t lane) const noexcept {
-    return payload_[ref.slot * slotWords_ + std::size_t{row} * config_.lanes +
-                    lane];
+    return payload_[wordIndex(ref, row, lane)];
   }
 
   /// Consumer side, step 3: release the slot for the next round (clears F,
@@ -179,6 +216,8 @@ class GravelQueue {
   void release(const SlotRef& ref) {
     Slot& s = slots_[ref.slot];
     s.full.store(false, std::memory_order_relaxed);
+    // Release: the consumer's payload reads complete before the next-round
+    // producer (acquire on round in acquireWrite) may overwrite the slot.
     s.round.store(ref.round + 1, std::memory_order_release);
   }
 
@@ -203,11 +242,26 @@ class GravelQueue {
     atomics_.store(0, std::memory_order_relaxed);
   }
 
+#if defined(GRAVEL_VERIFY) && GRAVEL_VERIFY
+  /// Model-free state peeks for model-test invariants (verify builds only).
+  std::uint64_t peekSlotRound(std::uint32_t slot) const noexcept {
+    return slots_[slot].round.peek();
+  }
+  bool peekSlotFull(std::uint32_t slot) const noexcept {
+    return slots_[slot].full.peek();
+  }
+  std::uint32_t peekSlotCount(std::uint32_t slot) const noexcept {
+    return slots_[slot].count.peek();
+  }
+  std::uint64_t peekWriteIdx() const noexcept { return writeIdx_.peek(); }
+  std::uint64_t peekReadIdx() const noexcept { return readIdx_.peek(); }
+#endif
+
  private:
   struct alignas(kCacheLineSize) Slot {
-    std::atomic<std::uint64_t> round{0};   ///< N in Figure 7
-    std::atomic<std::uint32_t> count{0};   ///< valid messages this round
-    std::atomic<bool> full{false};         ///< F in Figure 7
+    atomic<std::uint64_t> round{0};   ///< N in Figure 7
+    atomic<std::uint32_t> count{0};   ///< valid messages this round
+    atomic<bool> full{false};         ///< F in Figure 7
   };
 
   static std::size_t computeSlotCount(const GravelQueueConfig& c) {
@@ -217,11 +271,21 @@ class GravelQueue {
                                                            1, slotBytes));
   }
 
+  std::size_t wordIndex(const SlotRef& ref, std::uint32_t row,
+                        std::uint32_t lane) const noexcept {
+    return ref.slot * slotWords_ + std::size_t{row} * config_.lanes + lane;
+  }
+
+  // Under the model checker each failed probe must become a schedule point
+  // immediately, or the cooperative scheduler would spin forever waiting for
+  // a store that only another thread can make.
+  static constexpr int kSpinsBeforeYield = verify::kEnabled ? 1 : 64;
+
   template <typename Pred>
   void spinUntil(const Pred& ready, const YieldFn& yield) const {
     int spins = 0;
     while (!ready()) {
-      if (++spins >= 64) {
+      if (++spins >= kSpinsBeforeYield) {
         doYield(yield);
         spins = 0;
       }
@@ -232,7 +296,7 @@ class GravelQueue {
     if (yield)
       yield();
     else
-      std::this_thread::yield();
+      verify::spinYield();
   }
 
   void bumpAtomics() noexcept {
@@ -245,10 +309,10 @@ class GravelQueue {
   std::unique_ptr<Slot[]> slots_;
   std::vector<std::uint64_t> payload_;
 
-  alignas(kCacheLineSize) std::atomic<std::uint64_t> writeIdx_{0};
-  alignas(kCacheLineSize) std::atomic<std::uint64_t> readIdx_{0};
-  alignas(kCacheLineSize) std::atomic<std::uint64_t> publishCount_{0};
-  alignas(kCacheLineSize) mutable std::atomic<std::uint64_t> atomics_{0};
+  alignas(kCacheLineSize) atomic<std::uint64_t> writeIdx_{0};
+  alignas(kCacheLineSize) atomic<std::uint64_t> readIdx_{0};
+  alignas(kCacheLineSize) atomic<std::uint64_t> publishCount_{0};
+  alignas(kCacheLineSize) mutable atomic<std::uint64_t> atomics_{0};
 };
 
 /// Typed facade over GravelQueue for trivially-copyable messages whose size
@@ -277,18 +341,18 @@ class TypedGravelQueue {
     std::uint64_t words[kRows];
     std::memcpy(words, &msg, sizeof(T));
     for (std::uint32_t r = 0; r < kRows; ++r)
-      queue_.wordAt(ref, r, lane) = words[r];
+      queue_.putWord(ref, r, lane, words[r]);
   }
   void publish(const SlotRef& ref) { queue_.publish(ref); }
 
-  bool acquireRead(SlotRef& out, const std::atomic<bool>& stopped,
+  bool acquireRead(SlotRef& out, const atomic<bool>& stopped,
                    const YieldFn& yield = {}) {
     return queue_.acquireRead(out, stopped, yield);
   }
   T load(const SlotRef& ref, std::uint32_t lane) const noexcept {
     std::uint64_t words[kRows];
     for (std::uint32_t r = 0; r < kRows; ++r)
-      words[r] = queue_.wordAt(ref, r, lane);
+      words[r] = queue_.getWord(ref, r, lane);
     T msg;
     std::memcpy(&msg, words, sizeof(T));
     return msg;
@@ -304,3 +368,7 @@ class TypedGravelQueue {
 };
 
 }  // namespace gravel
+
+// gravel-lint: hot-path — lock-free; no mutexes, sleeps, or raw yields.
+// (Marker kept at end of file: the memory-order mutation matrix in
+// tests/test_verify_mutation.cpp pins line numbers in this header.)

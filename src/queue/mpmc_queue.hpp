@@ -6,15 +6,19 @@
 // holds a single message written by a single CPU thread and is padded to a
 // cache line. So every message pays one fetch-add plus slot handshaking,
 // where Gravel amortizes that cost across a work-group of up to 256 messages.
+//
+// Model-checked under GRAVEL_VERIFY (tests/test_verify.cpp), including round
+// wraparound with capacity forced to 2.
+//
+// gravel-lint: hot-path
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <thread>
 #include <vector>
 
+#include "common/atomic.hpp"
 #include "common/cacheline.hpp"
 #include "common/error.hpp"
 
@@ -37,55 +41,80 @@ class MpmcQueue {
 
   /// Blocking push of one message.
   void push(const void* msg) {
-    const std::uint64_t idx = writeIdx_.value.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t idx =
+        writeIdx_.value.fetch_add(1, std::memory_order_relaxed);
     Slot& s = slots_[idx % capacity_];
     const std::uint64_t round = idx / capacity_;
+    // Acquire on round pairs with pop's round release: the previous round's
+    // consumer finished reading the cell before we overwrite it.
     while (s.round.load(std::memory_order_acquire) != round ||
            s.full.load(std::memory_order_acquire)) {
-      std::this_thread::yield();
+      verify::spinYield();
     }
-    std::memcpy(cell(idx), msg, messageBytes_);
+    std::byte* c = cell(idx);
+    verify::dataStore(c);
+    std::memcpy(c, msg, messageBytes_);
+    // Release pairs with pop's full acquire: payload visible before F.
     s.full.store(true, std::memory_order_release);
   }
 
   /// Blocking pop; returns false only when drained AND `stopped`.
-  bool pop(void* msg, const std::atomic<bool>& stopped) {
+  bool pop(void* msg, const atomic<bool>& stopped) {
     std::uint64_t claimed;
     for (;;) {
       claimed = readIdx_.value.load(std::memory_order_relaxed);
       if (claimed < writeIdx_.value.load(std::memory_order_acquire)) {
         if (readIdx_.value.compare_exchange_weak(claimed, claimed + 1,
+                                                 std::memory_order_relaxed,
                                                  std::memory_order_relaxed)) {
           break;
         }
         continue;
       }
+      // Same stopped-drain shape as GravelQueue::acquireRead; see the
+      // comment there and the StoppedDrain model test.
       if (stopped.load(std::memory_order_acquire) &&
           readIdx_.value.load(std::memory_order_relaxed) >=
               writeIdx_.value.load(std::memory_order_acquire)) {
         return false;
       }
-      std::this_thread::yield();
+      verify::spinYield();
     }
     Slot& s = slots_[claimed % capacity_];
     const std::uint64_t round = claimed / capacity_;
     while (s.round.load(std::memory_order_acquire) != round ||
            !s.full.load(std::memory_order_acquire)) {
-      std::this_thread::yield();
+      verify::spinYield();
     }
-    std::memcpy(msg, cell(claimed), messageBytes_);
+    const std::byte* c = cell(claimed);
+    verify::dataLoad(c);
+    std::memcpy(msg, c, messageBytes_);
     s.full.store(false, std::memory_order_relaxed);
+    // Release pairs with push's round acquire: our cell read completes
+    // before the next-round producer reuses the cell.
     s.round.store(round + 1, std::memory_order_release);
     return true;
   }
 
+#if defined(GRAVEL_VERIFY) && GRAVEL_VERIFY
+  std::uint64_t peekSlotRound(std::size_t slot) const noexcept {
+    return slots_[slot].round.peek();
+  }
+  bool peekSlotFull(std::size_t slot) const noexcept {
+    return slots_[slot].full.peek();
+  }
+#endif
+
  private:
   struct alignas(kCacheLineSize) Slot {
-    std::atomic<std::uint64_t> round{0};
-    std::atomic<bool> full{false};
+    atomic<std::uint64_t> round{0};
+    atomic<bool> full{false};
   };
 
   std::byte* cell(std::uint64_t idx) noexcept {
+    return payload_.data() + (idx % capacity_) * cellBytes_;
+  }
+  const std::byte* cell(std::uint64_t idx) const noexcept {
     return payload_.data() + (idx % capacity_) * cellBytes_;
   }
 
@@ -94,8 +123,12 @@ class MpmcQueue {
   std::size_t capacity_;
   std::unique_ptr<Slot[]> slots_;
   std::vector<std::byte> payload_;
-  CacheAligned<std::atomic<std::uint64_t>> writeIdx_{};
-  CacheAligned<std::atomic<std::uint64_t>> readIdx_{};
+  CacheAligned<atomic<std::uint64_t>> writeIdx_{};
+  CacheAligned<atomic<std::uint64_t>> readIdx_{};
 };
 
 }  // namespace gravel
+
+// gravel-lint: hot-path — lock-free; no mutexes, sleeps, or raw yields.
+// (Marker kept at end of file: the memory-order mutation matrix in
+// tests/test_verify_mutation.cpp pins line numbers in this header.)

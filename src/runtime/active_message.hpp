@@ -14,10 +14,11 @@
 // in-flight count before the triggering message is marked resolved.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
+
+#include "common/atomic.hpp"
 
 #include "common/error.hpp"
 #include "runtime/symmetric_heap.hpp"
@@ -90,7 +91,7 @@ class AmRegistry {
 
  private:
   std::vector<AmHandler> handlers_;
-  std::atomic<std::size_t> count_{0};
+  atomic<std::size_t> count_{0};
 };
 
 }  // namespace gravel::rt

@@ -5,7 +5,6 @@
 // messages into few large network messages.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -13,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic.hpp"
 #include "common/backoff.hpp"
 #include "common/stats.hpp"
 #include "net/fabric.hpp"
@@ -43,7 +43,8 @@ class Aggregator {
   Aggregator& operator=(const Aggregator&) = delete;
 
   void start(std::uint32_t threads) {
-    stopped_.store(false);
+    // Thread creation below establishes the happens-before to the workers.
+    stopped_.store(false, std::memory_order_relaxed);
     for (std::uint32_t t = 0; t < threads; ++t)
       workers_.emplace_back([this, t] {
         tracer_.nameThread("agg." + std::to_string(self_) + "." +
@@ -53,7 +54,9 @@ class Aggregator {
   }
 
   void stop() {
-    stopped_.store(true);
+    // Release pairs with acquireRead's acquire load of `stopped` — the
+    // stopped-drain exit path depends on this edge (see gravel_queue.hpp).
+    stopped_.store(true, std::memory_order_release);
     for (auto& w : workers_)
       if (w.joinable()) w.join();
     workers_.clear();
@@ -209,7 +212,7 @@ class Aggregator {
 
   std::vector<Buffer> buffers_;
 
-  std::atomic<bool> stopped_{true};
+  atomic<bool> stopped_{true};
   // Sharded per worker thread: with aggregator_threads > 1 these are the
   // hottest shared words on the stats path (one bump per slot / message /
   // poll), and unsharded they false-share a single line.

@@ -3,7 +3,6 @@
 // protocol and the per-run statistics roll-up the benches print.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -11,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic.hpp"
 #include "common/stats.hpp"
 #include "net/fabric.hpp"
 #include "net/fault.hpp"
@@ -130,7 +130,7 @@ class Cluster {
   bool threadsStarted_ = false;
 
   std::thread gaugeSampler_;
-  std::atomic<bool> samplerStop_{false};
+  atomic<bool> samplerStop_{false};
 
   // Snapshot baselines so runStats() reports per-window deltas.
   net::LinkStats fabricBase_{};

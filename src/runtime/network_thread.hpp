@@ -5,10 +5,10 @@
 // reason local/remote atomic throughput is similar (§7.1).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <thread>
 
+#include "common/atomic.hpp"
 #include "common/backoff.hpp"
 #include "net/fabric.hpp"
 #include "obs/trace.hpp"
@@ -34,12 +34,15 @@ class NetworkThread {
   NetworkThread& operator=(const NetworkThread&) = delete;
 
   void start() {
-    stopped_.store(false);
+    // Thread creation below establishes the happens-before to the worker.
+    stopped_.store(false, std::memory_order_relaxed);
     worker_ = std::thread([this] { run(); });
   }
 
   void stop() {
-    stopped_.store(true);
+    // Release pairs with the worker's acquire: everything published before
+    // the stop request is visible to the worker's final drain.
+    stopped_.store(true, std::memory_order_release);
     if (worker_.joinable()) worker_.join();
   }
 
@@ -118,8 +121,8 @@ class NetworkThread {
   SymmetricHeap& heap_;
   const AmRegistry& registry_;
   obs::Tracer& tracer_;
-  std::atomic<bool> stopped_{true};
-  std::atomic<std::uint64_t> resolved_{0};
+  atomic<bool> stopped_{true};
+  atomic<std::uint64_t> resolved_{0};
   std::thread worker_;
 };
 

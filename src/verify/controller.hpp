@@ -1,0 +1,706 @@
+// Schedule controller for the concurrency verification layer (DESIGN.md §8).
+//
+// Under GRAVEL_VERIFY=1, every load/store/RMW on a gravel::atomic<T>, every
+// gravel::mutex lock/unlock, and every payload access the queues route
+// through gravel::verify::dataLoad/dataStore becomes a *schedule point*: the
+// running thread reports the access here, the controller picks which thread
+// runs next (DFS over yield points, PCT priorities, or a replayed choice
+// stream), and the access executes against an operational weak-memory model
+// instead of raw hardware:
+//
+//   - each atomic location keeps its full modification order (a store
+//     history); a load may read any store that coherence and happens-before
+//     leave eligible, and *which* one is a recorded branch point — this is
+//     what makes an acquire->relaxed weakening observable as a stale read;
+//   - release stores carry the storer's vector clock; acquire loads that
+//     read them join it (release sequences survive RMWs), so happens-before
+//     is tracked exactly;
+//   - plain payload accesses are checked FastTrack-style against that
+//     happens-before relation: an unordered write/read pair is a data race
+//     and fails the run with a replayable trace.
+//
+// Threads execute one at a time (token passing over semaphores), so the
+// *real* memory stays sequentially consistent; weak behaviours are simulated
+// through the store history. On a violation the controller aborts the
+// exploration run and flips every instrumented operation into passthrough
+// mode so the threads can drain and join on the real (SC) state.
+//
+// The controller is test-machinery: it is only ever active inside
+// gravel::verify::explore() (see explore.hpp). Outside a run — or in normal
+// builds, where common/atomic.hpp aliases the shim away — none of this code
+// is reachable from product binaries.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <semaphore>
+#include <source_location>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gravel::verify {
+
+/// Upper bound on threads in one modeled run (bounded protocol tests use
+/// 2-4; the vector clocks are fixed-size arrays sized by this).
+inline constexpr int kMaxThreads = 8;
+
+/// What kind of decision a chooser is being asked to make.
+enum class ChoiceKind : std::uint8_t {
+  kSchedule,   ///< which runnable thread executes the next step
+  kReadsFrom,  ///< which store in the history a load reads (0 = newest)
+  kAdversary,  ///< test-driven choice (verify::choose), e.g. drop/dup a batch
+};
+
+/// Memory-order site identity, keyed by the *call site* of the shim method
+/// (std::source_location of the caller). The mutation self-test enumerates
+/// these and weakens them one at a time.
+struct Site {
+  std::string file;  ///< basename of the source file
+  unsigned line = 0;
+  std::string order;  ///< "acquire", "release", "acq_rel", "seq_cst"
+
+  friend bool operator<(const Site& a, const Site& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.order < b.order;
+  }
+  friend bool operator==(const Site& a, const Site& b) {
+    return a.file == b.file && a.line == b.line && a.order == b.order;
+  }
+};
+
+/// A single-site memory-order weakening: the access at file:line executes
+/// with memory_order_relaxed regardless of what the source says.
+struct Mutation {
+  std::string file;  ///< basename, e.g. "gravel_queue.hpp"
+  unsigned line = 0;
+
+  bool active() const noexcept { return line != 0; }
+};
+
+namespace detail {
+
+inline std::string basenameOf(const char* path) {
+  const std::string s(path ? path : "");
+  const std::size_t k = s.find_last_of('/');
+  return k == std::string::npos ? s : s.substr(k + 1);
+}
+
+inline const char* orderName(std::memory_order mo) noexcept {
+  switch (mo) {
+    case std::memory_order_relaxed: return "relaxed";
+    case std::memory_order_consume: return "consume";
+    case std::memory_order_acquire: return "acquire";
+    case std::memory_order_release: return "release";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "seq_cst";
+  }
+  return "?";
+}
+
+inline bool acquiring(std::memory_order mo) noexcept {
+  return mo == std::memory_order_acquire || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst || mo == std::memory_order_consume;
+}
+
+inline bool releasing(std::memory_order mo) noexcept {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+}  // namespace detail
+
+/// Fixed-size vector clock over the run's threads.
+struct VectorClock {
+  std::array<std::uint32_t, kMaxThreads> c{};
+
+  void join(const VectorClock& o) noexcept {
+    for (int i = 0; i < kMaxThreads; ++i) c[i] = std::max(c[i], o.c[i]);
+  }
+  /// this happens-before-or-equals o (componentwise <=).
+  bool leq(const VectorClock& o) const noexcept {
+    for (int i = 0; i < kMaxThreads; ++i)
+      if (c[i] > o.c[i]) return false;
+    return true;
+  }
+};
+
+/// Raised internally never: violations abort via flag, not exceptions, so
+/// instrumented ops stay safely callable from noexcept contexts.
+class Controller {
+ public:
+  /// Decision callback. `tids` is non-null (length `num`) for kSchedule
+  /// choices and lists the candidate thread ids, candidate 0 being the
+  /// currently running thread when it is still runnable.
+  using Chooser = std::function<int(ChoiceKind, int num, const int* tids,
+                                    bool currentRunnable)>;
+
+  struct Options {
+    Chooser chooser;
+    std::function<void()> invariant;  ///< run after every step (may fail())
+    long maxSteps = 100000;           ///< per-run step budget (livelock stop)
+    Mutation mutation;                ///< single-site order weakening
+    bool traceSteps = true;           ///< record a per-step text trace
+  };
+
+  explicit Controller(Options opts) : opts_(std::move(opts)) {}
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  // -- global registration --------------------------------------------------
+
+  static Controller*& activeSlot() noexcept {
+    static Controller* active = nullptr;
+    return active;
+  }
+  /// The controller managing the current run, or nullptr outside runs.
+  static Controller* active() noexcept { return activeSlot(); }
+
+  static int& tlsTid() noexcept {
+    thread_local int tid = -1;
+    return tid;
+  }
+
+  /// The controller if the *calling thread* is one of the managed threads
+  /// and the run is still exploring (not aborted into passthrough). Also
+  /// null while an invariant callback runs: invariant code reads the real
+  /// (SC) backing state directly instead of creating schedule points.
+  static Controller* current() noexcept {
+    Controller* c = active();
+    if (!c || tlsTid() < 0) return nullptr;
+    if (c->aborted_.load(std::memory_order_relaxed)) return nullptr;
+    if (c->inInvariant_) return nullptr;
+    return c;
+  }
+
+  // -- run lifecycle (driven by explore.hpp on the main thread) -------------
+
+  void beginRun(int threadCount) {
+    threadCount_ = threadCount;
+    for (int i = 0; i < threadCount_; ++i) {
+      ThreadState& t = threads_[i];
+      t.clock = VectorClock{};
+      t.clock.c[i] = 1;
+      t.finished = t.spinBlocked = t.freshOnly = false;
+      t.blockedOn = nullptr;
+      t.obs.clear();
+    }
+    atomics_.clear();
+    datas_.clear();
+    mutexes_.clear();
+    steps_ = 0;
+    trace_.clear();
+    choices_.clear();
+    violation_.clear();
+    aborted_.store(false, std::memory_order_relaxed);
+    started_ = false;
+    current_ = 0;
+    activeSlot() = this;
+  }
+
+  /// Worker threads park here until the scheduler grants them the token.
+  void registerAndPark(int tid) {
+    tlsTid() = tid;
+    threads_[tid].sem.acquire();
+  }
+
+  /// Called by the main thread once all workers are parked: hands the token
+  /// to the first scheduled thread.
+  void start() {
+    started_ = true;
+    std::array<int, kMaxThreads> tids;
+    int n = 0;
+    for (int i = 0; i < threadCount_; ++i) tids[n++] = i;
+    const int pick =
+        n > 1 ? choose(ChoiceKind::kSchedule, n, tids.data(), false) : 0;
+    current_ = tids[pick];
+    threads_[current_].sem.release();
+  }
+
+  /// Worker's final act: mark finished and hand the token onward.
+  void threadDone(int tid) {
+    if (aborted_.load(std::memory_order_relaxed)) {
+      tlsTid() = -1;
+      return;
+    }
+    threads_[tid].finished = true;
+    scheduleNext(/*selfRunnable=*/false);
+    tlsTid() = -1;
+  }
+
+  void endRun() { activeSlot() = nullptr; }
+
+  bool failed() const noexcept { return !violation_.empty(); }
+  const std::string& violation() const noexcept { return violation_; }
+  const std::vector<std::string>& trace() const noexcept { return trace_; }
+  const std::vector<int>& choices() const noexcept { return choices_; }
+  const std::vector<Site>& sites() const noexcept { return sites_; }
+  long steps() const noexcept { return steps_; }
+
+  // -- model: atomics -------------------------------------------------------
+
+  std::uint64_t modelLoad(const void* addr, std::memory_order mo,
+                          std::uint64_t liveValue,
+                          const std::source_location& loc) {
+    mo = effectiveOrder(mo, loc);
+    step();
+    AtomicLoc& a = location(addr, liveValue, loc);
+    ThreadState& t = threads_[tlsTid()];
+    scheduleNext(true);
+    if (aborted()) return liveValue;
+
+    // Eligible stores: at or after both this thread's coherence floor and
+    // the newest store that happens-before the load.
+    const int n = int(a.history.size());
+    int lo = coherenceFloor(t, addr);
+    for (int j = n - 1; j > lo; --j) {
+      if (a.history[std::size_t(j)].storeClock.leq(t.clock)) {
+        lo = j;
+        break;
+      }
+    }
+    int idx = n - 1;
+    const int options = n - lo;
+    if (options > 1 && !t.freshOnly) {
+      // Choice 0 = newest (the SC behaviour explored first).
+      idx = (n - 1) - choose(ChoiceKind::kReadsFrom, options, nullptr, false);
+      if (aborted()) return liveValue;
+    }
+    const Store& st = a.history[std::size_t(idx)];
+    t.obs[addr] = idx;
+    if (detail::acquiring(mo) && st.hasSync) t.clock.join(st.syncClock);
+    record(loc, "load", a.name, mo, st.value,
+           options > 1 ? (n - 1) - idx : -1);
+    checkInvariant();
+    return st.value;
+  }
+
+  void modelStore(const void* addr, std::uint64_t value, std::memory_order mo,
+                  std::uint64_t liveValue, const std::source_location& loc) {
+    mo = effectiveOrder(mo, loc);
+    step();
+    AtomicLoc& a = location(addr, liveValue, loc);
+    scheduleNext(true);
+    if (aborted()) return;
+    pushStore(a, addr, value, mo, /*rmw=*/false);
+    record(loc, "store", a.name, mo, value, -1);
+    wakeSpinners();
+    checkInvariant();
+  }
+
+  std::uint64_t modelRmw(const void* addr,
+                         const std::function<std::uint64_t(std::uint64_t)>& f,
+                         std::memory_order mo, std::uint64_t liveValue,
+                         const std::source_location& loc) {
+    mo = effectiveOrder(mo, loc);
+    step();
+    AtomicLoc& a = location(addr, liveValue, loc);
+    ThreadState& t = threads_[tlsTid()];
+    scheduleNext(true);
+    if (aborted()) return liveValue;
+    // An RMW reads the last store in modification order.
+    const Store& latest = a.history.back();
+    const std::uint64_t old = latest.value;
+    if (detail::acquiring(mo) && latest.hasSync) t.clock.join(latest.syncClock);
+    pushStore(a, addr, f(old), mo, /*rmw=*/true);
+    record(loc, "rmw", a.name, mo, old, -1);
+    wakeSpinners();
+    checkInvariant();
+    return old;
+  }
+
+  /// Returns success; updates `expected` on failure. A failed CAS reads the
+  /// latest store (no stale branching — keeps the state space bounded).
+  bool modelCas(const void* addr, std::uint64_t& expected,
+                std::uint64_t desired, std::memory_order success,
+                std::memory_order failure, std::uint64_t liveValue,
+                const std::source_location& loc) {
+    success = effectiveOrder(success, loc);
+    failure = effectiveOrder(failure, loc);
+    step();
+    AtomicLoc& a = location(addr, liveValue, loc);
+    ThreadState& t = threads_[tlsTid()];
+    scheduleNext(true);
+    if (aborted()) return false;
+    const Store& latest = a.history.back();
+    const std::uint64_t old = latest.value;
+    if (old == expected) {
+      if (detail::acquiring(success) && latest.hasSync)
+        t.clock.join(latest.syncClock);
+      pushStore(a, addr, desired, success, /*rmw=*/true);
+      record(loc, "cas-hit", a.name, success, desired, -1);
+      wakeSpinners();
+      checkInvariant();
+      return true;
+    }
+    if (detail::acquiring(failure) && latest.hasSync)
+      t.clock.join(latest.syncClock);
+    t.obs[addr] = int(a.history.size()) - 1;
+    expected = old;
+    record(loc, "cas-miss", a.name, failure, old, -1);
+    checkInvariant();
+    return false;
+  }
+
+  // -- model: plain (non-atomic) payload accesses ---------------------------
+
+  void modelData(const void* addr, bool isWrite,
+                 const std::source_location& loc) {
+    step();
+    ThreadState& t = threads_[tlsTid()];
+    scheduleNext(true);
+    if (aborted()) return;
+    DataLoc& d = datas_[addr];
+    tick(t);
+    if (isWrite) {
+      if (!d.writeClock.leq(t.clock) || !d.readsClock.leq(t.clock)) {
+        fail("data race: unsynchronized write at " + where(loc) +
+             " conflicts with " + d.lastSite);
+        return;
+      }
+      d.writeClock = t.clock;
+      d.readsClock = VectorClock{};
+      d.lastSite = where(loc);
+    } else {
+      if (!d.writeClock.leq(t.clock)) {
+        fail("data race: unsynchronized read at " + where(loc) +
+             " conflicts with write at " + d.lastSite);
+        return;
+      }
+      d.readsClock.c[tlsTid()] =
+          std::max(d.readsClock.c[tlsTid()], t.clock.c[tlsTid()]);
+      d.lastSite = where(loc);
+    }
+    record(loc, isWrite ? "data-store" : "data-load", dataName(addr),
+           std::memory_order_relaxed, 0, -1);
+    checkInvariant();
+  }
+
+  // -- model: mutexes -------------------------------------------------------
+
+  /// Model bookkeeping for gravel::mutex::lock(). Returns after the model
+  /// grants the lock; the shim then takes the real mutex (uncontended, since
+  /// execution is serialized).
+  void modelLock(const void* addr, const std::source_location& loc) {
+    step();
+    scheduleNext(true);
+    if (aborted()) return;
+    MutexState& m = mutexes_[addr];
+    ThreadState& t = threads_[tlsTid()];
+    while (m.held) {
+      t.blockedOn = addr;
+      scheduleNext(false);
+      if (aborted()) return;
+    }
+    m.held = true;
+    m.owner = tlsTid();
+    t.clock.join(m.releaseClock);
+    record(loc, "lock", mutexName(addr), std::memory_order_acquire, 0, -1);
+    checkInvariant();
+  }
+
+  void modelUnlock(const void* addr, const std::source_location& loc) {
+    step();
+    scheduleNext(true);
+    if (aborted()) return;
+    MutexState& m = mutexes_[addr];
+    ThreadState& t = threads_[tlsTid()];
+    tick(t);
+    m.releaseClock = t.clock;
+    m.held = false;
+    for (int i = 0; i < threadCount_; ++i)
+      if (threads_[i].blockedOn == addr) threads_[i].blockedOn = nullptr;
+    record(loc, "unlock", mutexName(addr), std::memory_order_release, 0, -1);
+    checkInvariant();
+  }
+
+  // -- model: spin loops and test hooks -------------------------------------
+
+  /// A failed spin-loop iteration: block until any store/RMW lands, so DFS
+  /// never enumerates empty re-read schedules. If the whole system would
+  /// deadlock on spinners, they are woken in fresh-only mode (loads must
+  /// read the newest store — the model's "stores become visible in finite
+  /// time" guarantee); a spinner that still makes no progress then is a
+  /// genuine protocol deadlock.
+  void modelSpin() {
+    step();
+    ThreadState& t = threads_[tlsTid()];
+    t.freshOnly = false;
+    t.spinBlocked = true;
+    scheduleNext(false);
+  }
+
+  /// Test-driven adversary branch point (drop/dup/reorder decisions).
+  int modelChoose(int numOptions, const std::source_location& loc) {
+    step();
+    if (aborted() || numOptions <= 1) return 0;
+    const int c = choose(ChoiceKind::kAdversary, numOptions, nullptr, false);
+    record(loc, "choose", "adversary", std::memory_order_relaxed,
+           std::uint64_t(c), -1);
+    return c;
+  }
+
+  /// Explicit violation from test code or invariants.
+  void fail(const std::string& message) {
+    if (!violation_.empty()) {
+      abort_();
+      return;
+    }
+    violation_ = message;
+    if (opts_.traceSteps)
+      trace_.push_back("!! violation: " + message);
+    abort_();
+  }
+
+ private:
+  struct Store {
+    std::uint64_t value = 0;
+    VectorClock storeClock;  ///< storer's full clock (HB eligibility)
+    VectorClock syncClock;   ///< release clock (acquire loads join this)
+    bool hasSync = false;
+  };
+  struct AtomicLoc {
+    std::vector<Store> history;  ///< modification order
+    std::string name;
+  };
+  struct DataLoc {
+    VectorClock writeClock;
+    VectorClock readsClock;  ///< per-thread epochs of unordered-after reads
+    std::string lastSite = "(init)";
+  };
+  struct MutexState {
+    bool held = false;
+    int owner = -1;
+    VectorClock releaseClock;
+  };
+  struct ThreadState {
+    VectorClock clock;
+    std::counting_semaphore<> sem{0};
+    bool finished = false;
+    bool spinBlocked = false;
+    bool freshOnly = false;        ///< next loads must read the newest store
+    const void* blockedOn = nullptr;  ///< mutex address when lock-blocked
+    std::unordered_map<const void*, int> obs;  ///< coherence floor per loc
+  };
+
+  bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+  void abort_() {
+    aborted_.store(true, std::memory_order_relaxed);
+    // Wake everyone; they resume in passthrough mode and drain on the real
+    // (sequentially consistent) state.
+    for (int i = 0; i < threadCount_; ++i) threads_[i].sem.release();
+  }
+
+  void step() {
+    if (aborted()) return;
+    if (++steps_ > opts_.maxSteps)
+      fail("step budget exceeded (livelock or schedule explosion): " +
+           std::to_string(opts_.maxSteps) + " steps");
+  }
+
+  void tick(ThreadState& t) noexcept { ++t.clock.c[tlsTid()]; }
+
+  int coherenceFloor(ThreadState& t, const void* addr) {
+    auto it = t.obs.find(addr);
+    return it == t.obs.end() ? 0 : it->second;
+  }
+
+  AtomicLoc& location(const void* addr, std::uint64_t liveValue,
+                      const std::source_location& loc) {
+    auto it = atomics_.find(addr);
+    if (it != atomics_.end()) return it->second;
+    AtomicLoc& a = atomics_[addr];
+    a.name = "A" + std::to_string(atomics_.size() - 1) + "(" +
+             detail::basenameOf(loc.file_name()) + ":" +
+             std::to_string(loc.line()) + ")";
+    // Implicit initial store: happens-before everything (construction
+    // precedes thread start), carries full synchronization.
+    Store init;
+    init.value = liveValue;
+    init.hasSync = true;
+    a.history.push_back(init);
+    return a;
+  }
+
+  void pushStore(AtomicLoc& a, const void* addr, std::uint64_t value,
+                 std::memory_order mo, bool rmw) {
+    ThreadState& t = threads_[tlsTid()];
+    tick(t);
+    Store s;
+    s.value = value;
+    s.storeClock = t.clock;
+    if (detail::releasing(mo)) {
+      s.syncClock = t.clock;
+      s.hasSync = true;
+    }
+    if (rmw) {
+      // RMWs continue a release sequence headed by an earlier release store.
+      const Store& prev = a.history.back();
+      if (prev.hasSync) {
+        s.syncClock.join(prev.syncClock);
+        s.hasSync = true;
+      }
+    }
+    a.history.push_back(s);
+    t.obs[addr] = int(a.history.size()) - 1;
+  }
+
+  void wakeSpinners() {
+    for (int i = 0; i < threadCount_; ++i)
+      if (i != tlsTid()) threads_[i].spinBlocked = false;
+  }
+
+  std::string dataName(const void* addr) {
+    std::ostringstream os;
+    os << "D@" << addr;
+    return os.str();
+  }
+  std::string mutexName(const void* addr) {
+    std::ostringstream os;
+    os << "M@" << addr;
+    return os.str();
+  }
+
+  static std::string where(const std::source_location& loc) {
+    return detail::basenameOf(loc.file_name()) + ":" +
+           std::to_string(loc.line());
+  }
+
+  std::memory_order effectiveOrder(std::memory_order mo,
+                                   const std::source_location& loc) {
+    if (mo != std::memory_order_relaxed) {
+      Site s{detail::basenameOf(loc.file_name()), loc.line(),
+             detail::orderName(mo)};
+      bool known = false;
+      for (const Site& k : sites_)
+        if (k == s) {
+          known = true;
+          break;
+        }
+      if (!known) sites_.push_back(s);
+      if (opts_.mutation.active() && s.file == opts_.mutation.file &&
+          s.line == opts_.mutation.line)
+        return std::memory_order_relaxed;
+    }
+    return mo;
+  }
+
+  int choose(ChoiceKind kind, int num, const int* tids, bool currentRunnable) {
+    const int c = opts_.chooser(kind, num, tids, currentRunnable);
+    choices_.push_back(c);
+    return c;
+  }
+
+  /// The scheduling decision at a yield point. `selfRunnable` is false when
+  /// the caller is blocking (spin wait, mutex wait, thread exit).
+  void scheduleNext(bool selfRunnable) {
+    if (aborted()) return;
+    const int self = tlsTid();
+    std::array<int, kMaxThreads> tids;
+    int n = 0;
+    if (selfRunnable) tids[n++] = self;  // candidate 0 = keep running
+    auto runnable = [&](int i) {
+      const ThreadState& t = threads_[i];
+      return !t.finished && !t.spinBlocked && t.blockedOn == nullptr;
+    };
+    for (int i = 0; i < threadCount_; ++i)
+      if (i != self && runnable(i)) tids[n++] = i;
+    if (n == 0) {
+      // Everyone is blocked or done. Spinners get one fresh-only wake (the
+      // eventual-visibility rule); if none exist this is a real deadlock.
+      // The wake is NOT a recorded choice: it picks round-robin starting
+      // after the thread that just blocked. A choice here would let DFS
+      // descend into no-progress spin storms (every branch re-runs a read-
+      // only loop body against unchanged state), and handing the token back
+      // to the blocker is exactly such a storm. All woken spinners become
+      // runnable, so ordinary (preemption-bounded) schedule points after
+      // this one still interleave them.
+      bool wokeSpinner = false;
+      for (int k = 1; k <= threadCount_; ++k) {
+        const int i = (self + k) % threadCount_;
+        ThreadState& t = threads_[i];
+        if (!t.finished && t.spinBlocked) {
+          t.spinBlocked = false;
+          t.freshOnly = true;
+          tids[n++] = i;
+          wokeSpinner = true;
+        }
+      }
+      if (!wokeSpinner) {
+        bool anyUnfinished = false;
+        for (int i = 0; i < threadCount_; ++i)
+          if (!threads_[i].finished) anyUnfinished = true;
+        if (anyUnfinished)
+          fail("deadlock: all unfinished threads are blocked");
+        return;  // run complete (or aborted by the deadlock report)
+      }
+      const int next = tids[0];  // first spinner after self, round-robin
+      if (next == self) return;  // self was the only spinner: keep running
+      current_ = next;
+      threads_[next].sem.release();
+      if (threads_[self].finished) return;  // exiting thread
+      threads_[self].sem.acquire();
+      return;
+    }
+    int pick = 0;
+    if (n > 1)
+      pick = choose(ChoiceKind::kSchedule, n, tids.data(), selfRunnable);
+    if (aborted()) return;
+    const int next = tids[pick];
+    if (next == self) return;
+    current_ = next;
+    threads_[next].sem.release();
+    if (!selfRunnable && threads_[self].finished) return;  // exiting thread
+    threads_[self].sem.acquire();
+  }
+
+  void record(const std::source_location& loc, const char* op,
+              const std::string& locName, std::memory_order mo,
+              std::uint64_t value, int readChoice) {
+    if (!opts_.traceSteps || aborted()) return;
+    std::ostringstream os;
+    os << "#" << steps_ << " [T" << tlsTid() << "] " << op << " " << locName
+       << " @" << where(loc) << " order=" << detail::orderName(mo)
+       << " value=" << value;
+    if (readChoice > 0) os << " (stale read, " << readChoice << " back)";
+    trace_.push_back(os.str());
+  }
+
+  void checkInvariant() {
+    if (aborted() || !opts_.invariant || inInvariant_) return;
+    inInvariant_ = true;
+    opts_.invariant();
+    inInvariant_ = false;
+  }
+
+  Options opts_;
+  int threadCount_ = 0;
+  std::array<ThreadState, kMaxThreads> threads_;
+  std::unordered_map<const void*, AtomicLoc> atomics_;
+  std::unordered_map<const void*, DataLoc> datas_;
+  std::unordered_map<const void*, MutexState> mutexes_;
+  std::vector<Site> sites_;
+
+  long steps_ = 0;
+  int current_ = 0;
+  bool started_ = false;
+  bool inInvariant_ = false;
+  std::vector<std::string> trace_;
+  std::vector<int> choices_;
+  std::string violation_;
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace gravel::verify

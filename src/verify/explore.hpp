@@ -1,0 +1,337 @@
+// Schedule exploration driver for the verification layer (DESIGN.md §8).
+//
+// verify::explore() runs a bounded protocol test (a set of thread bodies
+// plus an invariant) many times under the Controller, steering every
+// scheduling / reads-from / adversary decision:
+//
+//   - kDfs: depth-first enumeration of the decision tree with *preemption
+//     bounding* (CHESS): at a schedule point where the current thread is
+//     still runnable, choice 0 keeps it running; any other choice is a
+//     preemption and is only explored while the run's preemption count is
+//     under the bound. Stale-read and adversary branches are enumerated
+//     fully. If the tree is exhausted under the caps, Result::exhausted is
+//     true — the test proved the property for the bounded configuration.
+//
+//   - kPct: probabilistic concurrency testing — random thread priorities
+//     with `pctDepth - 1` priority-change points at random steps, plus
+//     uniformly random reads-from/adversary choices; one run per seed.
+//     Cheap high-coverage smoke for configs too big to exhaust.
+//
+// Every run's choice stream is recorded. On a violation the stream plus the
+// step-by-step trace is returned (and written to $GRAVEL_VERIFY_TRACE_DIR if
+// set — CI uploads these as artifacts). Re-running the same test binary with
+//
+//   GRAVEL_VERIFY_REPLAY_TEST=<opts.name> GRAVEL_VERIFY_REPLAY=<c0,c1,...>
+//
+// replays exactly that interleaving, trace on, for debugging.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "verify/controller.hpp"
+
+namespace gravel::verify {
+
+enum class Strategy : std::uint8_t { kDfs, kPct };
+
+struct ExploreOptions {
+  std::string name;  ///< test id: trace file name, replay selector
+  Strategy strategy = Strategy::kDfs;
+  long maxSchedules = 200000;  ///< DFS cap; exhausted=false if hit
+  long maxStepsPerRun = 20000;
+  int preemptionBound = 2;
+  int pctSeeds = 200;  ///< number of randomized runs for kPct
+  int pctDepth = 3;    ///< PCT "d": bug depth, d-1 priority changes
+  Mutation mutation;   ///< optional single-site memory-order weakening
+};
+
+struct ExploreResult {
+  bool ok = true;
+  bool exhausted = false;  ///< DFS fully enumerated under the caps
+  long schedules = 0;
+  std::string violation;
+  std::vector<int> choices;        ///< failing run's decision stream
+  std::vector<std::string> trace;  ///< failing run's step-by-step log
+  std::vector<Site> sites;         ///< ordered memory-order sites observed
+
+  /// Human-readable failure report (gtest prints this on EXPECT failures).
+  std::string report(const std::string& name) const {
+    std::ostringstream os;
+    os << "[" << name << "] " << (ok ? "ok" : "VIOLATION") << " after "
+       << schedules << " schedules";
+    if (!ok) {
+      os << "\n  " << violation << "\n  replay: GRAVEL_VERIFY_REPLAY_TEST="
+         << name << " GRAVEL_VERIFY_REPLAY=";
+      for (std::size_t i = 0; i < choices.size(); ++i)
+        os << (i ? "," : "") << choices[i];
+      os << "\n  trace (" << trace.size() << " steps):";
+      for (const std::string& line : trace) os << "\n    " << line;
+    }
+    return os.str();
+  }
+};
+
+/// One schedule's worth of a protocol test, built fresh per run by the
+/// factory passed to explore() — every run must start from virgin state.
+struct RunSpec {
+  /// Thread bodies; the controller serializes and schedules them.
+  std::vector<std::function<void()>> threads;
+  /// Runs after every model step on the stepping thread. Observe state only
+  /// via atomic<T>::peek()/plain reads; report breaches via verify::fail().
+  std::function<void()> invariant;
+  /// Runs on the main thread after all threads joined (skipped if the run
+  /// already failed). Returns an error message, or "" when the end state is
+  /// good — e.g. "every pushed message popped exactly once".
+  std::function<std::string()> finalCheck;
+};
+
+namespace detail {
+
+/// Deterministic 64-bit PRNG (splitmix64) — keeps PCT runs reproducible
+/// from their seed alone.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : x_(seed + 0x9e3779b97f4a7c15ull) {}
+  std::uint64_t next() {
+    std::uint64_t z = (x_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  int below(int n) { return int(next() % std::uint64_t(n)); }
+
+ private:
+  std::uint64_t x_;
+};
+
+/// One DFS decision node: how many options existed, which we took, and
+/// whether advancing past 0 costs a preemption.
+struct DfsNode {
+  int num = 0;
+  int chosen = 0;
+  bool preemptive = false;  ///< schedule point with current thread runnable
+  int preemptionsBefore = 0;
+};
+
+/// Runs one RunSpec to completion under `controller` (threads joined, final
+/// check applied); returns when the run is over.
+inline void runOnce(Controller& controller, const RunSpec& spec) {
+  controller.beginRun(int(spec.threads.size()));
+  std::vector<std::thread> workers;
+  workers.reserve(spec.threads.size());
+  for (std::size_t i = 0; i < spec.threads.size(); ++i) {
+    workers.emplace_back([&controller, &spec, i] {
+      controller.registerAndPark(int(i));
+      spec.threads[i]();
+      controller.threadDone(int(i));
+    });
+  }
+  controller.start();
+  for (std::thread& w : workers) w.join();
+  if (!controller.failed() && spec.finalCheck) {
+    const std::string msg = spec.finalCheck();
+    if (!msg.empty()) controller.fail("final check: " + msg);
+  }
+  controller.endRun();
+}
+
+inline void dumpTrace(const ExploreOptions& opts, const ExploreResult& r) {
+  const char* dir = std::getenv("GRAVEL_VERIFY_TRACE_DIR");
+  if (!dir || !*dir) return;
+  std::ofstream out(std::string(dir) + "/" + opts.name + ".trace.txt");
+  if (!out) return;
+  out << "test: " << opts.name << "\n";
+  if (opts.mutation.active())
+    out << "mutation: " << opts.mutation.file << ":" << opts.mutation.line
+        << " -> relaxed\n";
+  out << "violation: " << r.violation << "\nchoices: ";
+  for (std::size_t i = 0; i < r.choices.size(); ++i)
+    out << (i ? "," : "") << r.choices[i];
+  out << "\nreplay: GRAVEL_VERIFY_REPLAY_TEST=" << opts.name
+      << " GRAVEL_VERIFY_REPLAY=";
+  for (std::size_t i = 0; i < r.choices.size(); ++i)
+    out << (i ? "," : "") << r.choices[i];
+  out << "\ntrace:\n";
+  for (const std::string& line : r.trace) out << "  " << line << "\n";
+}
+
+inline void captureFailure(const ExploreOptions& opts, Controller& c,
+                           ExploreResult& r) {
+  r.ok = false;
+  r.violation = c.violation();
+  r.choices = c.choices();
+  r.trace = c.trace();
+  dumpTrace(opts, r);
+}
+
+/// Replay mode: GRAVEL_VERIFY_REPLAY_TEST selects the explore() call,
+/// GRAVEL_VERIFY_REPLAY carries the comma-separated choice stream.
+inline bool replayRequested(const ExploreOptions& opts,
+                            std::vector<int>& script) {
+  const char* test = std::getenv("GRAVEL_VERIFY_REPLAY_TEST");
+  const char* raw = std::getenv("GRAVEL_VERIFY_REPLAY");
+  if (!test || !raw || opts.name != test) return false;
+  script.clear();
+  std::istringstream in(raw);
+  std::string tok;
+  while (std::getline(in, tok, ','))
+    if (!tok.empty()) script.push_back(std::atoi(tok.c_str()));
+  return true;
+}
+
+}  // namespace detail
+
+/// Explore schedules of the protocol test built by `makeRun` under `opts`.
+/// The factory is invoked before every run so each schedule starts from
+/// virgin state.
+inline ExploreResult explore(const ExploreOptions& opts,
+                             const std::function<RunSpec()>& makeRun) {
+  ExploreResult result;
+
+  // -- replay mode ---------------------------------------------------------
+  std::vector<int> script;
+  if (detail::replayRequested(opts, script)) {
+    const RunSpec spec = makeRun();
+    std::size_t pos = 0;
+    Controller::Options copts;
+    copts.invariant = spec.invariant;
+    copts.maxSteps = opts.maxStepsPerRun;
+    copts.mutation = opts.mutation;
+    copts.chooser = [&](ChoiceKind, int num, const int*, bool) {
+      const int c = pos < script.size() ? script[pos++] : 0;
+      return c < num ? c : 0;
+    };
+    Controller c(copts);
+    detail::runOnce(c, spec);
+    result.schedules = 1;
+    result.sites = c.sites();
+    if (c.failed()) detail::captureFailure(opts, c, result);
+    return result;
+  }
+
+  // -- PCT -----------------------------------------------------------------
+  if (opts.strategy == Strategy::kPct) {
+    for (int seed = 0; seed < opts.pctSeeds; ++seed) {
+      detail::Rng rng(std::uint64_t(seed) * 0x100000001b3ull + 0xcbf29ce4ull);
+      // Distinct random priorities; change points lower the running thread.
+      std::array<int, kMaxThreads> prio{};
+      for (int i = 0; i < kMaxThreads; ++i) prio[i] = 100 + rng.below(1000);
+      std::vector<long> changeAt;
+      for (int i = 0; i + 1 < opts.pctDepth; ++i)
+        changeAt.push_back(rng.below(int(opts.maxStepsPerRun / 4) + 1));
+      long schedSteps = 0;
+      int nextLow = 50;
+
+      const RunSpec spec = makeRun();
+      Controller::Options copts;
+      copts.invariant = spec.invariant;
+      copts.maxSteps = opts.maxStepsPerRun;
+      copts.mutation = opts.mutation;
+      copts.chooser = [&](ChoiceKind kind, int num, const int* tids,
+                          bool) -> int {
+        if (kind != ChoiceKind::kSchedule) return rng.below(num);
+        ++schedSteps;
+        for (long at : changeAt)
+          if (at == schedSteps && tids && num > 0)
+            prio[tids[0]] = --nextLow;  // demote whoever would run next
+        int best = 0;
+        for (int i = 1; i < num; ++i)
+          if (prio[tids[i]] > prio[tids[best]]) best = i;
+        return best;
+      };
+      Controller c(copts);
+      detail::runOnce(c, spec);
+      ++result.schedules;
+      for (const Site& s : c.sites()) {
+        bool known = false;
+        for (const Site& k : result.sites)
+          if (k == s) known = true;
+        if (!known) result.sites.push_back(s);
+      }
+      if (c.failed()) {
+        detail::captureFailure(opts, c, result);
+        return result;
+      }
+    }
+    return result;
+  }
+
+  // -- DFS with preemption bounding ---------------------------------------
+  std::vector<detail::DfsNode> stack;
+  bool more = true;
+  while (more && result.schedules < opts.maxSchedules) {
+    const RunSpec spec = makeRun();
+    std::size_t pos = 0;
+    int preemptions = 0;
+    Controller::Options copts;
+    copts.invariant = spec.invariant;
+    copts.maxSteps = opts.maxStepsPerRun;
+    copts.mutation = opts.mutation;
+    copts.chooser = [&](ChoiceKind kind, int num, const int*,
+                        bool currentRunnable) -> int {
+      const bool preemptive =
+          kind == ChoiceKind::kSchedule && currentRunnable;
+      if (pos < stack.size()) {
+        detail::DfsNode& n = stack[pos];
+        if (n.num != num) {
+          // Decision-tree shape diverged from the recorded prefix — the
+          // test is nondeterministic beyond the controller's choices.
+          Controller::current()
+              ? Controller::current()->fail(
+                    "nondeterministic test: decision arity changed on replayed"
+                    " prefix (avoid time/rand in model tests)")
+              : (void)0;
+          ++pos;
+          return 0;
+        }
+        const int c = n.chosen;
+        if (preemptive && c > 0) ++preemptions;
+        ++pos;
+        return c;
+      }
+      stack.push_back({num, 0, preemptive, preemptions});
+      ++pos;
+      return 0;
+    };
+    Controller c(copts);
+    detail::runOnce(c, spec);
+    ++result.schedules;
+    for (const Site& s : c.sites()) {
+      bool known = false;
+      for (const Site& k : result.sites)
+        if (k == s) known = true;
+      if (!known) result.sites.push_back(s);
+    }
+    if (c.failed()) {
+      detail::captureFailure(opts, c, result);
+      return result;
+    }
+
+    // Backtrack: bump the deepest node that still has an unexplored,
+    // preemption-budget-respecting branch; drop everything below it.
+    more = false;
+    while (!stack.empty()) {
+      detail::DfsNode& n = stack.back();
+      const bool budgetOk =
+          !n.preemptive || n.preemptionsBefore < opts.preemptionBound;
+      if (n.chosen + 1 < n.num && budgetOk) {
+        ++n.chosen;
+        more = true;
+        break;
+      }
+      stack.pop_back();
+    }
+  }
+  result.exhausted = !more;
+  return result;
+}
+
+}  // namespace gravel::verify

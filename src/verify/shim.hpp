@@ -1,0 +1,290 @@
+// Instrumented atomics for GRAVEL_VERIFY=1 builds (DESIGN.md §8).
+//
+// gravel::atomic<T> here has the same layout as std::atomic<T> (its only
+// member is the real backing atomic), so types that static_assert their size
+// against a cache line — common/stats.hpp's Counter — compile identically in
+// both build modes. Every operation:
+//
+//   1. reports itself to the active verify::Controller, which treats it as a
+//      schedule point and resolves it against the operational weak-memory
+//      model (store histories + vector clocks), and
+//   2. mirrors the resulting value into the backing std::atomic, so that
+//      when a violation aborts the run and the controller switches to
+//      passthrough, the threads drain against real — and, because execution
+//      was serialized, sequentially consistent — state.
+//
+// The std::source_location defaulted arguments capture the *caller's*
+// file:line; that identity is what the mutation engine keys on and what the
+// schedule traces print.
+//
+// Outside an exploration run (Controller::current() == nullptr) everything
+// degrades to the plain std::atomic operation, so GRAVEL_VERIFY binaries can
+// still run ordinary code paths (test setup, gtest internals).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <source_location>
+#include <string>
+#include <thread>
+#include <type_traits>
+
+#include "verify/controller.hpp"
+
+namespace gravel {
+namespace verify {
+
+/// True in GRAVEL_VERIFY builds; lets code pick smaller spin budgets or
+/// bounded test configs without sprinkling #ifdefs.
+inline constexpr bool kEnabled = true;
+
+namespace detail {
+
+template <typename T>
+constexpr std::uint64_t toWord(T v) noexcept {
+  if constexpr (std::is_same_v<T, bool>) {
+    return v ? 1u : 0u;
+  } else {
+    static_assert(std::is_integral_v<T> || std::is_enum_v<T>,
+                  "gravel::atomic<T> verify shim supports integral types");
+    static_assert(sizeof(T) <= sizeof(std::uint64_t));
+    return static_cast<std::uint64_t>(v);
+  }
+}
+
+template <typename T>
+constexpr T fromWord(std::uint64_t w) noexcept {
+  if constexpr (std::is_same_v<T, bool>) {
+    return w != 0;
+  } else {
+    return static_cast<T>(w);
+  }
+}
+
+}  // namespace detail
+
+/// Record a read of plain (non-atomic) shared payload at `addr`; the
+/// controller race-checks it against the happens-before relation.
+inline void dataLoad(const void* addr, const std::source_location& loc =
+                                           std::source_location::current()) {
+  if (Controller* c = Controller::current()) c->modelData(addr, false, loc);
+}
+
+/// Record a write of plain shared payload at `addr`.
+inline void dataStore(const void* addr, const std::source_location& loc =
+                                            std::source_location::current()) {
+  if (Controller* c = Controller::current()) c->modelData(addr, true, loc);
+}
+
+/// Failed spin-loop iteration: under the model this blocks the thread until
+/// another thread stores something, instead of enumerating useless re-read
+/// schedules. Outside a run it is a plain CPU yield.
+inline void spinYield() {
+  if (Controller* c = Controller::current())
+    c->modelSpin();
+  else
+    std::this_thread::yield();
+}
+
+/// Adversary branch point for tests (drop/dup/reorder this batch?). The
+/// explorer enumerates all `numOptions` outcomes; outside a run returns 0.
+inline int choose(int numOptions, const std::source_location& loc =
+                                      std::source_location::current()) {
+  if (Controller* c = Controller::current())
+    return c->modelChoose(numOptions, loc);
+  return 0;
+}
+
+/// Report a violation (invariant breach) from test code. Uses active()
+/// rather than current(): invariant callbacks run with schedule points
+/// suppressed (current() == nullptr), but their verdicts must still land.
+inline void fail(const std::string& message) {
+  Controller* c = Controller::active();
+  if (c && Controller::tlsTid() >= 0) c->fail(message);
+}
+
+}  // namespace verify
+
+/// Drop-in std::atomic<T> replacement; see file comment. Same size and
+/// alignment as std::atomic<T>.
+template <typename T>
+class atomic {
+ public:
+  constexpr atomic() noexcept : v_{} {}
+  constexpr atomic(T desired) noexcept : v_{desired} {}
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order mo, const std::source_location& loc =
+                                   std::source_location::current()) const
+      noexcept {
+    if (verify::Controller* c = verify::Controller::current())
+      return verify::detail::fromWord<T>(c->modelLoad(
+          this, mo, verify::detail::toWord(v_.load(std::memory_order_seq_cst)),
+          loc));
+    return v_.load(mo);
+  }
+
+  void store(T desired, std::memory_order mo,
+             const std::source_location& loc =
+                 std::source_location::current()) noexcept {
+    if (verify::Controller* c = verify::Controller::current()) {
+      c->modelStore(this, verify::detail::toWord(desired), mo,
+                    verify::detail::toWord(v_.load(std::memory_order_seq_cst)),
+                    loc);
+      v_.store(desired, std::memory_order_seq_cst);
+      return;
+    }
+    v_.store(desired, mo);
+  }
+
+  T exchange(T desired, std::memory_order mo,
+             const std::source_location& loc =
+                 std::source_location::current()) noexcept {
+    if (verify::Controller* c = verify::Controller::current()) {
+      const std::uint64_t d = verify::detail::toWord(desired);
+      const std::uint64_t old = c->modelRmw(
+          this, [d](std::uint64_t) { return d; }, mo,
+          verify::detail::toWord(v_.load(std::memory_order_seq_cst)), loc);
+      v_.store(desired, std::memory_order_seq_cst);
+      return verify::detail::fromWord<T>(old);
+    }
+    return v_.exchange(desired, mo);
+  }
+
+  T fetch_add(T arg, std::memory_order mo,
+              const std::source_location& loc =
+                  std::source_location::current()) noexcept {
+    return rmwOp(
+        arg, mo, loc, [](std::uint64_t o, std::uint64_t a) {
+          return verify::detail::toWord(
+              T(verify::detail::fromWord<T>(o) + verify::detail::fromWord<T>(a)));
+        },
+        [&](T a, std::memory_order m) { return v_.fetch_add(a, m); });
+  }
+
+  T fetch_sub(T arg, std::memory_order mo,
+              const std::source_location& loc =
+                  std::source_location::current()) noexcept {
+    return rmwOp(
+        arg, mo, loc, [](std::uint64_t o, std::uint64_t a) {
+          return verify::detail::toWord(
+              T(verify::detail::fromWord<T>(o) - verify::detail::fromWord<T>(a)));
+        },
+        [&](T a, std::memory_order m) { return v_.fetch_sub(a, m); });
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure,
+                             const std::source_location& loc =
+                                 std::source_location::current()) noexcept {
+    return casOp(expected, desired, success, failure, loc);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure,
+                               const std::source_location& loc =
+                                   std::source_location::current()) noexcept {
+    return casOp(expected, desired, success, failure, loc);
+  }
+
+  /// Model-free peek at the backing value — for test invariants, which run
+  /// on whichever thread just stepped and must not create schedule points.
+  T peek() const noexcept { return v_.load(std::memory_order_seq_cst); }
+
+ private:
+  template <typename Fm, typename Fr>
+  T rmwOp(T arg, std::memory_order mo, const std::source_location& loc,
+          Fm modelFn, Fr realFn) noexcept {
+    if (verify::Controller* c = verify::Controller::current()) {
+      const std::uint64_t a = verify::detail::toWord(arg);
+      const std::uint64_t old = c->modelRmw(
+          this, [&](std::uint64_t o) { return modelFn(o, a); }, mo,
+          verify::detail::toWord(v_.load(std::memory_order_seq_cst)), loc);
+      v_.store(verify::detail::fromWord<T>(modelFn(old, a)),
+               std::memory_order_seq_cst);
+      return verify::detail::fromWord<T>(old);
+    }
+    return realFn(arg, mo);
+  }
+
+  bool casOp(T& expected, T desired, std::memory_order success,
+             std::memory_order failure,
+             const std::source_location& loc) noexcept {
+    if (verify::Controller* c = verify::Controller::current()) {
+      std::uint64_t e = verify::detail::toWord(expected);
+      const bool ok =
+          c->modelCas(this, e, verify::detail::toWord(desired), success,
+                      failure,
+                      verify::detail::toWord(v_.load(std::memory_order_seq_cst)),
+                      loc);
+      if (ok)
+        v_.store(desired, std::memory_order_seq_cst);
+      else
+        expected = verify::detail::fromWord<T>(e);
+      return ok;
+    }
+    return v_.compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  mutable std::atomic<T> v_;
+};
+
+/// Instrumented std::atomic_flag equivalent (modeled as atomic<bool> RMWs).
+class atomic_flag {
+ public:
+  constexpr atomic_flag() noexcept = default;
+
+  bool test_and_set(std::memory_order mo,
+                    const std::source_location& loc =
+                        std::source_location::current()) noexcept {
+    return flag_.exchange(true, mo, loc);
+  }
+
+  void clear(std::memory_order mo, const std::source_location& loc =
+                                       std::source_location::current()) noexcept {
+    flag_.store(false, mo, loc);
+  }
+
+  bool test(std::memory_order mo, const std::source_location& loc =
+                                      std::source_location::current()) const
+      noexcept {
+    return flag_.load(mo, loc);
+  }
+
+ private:
+  atomic<bool> flag_{false};
+};
+
+/// Instrumented mutex: the model arbitrates ownership (so lock() is a
+/// schedule point and release->acquire edges enter the vector clocks); the
+/// real std::mutex is still taken — uncontended during exploration because
+/// execution is serialized, and load-bearing in passthrough mode after an
+/// abort, where it alone preserves mutual exclusion.
+class mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock(const std::source_location& loc =
+                std::source_location::current()) {
+    if (verify::Controller* c = verify::Controller::current())
+      c->modelLock(this, loc);
+    m_.lock();
+  }
+
+  void unlock(const std::source_location& loc =
+                  std::source_location::current()) {
+    m_.unlock();
+    if (verify::Controller* c = verify::Controller::current())
+      c->modelUnlock(this, loc);
+  }
+
+ private:
+  std::mutex m_;
+};
+
+}  // namespace gravel

@@ -1,0 +1,487 @@
+// Bounded protocol scenarios for the model checker (DESIGN.md §8).
+//
+// Each scenario builds a verify::RunSpec factory — fresh queue/fabric state
+// before every schedule — and hands it to verify::explore(). The same
+// scenarios serve two test binaries:
+//
+//   - test_verify.cpp runs them unmutated and asserts ok (and, for the DFS
+//     configs, exhausted: the bounded configuration was proven).
+//   - test_verify_mutation.cpp re-runs them with one acquire/release site
+//     weakened to relaxed and asserts the checker reports a violation.
+//
+// Scenario sizing is deliberately tiny (capacity-2 rings, 1-3 messages):
+// every protocol feature of interest — wraparound, the full/empty boundary,
+// ticket rounds, the stopped-drain exit, drop/dup/retransmit — already
+// appears at that scale, and DFS stays enumerable.
+//
+// Invariant callbacks run in passthrough mode (no schedule points), so they
+// may use atomic peeks/loads freely, but must not take gravel::mutex — the
+// stepping thread may already hold the real lock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/reliable.hpp"
+#include "queue/gravel_queue.hpp"
+#include "queue/mpmc_queue.hpp"
+#include "queue/spsc_queue.hpp"
+#include "verify/explore.hpp"
+
+namespace gravel::vtests {
+
+using verify::ExploreOptions;
+using verify::ExploreResult;
+using verify::RunSpec;
+
+// ---------------------------------------------------------------------------
+// SPSC: producer pushes 1..kMsgs through a capacity-2 ring (wraparound at
+// message 3), flags stop, consumer drains. FIFO order is checked exactly.
+inline ExploreResult spscRoundTrip(const ExploreOptions& opts) {
+  return verify::explore(opts, [] {
+    struct State {
+      SpscQueue q{1, 8};  // capacityBytes=1 -> the 2-cell minimum
+      atomic<bool> stopped{false};
+      std::vector<std::uint64_t> got;
+    };
+    auto st = std::make_shared<State>();
+    constexpr std::uint64_t kMsgs = 3;
+
+    RunSpec spec;
+    spec.threads.push_back([st] {
+      for (std::uint64_t v = 1; v <= kMsgs; ++v) st->q.push(&v);
+      st->stopped.store(true, std::memory_order_release);
+    });
+    spec.threads.push_back([st] {
+      std::uint64_t v = 0;
+      while (st->q.pop(&v, st->stopped)) st->got.push_back(v);
+    });
+    spec.invariant = [st] {
+      const std::uint64_t wr = st->q.peekWriteIdx();
+      const std::uint64_t rd = st->q.peekReadIdx();
+      if (rd > wr) verify::fail("spsc: readIdx overtook writeIdx");
+      if (wr - rd > st->q.capacity())
+        verify::fail("spsc: ring holds more than its capacity");
+    };
+    spec.finalCheck = [st]() -> std::string {
+      if (st->got.size() != kMsgs)
+        return "expected " + std::to_string(kMsgs) + " messages, got " +
+               std::to_string(st->got.size());
+      for (std::uint64_t i = 0; i < kMsgs; ++i)
+        if (st->got[i] != i + 1)
+          return "out of order or corrupt at index " + std::to_string(i) +
+                 ": " + std::to_string(st->got[i]);
+      return "";
+    };
+    return spec;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// MPMC: two producers race 3 messages through a capacity-2 ring (slot 0 is
+// reused in round 1); one consumer pops exactly 3. Checks the multiset and,
+// per step, that every slot's round counter is monotone (ticket ordering).
+inline ExploreResult mpmcRoundTrip(const ExploreOptions& opts) {
+  return verify::explore(opts, [] {
+    struct State {
+      MpmcQueue q{1, 8};  // 2 slots
+      atomic<bool> stopped{false};  // never set; consumer pops a fixed count
+      std::vector<std::uint64_t> got;
+      std::vector<std::uint64_t> prevRound;
+    };
+    auto st = std::make_shared<State>();
+    st->prevRound.assign(st->q.capacity(), 0);
+
+    RunSpec spec;
+    spec.threads.push_back([st] {
+      for (std::uint64_t v : {std::uint64_t{1}, std::uint64_t{2}})
+        st->q.push(&v);
+    });
+    spec.threads.push_back([st] {
+      const std::uint64_t v = 3;
+      st->q.push(&v);
+    });
+    spec.threads.push_back([st] {
+      std::uint64_t v = 0;
+      for (int i = 0; i < 3; ++i)
+        if (st->q.pop(&v, st->stopped)) st->got.push_back(v);
+    });
+    spec.invariant = [st] {
+      for (std::size_t s = 0; s < st->prevRound.size(); ++s) {
+        const std::uint64_t r = st->q.peekSlotRound(s);
+        if (r < st->prevRound[s])
+          verify::fail("mpmc: slot round went backwards (ticket order)");
+        st->prevRound[s] = r;
+      }
+    };
+    spec.finalCheck = [st]() -> std::string {
+      std::multiset<std::uint64_t> want{1, 2, 3};
+      std::multiset<std::uint64_t> have(st->got.begin(), st->got.end());
+      if (have != want) {
+        std::string s = "lost/duplicated/corrupt messages:";
+        for (std::uint64_t v : st->got) s += " " + std::to_string(v);
+        return s;
+      }
+      return "";
+    };
+    return spec;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// GravelQueue, 1 producer / 1 consumer, lanes=1, 2 slots: three slots' worth
+// of messages so the ring wraps (slot 0 hosts rounds 0 and 1) and the
+// round/full handshake is exercised across the wrap. FIFO checked exactly.
+inline ExploreResult gravelRoundTrip(const ExploreOptions& opts) {
+  return verify::explore(opts, [] {
+    struct State {
+      // rows=1, lanes=1 -> slotBytes=8; capacity_bytes=16 -> 2 slots.
+      GravelQueue q{GravelQueueConfig{16, 1, 1}};
+      atomic<bool> stopped{false};
+      std::vector<std::uint64_t> got;
+    };
+    auto st = std::make_shared<State>();
+    constexpr std::uint64_t kMsgs = 3;
+
+    RunSpec spec;
+    spec.threads.push_back([st] {
+      for (std::uint64_t v = 1; v <= kMsgs; ++v) {
+        GravelQueue::SlotRef ref = st->q.acquireWrite(1);
+        st->q.putWord(ref, 0, 0, v);
+        st->q.publish(ref);
+      }
+      st->stopped.store(true, std::memory_order_release);
+    });
+    spec.threads.push_back([st] {
+      GravelQueue::SlotRef ref;
+      while (st->q.acquireRead(ref, st->stopped)) {
+        st->got.push_back(st->q.getWord(ref, 0, 0));
+        st->q.release(ref);
+      }
+    });
+    spec.invariant = [st] {
+      const std::uint64_t wr = st->q.peekWriteIdx();
+      const std::uint64_t rd = st->q.peekReadIdx();
+      if (rd > wr) verify::fail("gravel: readIdx overtook writeIdx");
+      for (std::uint32_t s = 0; s < st->q.slotCount(); ++s)
+        if (st->q.peekSlotFull(s) && st->q.peekSlotCount(s) > st->q.lanes())
+          verify::fail("gravel: published count exceeds lanes");
+    };
+    spec.finalCheck = [st]() -> std::string {
+      if (st->got.size() != kMsgs)
+        return "expected " + std::to_string(kMsgs) + " messages, got " +
+               std::to_string(st->got.size());
+      for (std::uint64_t i = 0; i < kMsgs; ++i)
+        if (st->got[i] != i + 1)
+          return "out of order or corrupt at index " + std::to_string(i) +
+                 ": " + std::to_string(st->got[i]);
+      return "";
+    };
+    return spec;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// GravelQueue, 2 producers / 1 consumer over 2 slots: three reservations, so
+// two producers alias the ring across a wrap and the derived write tickets
+// must serialize them. Consumer claims a fixed count (no stop protocol).
+inline ExploreResult gravelTwoProducers(const ExploreOptions& opts) {
+  return verify::explore(opts, [] {
+    struct State {
+      GravelQueue q{GravelQueueConfig{16, 1, 1}};  // 2 slots
+      atomic<bool> stopped{false};  // never set
+      std::vector<std::uint64_t> got;
+      std::vector<std::uint64_t> prevRound;
+    };
+    auto st = std::make_shared<State>();
+    st->prevRound.assign(st->q.slotCount(), 0);
+
+    auto produce = [st](std::initializer_list<std::uint64_t> vals) {
+      for (std::uint64_t v : vals) {
+        GravelQueue::SlotRef ref = st->q.acquireWrite(1);
+        st->q.putWord(ref, 0, 0, v);
+        st->q.publish(ref);
+      }
+    };
+    RunSpec spec;
+    spec.threads.push_back([=] { produce({1, 2}); });
+    spec.threads.push_back([=] { produce({3}); });
+    spec.threads.push_back([st] {
+      GravelQueue::SlotRef ref;
+      for (int i = 0; i < 3; ++i) {
+        if (!st->q.acquireRead(ref, st->stopped)) continue;
+        st->got.push_back(st->q.getWord(ref, 0, 0));
+        st->q.release(ref);
+      }
+    });
+    spec.invariant = [st] {
+      for (std::size_t s = 0; s < st->prevRound.size(); ++s) {
+        const std::uint64_t r = st->q.peekSlotRound(std::uint32_t(s));
+        if (r < st->prevRound[s])
+          verify::fail("gravel: slot round went backwards (ticket order)");
+        st->prevRound[s] = r;
+      }
+    };
+    spec.finalCheck = [st]() -> std::string {
+      std::multiset<std::uint64_t> want{1, 2, 3};
+      std::multiset<std::uint64_t> have(st->got.begin(), st->got.end());
+      if (have != want) {
+        std::string s = "lost/duplicated/corrupt messages:";
+        for (std::uint64_t v : st->got) s += " " + std::to_string(v);
+        return s;
+      }
+      return "";
+    };
+    return spec;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// The stopped-drain race documented in GravelQueue::acquireRead: a producer
+// publishes, a *separate* stopper thread (the runtime's stop() caller)
+// releases `stopped`, and the consumer must never exit with a published
+// message unclaimed — even though its exit test re-reads readIdx_ relaxed.
+inline ExploreResult gravelStoppedDrain(const ExploreOptions& opts) {
+  return verify::explore(opts, [] {
+    struct State {
+      GravelQueue q{GravelQueueConfig{16, 1, 1}};
+      atomic<bool> producerDone{false};
+      atomic<bool> stopped{false};
+      std::vector<std::uint64_t> got;
+    };
+    auto st = std::make_shared<State>();
+    constexpr std::uint64_t kMsgs = 2;
+
+    RunSpec spec;
+    spec.threads.push_back([st] {  // producer
+      for (std::uint64_t v = 1; v <= kMsgs; ++v) {
+        GravelQueue::SlotRef ref = st->q.acquireWrite(1);
+        st->q.putWord(ref, 0, 0, v);
+        st->q.publish(ref);
+      }
+      st->producerDone.store(true, std::memory_order_release);
+    });
+    spec.threads.push_back([st] {  // stopper: NetworkThread::stop()'s shape
+      while (!st->producerDone.load(std::memory_order_acquire))
+        verify::spinYield();
+      st->stopped.store(true, std::memory_order_release);
+    });
+    spec.threads.push_back([st] {  // consumer
+      GravelQueue::SlotRef ref;
+      while (st->q.acquireRead(ref, st->stopped)) {
+        st->got.push_back(st->q.getWord(ref, 0, 0));
+        st->q.release(ref);
+      }
+    });
+    spec.finalCheck = [st]() -> std::string {
+      if (st->got.size() != kMsgs)
+        return "stopped drain lost messages: expected " +
+               std::to_string(kMsgs) + ", got " +
+               std::to_string(st->got.size());
+      for (std::uint64_t i = 0; i < kMsgs; ++i)
+        if (st->got[i] != i + 1)
+          return "out of order or corrupt at index " + std::to_string(i);
+      return "";
+    };
+    return spec;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Scripted wire for the reliability-layer scenarios: delivery order is the
+// send order, but while `faultBudget` lasts the adversary (verify::choose)
+// may drop a batch on the floor or deliver it twice. With budget 0 the wire
+// is perfect and deterministic.
+class ScriptedWire : public net::Fabric {
+ public:
+  ScriptedWire(std::uint32_t nodes, int faultBudget, bool allowDuplicate)
+      : nodes_(nodes),
+        inboxes_(nodes),
+        faultBudget_(faultBudget),
+        actions_(allowDuplicate ? 3 : 2) {}
+
+  std::uint32_t nodes() const noexcept override { return nodes_; }
+
+  void send(std::uint32_t src, std::uint32_t dst,
+            std::vector<rt::NetMessage>&& batch) override {
+    if (batch.empty()) return;
+    int action = 0;  // 0 = deliver, 1 = drop, 2 = deliver twice
+    if (faultBudget_ > 0) {
+      action = verify::choose(actions_);
+      if (action != 0) --faultBudget_;
+    }
+    if (action == 1) return;  // lost on the wire
+    Inbox& ib = inboxes_[dst];
+    std::scoped_lock lk(ib.m);
+    ib.q.push_back(net::Delivery{src, 0, batch});
+    if (action == 2) ib.q.push_back(net::Delivery{src, 0, std::move(batch)});
+  }
+
+  bool tryReceive(std::uint32_t dst, net::Delivery& out) override {
+    Inbox& ib = inboxes_[dst];
+    std::scoped_lock lk(ib.m);
+    if (ib.q.empty()) return false;
+    out = std::move(ib.q.front());
+    ib.q.pop_front();
+    return true;
+  }
+
+  // The reliability layer above tracks resolution/quiescence; the wire has
+  // no accounting of its own in this harness.
+  void markResolved(std::uint32_t, const net::Delivery&) override {}
+  bool quiescent() const override { return true; }
+  std::string describePending() const override { return "scripted wire"; }
+  net::LinkStats link(std::uint32_t, std::uint32_t) const override {
+    return {};
+  }
+  net::LinkStats total() const override { return {}; }
+  RunningStat batchSizeBytes() const override { return {}; }
+
+ private:
+  struct Inbox {
+    gravel::mutex m;
+    std::deque<net::Delivery> q;
+  };
+  std::uint32_t nodes_;
+  std::vector<Inbox> inboxes_;
+  int faultBudget_;
+  const int actions_;
+};
+
+inline net::ReliabilityConfig boundedRelConfig() {
+  net::ReliabilityConfig cfg;
+  cfg.enabled = true;
+  // rto 0: `now < nextRetryAt` is false on a monotonic clock, so retransmit
+  // eligibility never depends on wall time — decisions stay deterministic.
+  cfg.rto_base = std::chrono::microseconds{0};
+  cfg.rto_max = std::chrono::microseconds{0};
+  cfg.max_retries = 1000;  // the adversary's budget bounds retries, not this
+  cfg.reorder_window = 4;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Reliable layer, perfect wire, 3 threads: sender S, receiver R and a
+// watcher W that treats quiescent() as a fence — once W sees the cluster
+// quiet it reads the payload's side effect with no further synchronization.
+// Exactly the contract quiet() gives launchAll() callers. A weakening of
+// the outstanding_ accounting orders breaks the fence and the race detector
+// objects at W's read.
+inline ExploreResult reliableQuiescentVisibility(const ExploreOptions& opts) {
+  return verify::explore(opts, [] {
+    struct State {
+      ScriptedWire wire{2, 0, false};  // no faults: deterministic wire
+      net::ReliableFabric rel{wire, boundedRelConfig()};
+      atomic<bool> sent{false};
+      std::uint64_t result = 0;  // the remote side effect, race-checked
+    };
+    auto st = std::make_shared<State>();
+
+    RunSpec spec;
+    spec.threads.push_back([st] {  // S: node 0 sends, then drains ACKs
+      st->rel.send(0, 1, {rt::NetMessage::put(1, 0, 7)});
+      st->sent.store(true, std::memory_order_release);
+      net::Delivery d;
+      while (st->rel.pendingCount() > 0)
+        if (!st->rel.tryReceive(0, d)) verify::spinYield();
+    });
+    spec.threads.push_back([st] {  // R: node 1's network thread
+      net::Delivery d;
+      for (;;) {
+        if (!st->rel.tryReceive(1, d)) {
+          verify::spinYield();
+          continue;
+        }
+        for (const rt::NetMessage& m : d.messages)
+          if (m.command() == rt::Command::kPut) {
+            verify::dataStore(&st->result);
+            st->result = m.value;
+          }
+        st->rel.markResolved(1, d);
+        return;
+      }
+    });
+    spec.threads.push_back([st] {  // W: quiet()-style fence, then plain read
+      while (!st->sent.load(std::memory_order_acquire)) verify::spinYield();
+      while (!st->rel.quiescent()) verify::spinYield();
+      verify::dataLoad(&st->result);
+      if (st->result != 7)
+        verify::fail("quiescent() fence let a stale payload through");
+    });
+    spec.finalCheck = [st]() -> std::string {
+      if (!st->rel.quiescent()) return "cluster never quiesced";
+      return "";
+    };
+    return spec;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reliable layer over a faulty wire: the adversary may drop or duplicate one
+// wire transmission (data OR ack); the sender retransmits via poll(). The
+// payload must be applied exactly once no matter what the adversary picks.
+inline ExploreResult reliableDropRetransmit(const ExploreOptions& opts) {
+  return verify::explore(opts, [] {
+    struct State {
+      ScriptedWire wire{2, 1, true};  // one drop-or-duplicate token
+      net::ReliableFabric rel{wire, boundedRelConfig()};
+      atomic<bool> senderDone{false};
+      std::uint64_t result = 0;
+      int applied = 0;  // receiver-thread-private application count
+    };
+    auto st = std::make_shared<State>();
+
+    RunSpec spec;
+    spec.threads.push_back([st] {  // S: send, then retransmit until acked
+      st->rel.send(0, 1, {rt::NetMessage::put(1, 0, 7)});
+      net::Delivery d;
+      // rto_base is 0, so every pass retransmits; any single wire fault is
+      // repairable by a later retransmit, and the spinYield below bounds
+      // how often a pass can run (only after another thread made progress).
+      while (!st->rel.quiescent()) {
+        const bool got = st->rel.tryReceive(0, d);
+        st->rel.poll(0);
+        if (!got) verify::spinYield();
+      }
+      st->senderDone.store(true, std::memory_order_release);
+    });
+    spec.threads.push_back([st] {  // R: the network thread; serves until the
+      // sender is satisfied. (Exiting on !quiescent() would be wrong: a
+      // stale read of the quiescence counters may legally say "quiet" while
+      // a retransmission is still owed, deserting the sender.)
+      net::Delivery d;
+      while (!st->senderDone.load(std::memory_order_acquire)) {
+        if (!st->rel.tryReceive(1, d)) {
+          verify::spinYield();
+          continue;
+        }
+        for (const rt::NetMessage& m : d.messages)
+          if (m.command() == rt::Command::kPut) {
+            ++st->applied;
+            verify::dataStore(&st->result);
+            st->result = m.value;
+          }
+        st->rel.markResolved(1, d);
+      }
+    });
+    spec.finalCheck = [st]() -> std::string {
+      if (st->applied != 1)
+        return "payload applied " + std::to_string(st->applied) +
+               " times (want exactly once)";
+      if (st->result != 7) return "payload corrupt";
+      if (!st->rel.quiescent()) return "cluster never quiesced";
+      if (st->rel.failure()) return "link declared failed";
+      return "";
+    };
+    return spec;
+  });
+}
+
+}  // namespace gravel::vtests
