@@ -29,11 +29,13 @@ int main() {
 
   for (const auto& name : workloadNames()) {
     std::map<std::uint32_t, double> seconds;
+    std::map<std::uint32_t, rt::ClusterRunStats> stats;
     bool allValid = true;
     for (auto n : nodeCounts) {
       const WorkloadRun run = runWorkload(name, n);
       allValid = allValid && run.report.validated;
       seconds[n] = timeRun(run, perf::Style::kGravel);
+      stats[n] = run.report.stats;
     }
     std::vector<std::string> row{name};
     json.beginRow();
@@ -44,6 +46,14 @@ int main() {
       row.push_back(TextTable::num(sp));
       json.cell("seconds_" + std::to_string(n), seconds[n]);
       json.cell("speedup_" + std::to_string(n), sp);
+      // Slot-batched routing invariant (DESIGN.md §9): the aggregator takes
+      // one buffer lock per distinct destination per slot, so
+      // locks/slot <= dests/slot always; run_benches.py asserts it.
+      const double slots = double(std::max<std::uint64_t>(1, stats[n].agg_slots));
+      json.cell("agg_locks_per_slot_" + std::to_string(n),
+                double(stats[n].agg_lock_acquisitions) / slots);
+      json.cell("agg_dests_per_slot_" + std::to_string(n),
+                double(stats[n].agg_dests_touched) / slots);
     }
     json.cell("validated", allValid ? 1.0 : 0.0);
     row.push_back(allValid ? "yes" : "NO");

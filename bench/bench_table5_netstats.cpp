@@ -47,6 +47,14 @@ int main() {
     json.cell("paper_msg_bytes", p.bytes);
     json.cell("net_batches", double(run.report.stats.net_batches));
     json.cell("net_messages", double(run.report.stats.net_messages));
+    // Slot-batched routing invariant (locks/slot <= dests/slot), checked by
+    // run_benches.py alongside the fig12 cells.
+    const double slots =
+        double(std::max<std::uint64_t>(1, run.report.stats.agg_slots));
+    json.cell("agg_locks_per_slot",
+              double(run.report.stats.agg_lock_acquisitions) / slots);
+    json.cell("agg_dests_per_slot",
+              double(run.report.stats.agg_dests_touched) / slots);
     json.cell("validated", run.report.validated ? 1.0 : 0.0);
     table.addRow({name,
                   TextTable::num(100.0 * run.report.stats.remoteFraction(), 1),

@@ -6,6 +6,7 @@
 // set GRAVEL_BENCH_SCALE=<float> to grow or shrink every workload together.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -43,10 +44,42 @@ struct WorkloadRun {
   std::uint64_t rounds = 1;
 };
 
-inline const std::vector<std::string>& workloadNames() {
+inline const std::vector<std::string>& allWorkloadNames() {
   static const std::vector<std::string> names{
       "GUPS",    "PR-1",    "PR-2",   "SSSP-1", "SSSP-2",
       "color-1", "color-2", "kmeans", "mer"};
+  return names;
+}
+
+/// Workloads the sweeping benches iterate. GRAVEL_BENCH_WORKLOADS (a
+/// comma-separated subset, e.g. "GUPS,kmeans") restricts the sweep — the
+/// smoke harness uses it to keep CI runs short. Unknown names are rejected
+/// so a typo cannot silently produce an empty bench.
+inline const std::vector<std::string>& workloadNames() {
+  static const std::vector<std::string> names = [] {
+    const char* env = std::getenv("GRAVEL_BENCH_WORKLOADS");
+    if (env == nullptr || *env == '\0') return allWorkloadNames();
+    std::vector<std::string> out;
+    std::string token;
+    for (const char* p = env;; ++p) {
+      if (*p == ',' || *p == '\0') {
+        if (!token.empty()) {
+          const auto& all = allWorkloadNames();
+          if (std::find(all.begin(), all.end(), token) == all.end())
+            throw InvalidArgument("GRAVEL_BENCH_WORKLOADS: unknown workload " +
+                                  token);
+          out.push_back(token);
+          token.clear();
+        }
+        if (*p == '\0') break;
+      } else {
+        token.push_back(*p);
+      }
+    }
+    if (out.empty())
+      throw InvalidArgument("GRAVEL_BENCH_WORKLOADS selected no workloads");
+    return out;
+  }();
   return names;
 }
 

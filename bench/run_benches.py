@@ -1,0 +1,368 @@
+#!/usr/bin/env python3
+"""Bench regression harness: runs the paper-artifact benches under pinned
+configurations and emits schema-validated summary JSONs at the repo root.
+
+For each selected bench (fig8 queue throughput, fig12 scalability, table5
+network statistics) the driver runs the bench binary N times with
+GRAVEL_BENCH_JSON enabled, collects the per-run BENCH_<source>.json files,
+and aggregates every numeric cell into {median, min, max, repeats} summary
+statistics. The result is written as BENCH_fig8.json / BENCH_fig12.json /
+BENCH_table5.json (schema below), validated both structurally and against
+bench-specific invariants — including the slot-batched aggregator's
+lock-discipline guarantee (lock acquisitions per slot <= distinct
+destinations per slot; see DESIGN.md section 9).
+
+Summary schema (schema_version 1):
+
+  {
+    "schema_version": 1,
+    "bench": "fig8",                  # harness name
+    "source": "fig8_queue_tput",      # BenchJson name / binary suffix
+    "generated_by": "bench/run_benches.py",
+    "mode": "smoke" | "full",
+    "repeats": N,
+    "machine": {"platform": ..., "machine": ..., "python": ...,
+                "cpu_count": ...},
+    "config": {"GRAVEL_BENCH_SCALE": ..., ...},   # pinned env knobs
+    "meta": {...},                    # bench-reported metadata (last run)
+    "rows": [ {"col": {"median": m, "min": lo, "max": hi,
+                       "repeats": [v0, v1, ...]}    # numeric cells
+               , "name_col": "string"}, ... ]       # string cells verbatim
+  }
+
+Modes:
+  (default)       full-size run, 3 repeats
+  --smoke         reduced-size pinned config (CI job), 1 repeat
+  --check FILE..  no benches run; revalidate existing summary files and
+                  exit nonzero on schema drift
+"""
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCHEMA_VERSION = 1
+
+# Harness name -> BenchJson source name (binary is bench_<source>).
+BENCHES = {
+    "fig8": "fig8_queue_tput",
+    "fig12": "fig12_scalability",
+    "table5": "table5_netstats",
+}
+
+# Pinned per-mode environment. The smoke profile shrinks problem sizes and
+# measurement windows but still runs the real queues/aggregator/fabric, so
+# the structural invariants (schema, lock discipline, speedup_1 == 1) are
+# exercised end to end in CI.
+MODE_ENV = {
+    "full": {
+        "GRAVEL_BENCH_SCALE": "1.0",
+    },
+    "smoke": {
+        "GRAVEL_BENCH_SCALE": "0.05",
+        "GRAVEL_BENCH_RUN_SECONDS": "0.02",
+        "GRAVEL_BENCH_WORKLOADS": "GUPS,kmeans",
+    },
+}
+
+FLOAT_TOL = 1e-9
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(msg):
+    print(f"run_benches: ERROR: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def machine_info():
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+def run_bench_once(binary, source, env_overrides):
+    """Runs one bench binary and returns its parsed BENCH_<source>.json."""
+    with tempfile.TemporaryDirectory(prefix="gravel-bench-") as tmp:
+        env = dict(os.environ)
+        env.update(env_overrides)
+        env["GRAVEL_BENCH_JSON"] = "1"
+        env["GRAVEL_BENCH_JSON_DIR"] = tmp
+        proc = subprocess.run(
+            [binary], env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            raise ValidationError(
+                f"{os.path.basename(binary)} exited {proc.returncode}")
+        path = os.path.join(tmp, f"BENCH_{source}.json")
+        if not os.path.exists(path):
+            raise ValidationError(
+                f"{os.path.basename(binary)} did not emit {path}")
+        with open(path) as f:
+            return json.load(f)
+
+
+def aggregate_rows(runs):
+    """Folds the per-run row lists into summary rows (median/min/max)."""
+    row_counts = {len(r["rows"]) for r in runs}
+    if len(row_counts) != 1:
+        raise ValidationError(
+            f"row count varies across repeats: {sorted(row_counts)} "
+            "(bench output is not deterministic in shape)")
+    rows = []
+    for i in range(row_counts.pop()):
+        per_run = [r["rows"][i] for r in runs]
+        keys = {frozenset(row.keys()) for row in per_run}
+        if len(keys) != 1:
+            raise ValidationError(f"row {i} keys vary across repeats")
+        out = {}
+        for key in per_run[0]:
+            values = [row[key] for row in per_run]
+            if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                   for v in values):
+                out[key] = {
+                    "median": statistics.median(values),
+                    "min": min(values),
+                    "max": max(values),
+                    "repeats": values,
+                }
+            else:
+                if len(set(map(str, values))) != 1:
+                    raise ValidationError(
+                        f"row {i} string cell '{key}' varies across repeats")
+                out[key] = values[0]
+        rows.append(out)
+    return rows
+
+
+def run_bench(name, build_dir, mode, repeats):
+    source = BENCHES[name]
+    binary = os.path.join(build_dir, "bench", f"bench_{source}")
+    if not os.path.exists(binary):
+        raise ValidationError(
+            f"bench binary not found: {binary} (build the 'bench' targets "
+            "first: cmake --build <build-dir>)")
+    env_overrides = dict(MODE_ENV[mode])
+    runs = []
+    for r in range(repeats):
+        print(f"run_benches: {name} repeat {r + 1}/{repeats}", flush=True)
+        runs.append(run_bench_once(binary, source, env_overrides))
+    for r in runs:
+        if r.get("bench") != source:
+            raise ValidationError(
+                f"bench field mismatch: expected {source}, got {r.get('bench')}")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": name,
+        "source": source,
+        "generated_by": "bench/run_benches.py",
+        "mode": mode,
+        "repeats": repeats,
+        "machine": machine_info(),
+        "config": env_overrides,
+        "meta": runs[-1].get("meta", {}),
+        "rows": aggregate_rows(runs),
+    }
+
+
+# --- validation -------------------------------------------------------------
+
+def cell_median(row, key):
+    cell = row.get(key)
+    if not isinstance(cell, dict) or "median" not in cell:
+        raise ValidationError(f"missing/ill-formed numeric cell '{key}'")
+    return cell["median"]
+
+
+def require(cond, msg):
+    if not cond:
+        raise ValidationError(msg)
+
+
+def validate_structure(doc):
+    require(isinstance(doc, dict), "summary is not a JSON object")
+    for key in ("schema_version", "bench", "source", "generated_by", "mode",
+                "repeats", "machine", "config", "meta", "rows"):
+        require(key in doc, f"missing top-level key '{key}'")
+    require(doc["schema_version"] == SCHEMA_VERSION,
+            f"schema_version {doc['schema_version']} != {SCHEMA_VERSION}")
+    require(doc["bench"] in BENCHES, f"unknown bench '{doc['bench']}'")
+    require(doc["source"] == BENCHES[doc["bench"]],
+            f"source '{doc['source']}' does not match bench '{doc['bench']}'")
+    require(doc["mode"] in MODE_ENV, f"unknown mode '{doc['mode']}'")
+    require(isinstance(doc["repeats"], int) and doc["repeats"] >= 1,
+            "repeats must be a positive integer")
+    for key in ("platform", "machine", "python", "cpu_count"):
+        require(key in doc["machine"], f"machine info missing '{key}'")
+    require(isinstance(doc["rows"], list) and doc["rows"],
+            "rows must be a non-empty array")
+    for i, row in enumerate(doc["rows"]):
+        require(isinstance(row, dict) and row, f"row {i} is not an object")
+        for key, cell in row.items():
+            if isinstance(cell, dict):
+                for stat in ("median", "min", "max", "repeats"):
+                    require(stat in cell, f"row {i} cell '{key}' missing "
+                            f"'{stat}'")
+                require(len(cell["repeats"]) == doc["repeats"],
+                        f"row {i} cell '{key}' has {len(cell['repeats'])} "
+                        f"repeats, expected {doc['repeats']}")
+                require(cell["min"] - FLOAT_TOL <= cell["median"]
+                        <= cell["max"] + FLOAT_TOL,
+                        f"row {i} cell '{key}' median outside [min, max]")
+            else:
+                require(isinstance(cell, str),
+                        f"row {i} cell '{key}' is neither summary nor string")
+
+
+def validate_fig8(doc):
+    for i, row in enumerate(doc["rows"]):
+        for key in ("msg_bytes", "gravel_gbs", "spsc_gbs", "mpmc_gbs",
+                    "gravel_lines_per_msg", "padded_lines_per_msg"):
+            require(key in row, f"fig8 row {i} missing '{key}'")
+        require(cell_median(row, "msg_bytes") > 0,
+                f"fig8 row {i}: msg_bytes must be positive")
+        require(cell_median(row, "gravel_gbs") > 0,
+                f"fig8 row {i}: gravel queue measured zero throughput")
+
+
+def validate_agg_lock_discipline(row, where, locks_key, dests_key):
+    locks = cell_median(row, locks_key)
+    dests = cell_median(row, dests_key)
+    require(locks <= dests + FLOAT_TOL,
+            f"{where}: aggregator lock discipline violated — "
+            f"{locks_key} = {locks} > {dests_key} = {dests} "
+            "(slot-batched routing must take at most one lock per distinct "
+            "destination per slot)")
+
+
+def validate_fig12(doc):
+    saw_workload = saw_geomean = False
+    for i, row in enumerate(doc["rows"]):
+        require("workload" in row, f"fig12 row {i} missing 'workload'")
+        if row["workload"] == "geomean":
+            saw_geomean = True
+            continue
+        saw_workload = True
+        sp1 = cell_median(row, "speedup_1")
+        require(abs(sp1 - 1.0) < 1e-6,
+                f"fig12 row {i} ({row['workload']}): speedup_1 = {sp1}, "
+                "expected exactly 1 (self-relative)")
+        for key in row:
+            if not key.startswith("agg_locks_per_slot_"):
+                continue
+            n = key[len("agg_locks_per_slot_"):]
+            validate_agg_lock_discipline(
+                row, f"fig12 row {i} ({row['workload']}, {n} nodes)",
+                key, f"agg_dests_per_slot_{n}")
+        require(any(k.startswith("agg_locks_per_slot_") for k in row),
+                f"fig12 row {i} ({row['workload']}) records no aggregator "
+                "lock statistics")
+    require(saw_workload, "fig12 has no workload rows")
+    require(saw_geomean, "fig12 has no geomean row")
+
+
+def validate_table5(doc):
+    for i, row in enumerate(doc["rows"]):
+        require("workload" in row, f"table5 row {i} missing 'workload'")
+        pct = cell_median(row, "remote_pct")
+        require(0.0 <= pct <= 100.0,
+                f"table5 row {i} ({row['workload']}): remote_pct = {pct} "
+                "outside [0, 100]")
+        validate_agg_lock_discipline(
+            row, f"table5 row {i} ({row['workload']})",
+            "agg_locks_per_slot", "agg_dests_per_slot")
+
+
+VALIDATORS = {
+    "fig8": validate_fig8,
+    "fig12": validate_fig12,
+    "table5": validate_table5,
+}
+
+
+def validate(doc):
+    validate_structure(doc)
+    VALIDATORS[doc["bench"]](doc)
+
+
+# --- entry points -----------------------------------------------------------
+
+def check_files(paths):
+    ok = True
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+            validate(doc)
+            print(f"run_benches: {path}: OK "
+                  f"(bench={doc['bench']}, mode={doc['mode']}, "
+                  f"repeats={doc['repeats']}, rows={len(doc['rows'])})")
+        except (OSError, json.JSONDecodeError, ValidationError) as e:
+            print(f"run_benches: {path}: FAIL: {e}", file=sys.stderr)
+            ok = False
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--smoke", action="store_true",
+                    help="reduced-size pinned config (CI), 1 repeat default")
+    ap.add_argument("--check", nargs="+", metavar="FILE",
+                    help="revalidate existing summary files; run nothing")
+    ap.add_argument("--repeats", type=int, default=None,
+                    help="repeats per bench (default: 3 full, 1 smoke)")
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"),
+                    help="CMake build directory (default: <repo>/build)")
+    ap.add_argument("--out-dir", default=REPO_ROOT,
+                    help="where BENCH_<name>.json summaries are written "
+                         "(default: repo root)")
+    ap.add_argument("--benches", default=",".join(BENCHES),
+                    help=f"comma-separated subset of: {','.join(BENCHES)}")
+    args = ap.parse_args()
+
+    if args.check:
+        sys.exit(check_files(args.check))
+
+    names = [n for n in args.benches.split(",") if n]
+    for n in names:
+        if n not in BENCHES:
+            fail(f"unknown bench '{n}' (choose from {','.join(BENCHES)})")
+    mode = "smoke" if args.smoke else "full"
+    repeats = args.repeats if args.repeats else (1 if args.smoke else 3)
+    if repeats < 1:
+        fail("--repeats must be >= 1")
+
+    written = []
+    for name in names:
+        try:
+            doc = run_bench(name, args.build_dir, mode, repeats)
+            validate(doc)
+        except ValidationError as e:
+            fail(f"{name}: {e}")
+        out = os.path.join(args.out_dir, f"BENCH_{name}.json")
+        with open(out, "w") as f:
+            json.dump(doc, f, indent=1)
+            f.write("\n")
+        written.append(out)
+        print(f"run_benches: wrote {out}")
+
+    # Re-read and re-validate what landed on disk, so the emit and check
+    # paths cannot drift apart.
+    sys.exit(check_files(written))
+
+
+if __name__ == "__main__":
+    main()

@@ -164,7 +164,7 @@ class Fabric {
     for (const rt::NetMessage& m : batch) {
       if (m.command() == rt::Command::kControl) continue;
       if (const std::uint32_t id = m.traceId())
-        tracer_->recordStage(obs::Stage::kWireSend, id, std::uint8_t(src),
+        tracer_->recordStage(obs::Stage::kWireSend, id, std::uint16_t(src),
                              std::uint16_t(dst), m.addr);
     }
   }

@@ -58,17 +58,19 @@ inline const char* stageName(Stage s) noexcept {
 /// Number of message stages (kGauge excluded).
 inline constexpr int kMessageStages = 6;
 
-/// One recorded event, 24 bytes. For message stages `id` is the sampled
+/// One recorded event, 32 bytes. For message stages `id` is the sampled
 /// trace ID (1..65535) and `value` carries the symmetric-heap address (a
 /// cheap payload correlator); for kGauge `id` names the gauge and `value`
-/// is the sample.
+/// is the sample. `node` is 16 bits wide so Fig-12-style scaling runs past
+/// 256 nodes record unaliased ids (ClusterConfig::validate bounds nodes at
+/// 65536 to match).
 struct TraceEvent {
   std::uint64_t ts_ns = 0;  ///< nanoseconds since the tracer's epoch
   std::uint64_t value = 0;
   std::uint32_t id = 0;
-  Stage stage = Stage::kEnqueue;
-  std::uint8_t node = 0;   ///< node whose pipeline recorded the event
+  std::uint16_t node = 0;  ///< node whose pipeline recorded the event
   std::uint16_t aux = 0;   ///< destination node for message stages
+  Stage stage = Stage::kEnqueue;
 };
 
 /// Fixed-capacity single-writer event buffer. The writer publishes with a
@@ -182,18 +184,17 @@ class Tracer {
   }
 
   /// Records a message-stage event. Call only with id != 0.
-  void recordStage(Stage stage, std::uint32_t id, std::uint8_t node,
+  void recordStage(Stage stage, std::uint32_t id, std::uint16_t node,
                    std::uint16_t dest, std::uint64_t value = 0) noexcept {
     if (!enabled_) return;
-    threadBuffer().record(TraceEvent{nowNs(), value, id, stage, node, dest});
+    threadBuffer().record(TraceEvent{nowNs(), value, id, node, dest, stage});
   }
 
   /// Records a gauge sample (renders as a Perfetto counter track).
-  void recordGauge(Gauge gauge, std::uint8_t node, std::uint64_t value) {
+  void recordGauge(Gauge gauge, std::uint16_t node, std::uint64_t value) {
     if (!enabled_) return;
-    threadBuffer().record(TraceEvent{nowNs(), value,
-                                     std::uint32_t(gauge), Stage::kGauge,
-                                     node, 0});
+    threadBuffer().record(TraceEvent{nowNs(), value, std::uint32_t(gauge),
+                                     node, 0, Stage::kGauge});
   }
 
   /// Names the calling thread's buffer (its Perfetto track).

@@ -221,6 +221,31 @@ class GravelQueue {
     s.round.store(ref.round + 1, std::memory_order_release);
   }
 
+  /// Consumer bulk decode: copies the slot's `ref.count` messages into
+  /// `out[0..ref.count)` in a single row-major pass. Each payload row is
+  /// read contiguously (the same layout the GPU wrote coalesced), so the
+  /// whole slot costs one streaming sweep instead of rows x count strided
+  /// wordAt() calls. T must be trivially copyable and exactly `rows` words
+  /// wide (word r of message `lane` is payload row r, column `lane`).
+  template <typename T>
+  void copySlot(const SlotRef& ref, T* out) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) % 8 == 0, "message must be whole 64-bit words");
+    GRAVEL_CHECK_MSG(sizeof(T) == messageBytes(),
+                     "copySlot message width must match the queue's rows");
+    const std::uint64_t* base =
+        payload_.data() + std::size_t{ref.slot} * slotWords_;
+    for (std::uint32_t row = 0; row < config_.rows; ++row) {
+      const std::uint64_t* src = base + std::size_t{row} * config_.lanes;
+      unsigned char* dstBytes =
+          reinterpret_cast<unsigned char*>(out) + std::size_t{row} * 8;
+      for (std::uint32_t lane = 0; lane < ref.count; ++lane) {
+        verify::dataLoad(src + lane);
+        std::memcpy(dstBytes + std::size_t{lane} * sizeof(T), src + lane, 8);
+      }
+    }
+  }
+
   /// Total write reservations so far; with Aggregator::slotsProcessed this
   /// forms the runtime's quiescence check.
   std::uint64_t reservedCount() const noexcept {

@@ -15,8 +15,12 @@ Cluster::Cluster(const ClusterConfig& config)
       tracer_(config.obs),
       allocator_(config.heap_bytes),
       opBase_(config.nodes),
-      devBase_(config.nodes) {
-  GRAVEL_CHECK_MSG(config.nodes > 0, "cluster needs at least one node");
+      devBase_(config.nodes),
+      aggBase_(config.nodes) {
+  // Degenerate configurations (zero-capacity per-node queues, zero
+  // aggregator threads, zero-size GPU queue, ...) fail here with an
+  // actionable message instead of misbehaving deep in the pipeline.
+  config_.validate();
   if (config_.fault.active())
     wire_ = std::make_unique<net::FaultyFabric>(config_.nodes, config_.fault);
   else
@@ -196,6 +200,12 @@ ClusterRunStats Cluster::runStats() const {
     s.active_arrivals += d.active_arrivals - db.active_arrivals;
     s.predication_overhead_ops +=
         d.predication_overhead_ops - db.predication_overhead_ops;
+
+    Aggregator& agg = nodes_[i]->aggregator();
+    const AggBase& ab = aggBase_[i];
+    s.agg_slots += agg.slotsProcessedStat() - ab.slots;
+    s.agg_lock_acquisitions += agg.lockAcquisitions() - ab.locks;
+    s.agg_dests_touched += agg.destsTouched() - ab.dests;
   }
   const net::LinkStats t = fabric_->total();
   s.net_batches = t.batches - fabricBase_.batches;
@@ -224,6 +234,9 @@ void Cluster::resetStats() {
   for (std::uint32_t i = 0; i < config_.nodes; ++i) {
     opBase_[i] = nodes_[i]->opStats();
     devBase_[i] = nodes_[i]->device().stats();
+    Aggregator& agg = nodes_[i]->aggregator();
+    aggBase_[i] = {agg.slotsProcessedStat(), agg.lockAcquisitions(),
+                   agg.destsTouched()};
   }
   fabricBase_ = fabric_->total();
   batchBase_ = fabric_->batchSizeBytes();
@@ -247,9 +260,9 @@ void Cluster::sampleGauges() {
     NodeRuntime& n = *nodes_[i];
     // Gravel-queue slots reserved by producers but not yet routed.
     const std::uint64_t reserved = n.queue().reservedCount();
-    const std::uint64_t routed = n.aggregator().slotsProcessed();
+    const std::uint64_t routed = n.aggregator().slotsProcessedStat();
     const std::uint64_t depth = reserved > routed ? reserved - routed : 0;
-    tracer_.recordGauge(obs::Gauge::kGpuQueueDepth, std::uint8_t(i), depth);
+    tracer_.recordGauge(obs::Gauge::kGpuQueueDepth, std::uint16_t(i), depth);
     metrics_.observeHistogram("gpu_queue.depth", node, depth);
 
     // Per-destination aggregation buffer fill.
@@ -260,7 +273,7 @@ void Cluster::sampleGauges() {
           buffered += fill;
           metrics_.observeHistogram("agg.buffer_fill", node, fill);
         });
-    tracer_.recordGauge(obs::Gauge::kAggBufferFill, std::uint8_t(i), buffered);
+    tracer_.recordGauge(obs::Gauge::kAggBufferFill, std::uint16_t(i), buffered);
   }
 
   // Fabric depth: unresolved batches (unacked, with a reliability layer).
@@ -291,10 +304,14 @@ obs::MetricsSnapshot Cluster::collectMetrics() {
     metrics_.setCounter("gpu_queue.atomic_rmws", node,
                         n.queue().atomicRmwCount());
     metrics_.setCounter("agg.slots_processed", node,
-                        n.aggregator().slotsProcessed());
+                        n.aggregator().slotsProcessedStat());
     metrics_.setCounter("agg.messages_routed", node,
                         n.aggregator().messagesRouted());
     metrics_.setCounter("agg.polls", node, n.aggregator().pollCount());
+    metrics_.setCounter("agg.lock_acquisitions", node,
+                        n.aggregator().lockAcquisitions());
+    metrics_.setCounter("agg.dests_touched", node,
+                        n.aggregator().destsTouched());
     metrics_.setCounter("net.messages_resolved", node,
                         n.network().messagesResolved());
   }

@@ -139,6 +139,12 @@ class Cluster {
   net::FaultStats faultBase_{};
   std::vector<NodeOpStats> opBase_;
   std::vector<simt::DeviceStats> devBase_;
+  struct AggBase {
+    std::uint64_t slots = 0;
+    std::uint64_t locks = 0;
+    std::uint64_t dests = 0;
+  };
+  std::vector<AggBase> aggBase_;
 };
 
 }  // namespace gravel::rt

@@ -29,6 +29,15 @@ struct ClusterRunStats {
   std::uint64_t active_arrivals = 0;
   std::uint64_t predication_overhead_ops = 0;
 
+  // Aggregator hot path (summed over nodes). The lock-vs-destination pair
+  // is the slot-batched routing invariant: one appendRun lock acquisition
+  // per distinct destination per slot, so
+  // agg_lock_acquisitions <= agg_dests_touched <= messages routed — the
+  // bench harness (bench/run_benches.py) checks the inequality per window.
+  std::uint64_t agg_slots = 0;             ///< queue slots routed
+  std::uint64_t agg_lock_acquisitions = 0; ///< routing-path buffer locks
+  std::uint64_t agg_dests_touched = 0;     ///< distinct dests summed per slot
+
   // Network traffic (summed over links). With a reliability layer these are
   // app-level counts: retransmissions, duplicates and ACK overhead appear in
   // the reliability counters below (and in the wire fabric's own stats),
@@ -72,6 +81,10 @@ struct ClusterRunStats {
     collective_arrivals += o.collective_arrivals;
     active_arrivals += o.active_arrivals;
     predication_overhead_ops += o.predication_overhead_ops;
+
+    agg_slots += o.agg_slots;
+    agg_lock_acquisitions += o.agg_lock_acquisitions;
+    agg_dests_touched += o.agg_dests_touched;
 
     // Weighted mean before the counts it derives from are summed.
     const double total = double(net_batches) + double(o.net_batches);

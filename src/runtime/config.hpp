@@ -5,10 +5,12 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/error.hpp"
 #include "common/units.hpp"
 #include "net/fault.hpp"
 #include "net/reliable.hpp"
 #include "obs/trace.hpp"
+#include "runtime/message.hpp"
 #include "simt/types.hpp"
 
 namespace gravel::rt {
@@ -40,6 +42,16 @@ struct ClusterConfig {
   /// Aggregator threads consuming the GPU queue (Table 3: 1).
   std::uint32_t aggregator_threads = 1;
 
+  /// Busy-path timeout cadence: the aggregator re-checks the flush timeout
+  /// every N routed slots, so partially-filled per-node queues are retired
+  /// on time even when the GPU queue never goes idle (the idle poll loop —
+  /// previously the only caller — then never runs).
+  std::uint32_t aggregator_timeout_check_slots = 16;
+
+  /// Initial per-destination reserve (messages) for each routing thread's
+  /// staging runs; purely an allocation hint for the slot-batched path.
+  std::uint32_t aggregator_staging_reserve = 64;
+
   /// Fault injection on the wire. Inactive (all-zero) means the cluster runs
   /// on PerfectFabric exactly as before; any nonzero knob swaps in
   /// FaultyFabric.
@@ -62,6 +74,29 @@ struct ClusterConfig {
   obs::TraceConfig obs{};
 
   simt::DeviceConfig device{};
+
+  /// Rejects degenerate configurations up front, with actionable messages.
+  /// Called by the Cluster constructor — a pernode_queue_bytes smaller than
+  /// one NetMessage would otherwise silently truncate the per-destination
+  /// capacity to zero and the aggregator would flush 1-message batches (or
+  /// nothing) forever.
+  void validate() const {
+    GRAVEL_CHECK_MSG(nodes > 0, "cluster needs at least one node");
+    GRAVEL_CHECK_MSG(nodes <= 65536,
+                     "node ids are recorded in 16-bit trace fields; "
+                     "more than 65536 nodes would alias");
+    GRAVEL_CHECK_MSG(heap_bytes > 0, "symmetric heap cannot be empty");
+    GRAVEL_CHECK_MSG(gpu_queue_bytes > 0,
+                     "GPU producer/consumer queue cannot be zero-sized");
+    GRAVEL_CHECK_MSG(
+        pernode_queue_bytes >= sizeof(NetMessage),
+        "pernode_queue_bytes must hold at least one NetMessage (32 bytes); "
+        "smaller values silently truncate per-destination capacity to zero");
+    GRAVEL_CHECK_MSG(aggregator_threads > 0,
+                     "aggregator needs at least one thread");
+    GRAVEL_CHECK_MSG(aggregator_timeout_check_slots > 0,
+                     "busy-path timeout cadence must be >= 1 slot");
+  }
 };
 
 }  // namespace gravel::rt

@@ -93,7 +93,7 @@ class NetworkThread {
     const std::uint32_t traceId =
         tracer_.enabled() ? m.traceId() : 0;
     if (traceId)
-      tracer_.recordStage(obs::Stage::kDeliver, traceId, std::uint8_t(self_),
+      tracer_.recordStage(obs::Stage::kDeliver, traceId, std::uint16_t(self_),
                           std::uint16_t(self_), m.addr);
     switch (m.command()) {
       case Command::kPut:
@@ -112,7 +112,7 @@ class NetworkThread {
         break;
     }
     if (traceId)
-      tracer_.recordStage(obs::Stage::kResolve, traceId, std::uint8_t(self_),
+      tracer_.recordStage(obs::Stage::kResolve, traceId, std::uint16_t(self_),
                           std::uint16_t(self_), m.addr);
   }
 

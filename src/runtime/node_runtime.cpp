@@ -26,7 +26,7 @@ void NodeRuntime::enqueueGroup(simt::WorkItem& wi, const NetMessage& m,
   if (active && tracer_.enabled()) {
     if (const std::uint32_t traceId = tracer_.maybeSample()) {
       traced.setTraceId(traceId);
-      tracer_.recordStage(obs::Stage::kEnqueue, traceId, std::uint8_t(id_),
+      tracer_.recordStage(obs::Stage::kEnqueue, traceId, std::uint16_t(id_),
                           std::uint16_t(m.dest), m.addr);
     }
   }

@@ -156,6 +156,27 @@ TEST(Trace, SamplingHonorsIntervalAndNeverReturnsZero) {
   EXPECT_EQ(t.sampledCandidates(), 64u);
 }
 
+TEST(Trace, NodeIdsWiderThanAByteSurviveRecording) {
+  // Fig-12-style scaling sweeps can run hundreds of nodes; the event's node
+  // field is 16 bits so ids >= 256 must round-trip unaliased (they used to
+  // be truncated through a uint8_t cast at every record site).
+  TraceConfig cfg;
+  cfg.enabled = true;
+  Tracer t(cfg);
+  t.recordStage(Stage::kEnqueue, 1, /*node=*/300, /*dest=*/65535, 7);
+  t.recordGauge(obs::Gauge::kGpuQueueDepth, /*node=*/40000, 5);
+  const auto events = t.allEvents();
+  ASSERT_EQ(events.size(), 2u);
+  for (const TraceEvent& e : events) {
+    if (e.stage == Stage::kGauge) {
+      EXPECT_EQ(e.node, 40000u);
+    } else {
+      EXPECT_EQ(e.node, 300u);
+      EXPECT_EQ(e.aux, 65535u);
+    }
+  }
+}
+
 TEST(Trace, BufferOverflowDropsAndCounts) {
   TraceConfig cfg;
   cfg.enabled = true;
@@ -278,8 +299,9 @@ TEST(Trace, SurvivesFaultyWireWithReliability) {
   // retransmission.
   const MetricsSnapshot snap = cluster.collectMetrics();
   EXPECT_GT(snap.number("fault.drops") + snap.number("fault.duplicates"), 0.0);
-  if (snap.number("fault.drops") > 0.0)
+  if (snap.number("fault.drops") > 0.0) {
     EXPECT_GT(snap.number("fabric.retransmits"), 0.0);
+  }
   EXPECT_GT(snap.number("trace.candidates"), 0.0);
 }
 

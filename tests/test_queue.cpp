@@ -45,6 +45,47 @@ TEST(GravelQueue, RejectsBadWriteCounts) {
   EXPECT_THROW(q.acquireWrite(9), Error);
 }
 
+TEST(GravelQueue, CopySlotBulkDecodesRowMajorPayload) {
+  // copySlot() must undo the row-major transpose in one pass: lane i of the
+  // slot becomes out[i], with each row landing in the message's i-th word.
+  GravelQueue q(GravelQueueConfig{1 << 16, 8, 4});
+  std::atomic<bool> stopped{false};
+  for (std::uint32_t count : {std::uint32_t(8), std::uint32_t(3)}) {
+    auto w = q.acquireWrite(count);  // full slot, then a partial one
+    for (std::uint32_t row = 0; row < 4; ++row)
+      for (std::uint32_t lane = 0; lane < count; ++lane)
+        q.wordAt(w, row, lane) = 1000 * row + lane;
+    q.publish(w);
+    GravelQueue::SlotRef r;
+    ASSERT_TRUE(q.acquireRead(r, stopped));
+    ASSERT_EQ(r.count, count);
+    std::vector<TestMsg> out(count);
+    q.copySlot(r, out.data());
+    q.release(r);
+    for (std::uint32_t lane = 0; lane < count; ++lane) {
+      EXPECT_EQ(out[lane].cmd, 0u + lane);
+      EXPECT_EQ(out[lane].dest, 1000u + lane);
+      EXPECT_EQ(out[lane].addr, 2000u + lane);
+      EXPECT_EQ(out[lane].value, 3000u + lane);
+    }
+  }
+}
+
+TEST(GravelQueue, CopySlotRejectsMismatchedMessageWidth) {
+  struct Narrow {
+    std::uint64_t a, b;  // 16 bytes, but the queue's rows say 32
+  };
+  GravelQueue q(GravelQueueConfig{1 << 16, 8, 4});
+  auto w = q.acquireWrite(2);
+  q.publish(w);
+  std::atomic<bool> stopped{false};
+  GravelQueue::SlotRef r;
+  ASSERT_TRUE(q.acquireRead(r, stopped));
+  Narrow out[2];
+  EXPECT_THROW(q.copySlot(r, out), Error);
+  q.release(r);
+}
+
 TEST(GravelQueue, SingleSlotRoundTrip) {
   TypedGravelQueue<TestMsg> q(1 << 16, 4);
   auto w = q.acquireWrite(3);

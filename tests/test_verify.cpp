@@ -82,8 +82,23 @@ TEST(VerifyDfs, ReliableDropRetransmit) {
   EXPECT_TRUE(r.exhausted) << "schedule budget too small: " << r.schedules;
 }
 
+// Slot-batched routing (PR 4): one producer, two SlotRouter drain threads.
+// Covers the per-destination lock discipline — decode outside the lock,
+// one acquisition per (slot, destination) run, mid-run capacity splits.
+TEST(VerifyDfs, SlotRoutedAggregation) {
+  const ExploreResult r =
+      slotRoutedAggregation(dfs("dfs_slotroute", 1, 400000));
+  EXPECT_TRUE(r.ok) << r.report("slotRoutedAggregation");
+  EXPECT_TRUE(r.exhausted) << "schedule budget too small: " << r.schedules;
+}
+
 // PCT randomized-priority smoke runs: cheap probabilistic coverage beyond
 // the DFS preemption bound. Seeded deterministically inside explore().
+TEST(VerifyPct, SlotRoutedAggregation) {
+  const ExploreResult r = slotRoutedAggregation(pct("pct_slotroute", 64));
+  EXPECT_TRUE(r.ok) << r.report("slotRoutedAggregation");
+}
+
 TEST(VerifyPct, GravelRoundTrip) {
   const ExploreResult r = gravelRoundTrip(pct("pct_gravel", 200));
   EXPECT_TRUE(r.ok) << r.report("gravelRoundTrip[pct]");

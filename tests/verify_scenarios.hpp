@@ -19,6 +19,7 @@
 // stepping thread may already hold the real lock.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -33,6 +34,7 @@
 #include "queue/gravel_queue.hpp"
 #include "queue/mpmc_queue.hpp"
 #include "queue/spsc_queue.hpp"
+#include "runtime/slot_router.hpp"
 #include "verify/explore.hpp"
 
 namespace gravel::vtests {
@@ -478,6 +480,98 @@ inline ExploreResult reliableDropRetransmit(const ExploreOptions& opts) {
       if (st->result != 7) return "payload corrupt";
       if (!st->rel.quiescent()) return "cluster never quiesced";
       if (st->rel.failure()) return "link declared failed";
+      return "";
+    };
+    return spec;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// The aggregator's slot-batched routing (DESIGN.md §9): two router threads
+// each claim one pre-published slot, bulk-decode it into thread-local
+// staging, release the queue slot, then append per-destination runs to the
+// shared SlotRouter buffers — one gravel::mutex acquisition per destination
+// per slot. Capacity-2 buffers force a mid-run flush split, so the checker
+// covers lock handoff between routing, capacity flush and the final
+// flushAll under every bounded interleaving. (Publishing happens in setup:
+// the producer-side queue protocol is already exhausted by the gravel*
+// scenarios above, and keeping it out of the schedule space is what lets
+// DFS stay exhaustive here.) Checked: conservation across route -> flush,
+// batch sizes <= capacity, and the no-reordering guarantee (a slot's
+// same-destination run stays contiguous and lane-ascending in
+// per-destination arrival order).
+inline ExploreResult slotRoutedAggregation(const ExploreOptions& opts) {
+  return verify::explore(opts, [] {
+    struct State {
+      // 2 slots of 2 lanes x 4 rows (NetMessage width).
+      GravelQueue q{GravelQueueConfig{128, 2, rt::NetMessage::kRows}};
+      atomic<bool> stopped{false};  // never set; claims are exact
+      rt::SlotRouter router;
+      std::vector<std::vector<std::uint64_t>> flushed;  // per-dest values
+      std::size_t maxBatch = 0;
+      State()
+          : router(2, /*capacityMsgs=*/2,
+                   [this](std::uint32_t dst,
+                          std::vector<rt::NetMessage>&& batch) {
+                     // Runs with the destination's buffer lock held.
+                     maxBatch = std::max(maxBatch, batch.size());
+                     for (const rt::NetMessage& m : batch)
+                       flushed[dst].push_back(m.value);
+                   }),
+            flushed(2) {}
+    };
+    auto st = std::make_shared<State>();
+
+    auto produce = [st](const rt::NetMessage (&msgs)[2]) {
+      GravelQueue::SlotRef ref = st->q.acquireWrite(2);
+      for (std::uint32_t lane = 0; lane < 2; ++lane) {
+        st->q.putWord(ref, 0, lane, msgs[lane].cmd);
+        st->q.putWord(ref, 1, lane, msgs[lane].dest);
+        st->q.putWord(ref, 2, lane, msgs[lane].addr);
+        st->q.putWord(ref, 3, lane, msgs[lane].value);
+      }
+      st->q.publish(ref);
+    };
+    auto route = [st] {
+      rt::SlotRouter::Staging staging(2, 2);
+      GravelQueue::SlotRef ref;
+      if (st->q.acquireRead(ref, st->stopped)) {
+        st->router.decode(st->q, ref, staging);
+        st->q.release(ref);  // slot handed back before any buffer lock
+        st->router.routeStaged(staging);
+      }
+      // Each thread force-flushes after routing; whichever runs last has
+      // seen its own appends, so nothing is left buffered at finalCheck.
+      st->router.flushAll();
+    };
+
+    // Setup-phase publish (runs before the checker registers any thread, so
+    // it adds no schedule points). Slot A fans out (one message per
+    // destination); slot B is a two-message same-destination run that must
+    // stay contiguous.
+    produce({rt::NetMessage::put(0, 0, 1), rt::NetMessage::put(1, 0, 2)});
+    produce({rt::NetMessage::put(0, 0, 3), rt::NetMessage::put(0, 0, 4)});
+
+    RunSpec spec;
+    spec.threads.push_back(route);
+    spec.threads.push_back(route);
+    spec.finalCheck = [st]() -> std::string {
+      const auto& d0 = st->flushed[0];
+      const auto& d1 = st->flushed[1];
+      if (st->maxBatch > 2)
+        return "batch exceeded capacity: " + std::to_string(st->maxBatch);
+      if (d1 != std::vector<std::uint64_t>{2})
+        return "dest 1 payload lost/duplicated/corrupt";
+      if (std::multiset<std::uint64_t>(d0.begin(), d0.end()) !=
+          std::multiset<std::uint64_t>{1, 3, 4})
+        return "dest 0 payload lost/duplicated/corrupt";
+      // Slot B's run {3, 4} must be adjacent and in lane order in dest 0's
+      // arrival stream regardless of which thread routed which slot.
+      for (std::size_t i = 0; i < d0.size(); ++i) {
+        if (d0[i] != 3) continue;
+        if (i + 1 >= d0.size() || d0[i + 1] != 4)
+          return "same-slot run split or reordered within destination";
+      }
       return "";
     };
     return spec;
