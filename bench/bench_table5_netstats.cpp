@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "obs/latency.hpp"
 
 int main() {
   using namespace gravel;
@@ -35,9 +36,11 @@ int main() {
   };
 
   TextTable table({"workload", "remote %", "paper %", "avg msg B",
-                   "paper B", "net msgs", "validated"});
+                   "paper B", "net msgs", "e2e p99 us", "validated"});
   for (const auto& name : workloadNames()) {
-    const WorkloadRun run = runWorkload(name, 8);
+    // Traced: the run stats then carry the latency-attribution quantiles
+    // that back the schema-v2 lat_* columns below.
+    const WorkloadRun run = runWorkload(name, 8, /*traced=*/true);
     const auto& p = paper.at(name);
     json.beginRow();
     json.cell("workload", name);
@@ -55,6 +58,17 @@ int main() {
               double(run.report.stats.agg_lock_acquisitions) / slots);
     json.cell("agg_dests_per_slot",
               double(run.report.stats.agg_dests_touched) / slots);
+    // Per-stage latency attribution (schema v2): one p50/p99 column pair
+    // per pipeline transition plus end-to-end, in nanoseconds.
+    json.cell("lat_samples", double(run.report.stats.lat_samples));
+    json.cell("lat_e2e_p50_ns", run.report.stats.lat_e2e_p50_ns);
+    json.cell("lat_e2e_p99_ns", run.report.stats.lat_e2e_p99_ns);
+    for (int t = 0; t < rt::ClusterRunStats::kLatTransitions; ++t) {
+      json.cell("lat_p50_ns_" + obs::transitionLabel(t),
+                run.report.stats.lat_stage_p50_ns[t]);
+      json.cell("lat_p99_ns_" + obs::transitionLabel(t),
+                run.report.stats.lat_stage_p99_ns[t]);
+    }
     json.cell("validated", run.report.validated ? 1.0 : 0.0);
     table.addRow({name,
                   TextTable::num(100.0 * run.report.stats.remoteFraction(), 1),
@@ -62,6 +76,7 @@ int main() {
                   TextTable::num(run.report.stats.avg_batch_bytes, 0),
                   TextTable::num(p.bytes, 0),
                   std::to_string(run.report.stats.net_batches),
+                  TextTable::num(run.report.stats.lat_e2e_p99_ns / 1000.0, 1),
                   run.report.validated ? "yes" : "NO"});
     std::fflush(stdout);
   }

@@ -83,19 +83,29 @@ inline const std::vector<std::string>& workloadNames() {
   return names;
 }
 
-inline rt::ClusterConfig benchCluster(std::uint32_t nodes) {
+inline rt::ClusterConfig benchCluster(std::uint32_t nodes,
+                                      bool traced = false) {
   rt::ClusterConfig c;
   c.nodes = nodes;
   c.heap_bytes = 64u << 20;
+  if (traced) {
+    // Sampled tracing feeds the latency-attribution engine so the bench can
+    // report per-stage p50/p99 (run_benches.py schema v2). 1-in-16 keeps
+    // the record sites inside the counters' noise floor.
+    c.obs.enabled = true;
+    c.obs.sample_interval = 16;
+  }
   return c;  // Table 3 defaults otherwise (256-lane WGs, 1 MB queue, ...)
 }
 
 /// Runs `name` on a fresh `nodes`-node cluster at reproduction scale.
 /// Total problem size is fixed across node counts (strong scaling, as in
-/// Figure 12).
-inline WorkloadRun runWorkload(const std::string& name, std::uint32_t nodes) {
+/// Figure 12). `traced` enables sampled tracing so the run's stats carry
+/// per-stage latency quantiles.
+inline WorkloadRun runWorkload(const std::string& name, std::uint32_t nodes,
+                               bool traced = false) {
   const double s = benchScale();
-  rt::Cluster cluster(benchCluster(nodes));
+  rt::Cluster cluster(benchCluster(nodes, traced));
   WorkloadRun run;
   run.name = name;
 

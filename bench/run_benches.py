@@ -12,10 +12,10 @@ bench-specific invariants — including the slot-batched aggregator's
 lock-discipline guarantee (lock acquisitions per slot <= distinct
 destinations per slot; see DESIGN.md section 9).
 
-Summary schema (schema_version 1):
+Summary schema (schema_version 2; version-1 files still validate):
 
   {
-    "schema_version": 1,
+    "schema_version": 2,
     "bench": "fig8",                  # harness name
     "source": "fig8_queue_tput",      # BenchJson name / binary suffix
     "generated_by": "bench/run_benches.py",
@@ -29,6 +29,14 @@ Summary schema (schema_version 1):
                        "repeats": [v0, v1, ...]}    # numeric cells
                , "name_col": "string"}, ... ]       # string cells verbatim
   }
+
+Schema v2 adds per-stage latency-attribution columns to table5 rows
+(sourced from the obs latency engine, nanoseconds): lat_samples,
+lat_e2e_p50_ns / lat_e2e_p99_ns, and a lat_p50_ns_<transition> /
+lat_p99_ns_<transition> pair for each pipeline transition
+(enqueue_to_aggregate ... deliver_to_resolve). The reader is
+backward-compatible: --check accepts v1 files and skips the v2-only
+requirements.
 
 Modes:
   (default)       full-size run, 3 repeats
@@ -47,7 +55,19 @@ import sys
 import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+# Versions --check still accepts; new summaries are always SCHEMA_VERSION.
+ACCEPTED_SCHEMA_VERSIONS = {1, 2}
+
+# Pipeline transitions the latency-attribution engine reports, matching
+# obs::transitionLabel (src/obs/latency.hpp).
+LAT_TRANSITIONS = (
+    "enqueue_to_aggregate",
+    "aggregate_to_flush",
+    "flush_to_wire-send",
+    "wire-send_to_deliver",
+    "deliver_to_resolve",
+)
 
 # Harness name -> BenchJson source name (binary is bench_<source>).
 BENCHES = {
@@ -196,8 +216,9 @@ def validate_structure(doc):
     for key in ("schema_version", "bench", "source", "generated_by", "mode",
                 "repeats", "machine", "config", "meta", "rows"):
         require(key in doc, f"missing top-level key '{key}'")
-    require(doc["schema_version"] == SCHEMA_VERSION,
-            f"schema_version {doc['schema_version']} != {SCHEMA_VERSION}")
+    require(doc["schema_version"] in ACCEPTED_SCHEMA_VERSIONS,
+            f"schema_version {doc['schema_version']} not in "
+            f"{sorted(ACCEPTED_SCHEMA_VERSIONS)}")
     require(doc["bench"] in BENCHES, f"unknown bench '{doc['bench']}'")
     require(doc["source"] == BENCHES[doc["bench"]],
             f"source '{doc['source']}' does not match bench '{doc['bench']}'")
@@ -283,6 +304,24 @@ def validate_table5(doc):
         validate_agg_lock_discipline(
             row, f"table5 row {i} ({row['workload']})",
             "agg_locks_per_slot", "agg_dests_per_slot")
+        if doc["schema_version"] >= 2:
+            validate_table5_latency(row, i)
+
+
+def validate_table5_latency(row, i):
+    """Schema-v2 per-stage latency columns: present, ordered, sampled."""
+    where = f"table5 row {i} ({row.get('workload', '?')})"
+    require(cell_median(row, "lat_samples") > 0,
+            f"{where}: traced bench run attributed no latency samples")
+    pairs = [("lat_e2e_p50_ns", "lat_e2e_p99_ns")]
+    pairs += [(f"lat_p50_ns_{t}", f"lat_p99_ns_{t}") for t in LAT_TRANSITIONS]
+    for p50_key, p99_key in pairs:
+        p50 = cell_median(row, p50_key)
+        p99 = cell_median(row, p99_key)
+        require(p50 >= 0.0, f"{where}: {p50_key} = {p50} is negative")
+        require(p99 + FLOAT_TOL >= p50,
+                f"{where}: {p99_key} = {p99} < {p50_key} = {p50} "
+                "(quantiles out of order)")
 
 
 VALIDATORS = {

@@ -5,8 +5,12 @@
 // Build & run:  ./examples/quickstart
 //
 // Set GRAVEL_TRACE=1 to record a sampled message-lifecycle trace and write
-// gravel_trace.json (open it at https://ui.perfetto.dev) plus a
-// gravel_metrics.json registry snapshot next to the working directory.
+// gravel_trace.json (open it at https://ui.perfetto.dev), a
+// gravel_metrics.json registry snapshot (feed it to tools/latency_report.py
+// for the per-stage p50/p99 table), and a gravel_watchdog.json diagnosis
+// dump next to the working directory. GRAVEL_TRACE_SAMPLE=N overrides the
+// sampling interval (1 traces every message); GRAVEL_FLIGHTREC_DUMP=1
+// additionally writes gravel_flightrec.json on exit.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -71,9 +75,13 @@ int main() {
     cluster.writeTrace(trace);
     std::ofstream metrics("gravel_metrics.json");
     cluster.writeMetricsJson(metrics);
+    std::ofstream watchdog("gravel_watchdog.json");
+    cluster.writeWatchdog(watchdog);
     std::printf("trace written        : gravel_trace.json "
                 "(open in https://ui.perfetto.dev)\n");
-    std::printf("metrics written      : gravel_metrics.json\n");
+    std::printf("metrics written      : gravel_metrics.json "
+                "(tools/latency_report.py names the bottleneck stage)\n");
+    std::printf("watchdog written     : gravel_watchdog.json\n");
   }
   return total == 4ull * 64 * 1024 ? 0 : 1;
 }

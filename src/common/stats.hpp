@@ -129,6 +129,31 @@ class Pow2Histogram {
   std::uint64_t bucket(int i) const noexcept { return buckets_[i]; }
   static constexpr int kBuckets = 40;
 
+  /// Estimated q-quantile (q in [0,1]): find the bucket where the
+  /// cumulative count crosses q*total and interpolate linearly inside it.
+  /// Bucket 0 holds exactly {0}; bucket i>=1 covers [2^(i-1), 2^i), so the
+  /// estimate is within a factor of 2 of the true quantile — the right
+  /// fidelity for "which pipeline stage dominates p99", and the same rule
+  /// tools/latency_report.py applies to exported bucket arrays.
+  double quantile(double q) const noexcept {
+    if (total_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * double(total_);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      if (buckets_[i] == 0) continue;
+      const double before = double(cum);
+      cum += buckets_[i];
+      if (double(cum) >= target) {
+        const double lo = i == 0 ? 0.0 : double(std::uint64_t{1} << (i - 1));
+        const double hi = i == 0 ? 1.0 : double(std::uint64_t{1} << i);
+        const double frac = (target - before) / double(buckets_[i]);
+        return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+      }
+    }
+    return double(std::uint64_t{1} << (kBuckets - 1));
+  }
+
  private:
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t total_ = 0;

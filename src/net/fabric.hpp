@@ -160,12 +160,15 @@ class Fabric {
   /// trace ID and are skipped.
   void traceWireSend(std::uint32_t src, std::uint32_t dst,
                      const std::vector<rt::NetMessage>& batch) {
-    if (!tracer_ || !tracer_->enabled()) return;
+    // active(), not enabled(): the flight recorder sees every data message
+    // crossing the wire (id 0 = unsampled); recordStage keeps unsampled
+    // events out of the sampled buffers.
+    if (!tracer_ || !tracer_->active()) return;
     for (const rt::NetMessage& m : batch) {
       if (m.command() == rt::Command::kControl) continue;
-      if (const std::uint32_t id = m.traceId())
-        tracer_->recordStage(obs::Stage::kWireSend, id, std::uint16_t(src),
-                             std::uint16_t(dst), m.addr);
+      tracer_->recordStage(obs::Stage::kWireSend, m.traceId(),
+                           std::uint16_t(src), std::uint16_t(dst), m.addr,
+                           std::uint8_t(m.command()));
     }
   }
 

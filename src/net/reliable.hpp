@@ -97,7 +97,9 @@ class ReliableFabric : public Fabric {
       if (L.unacked.size() == 1) {
         L.rto = config_.rto_base;
         L.retries = 0;
-        L.nextRetryAt = std::chrono::steady_clock::now() + L.rto;
+        const auto now = std::chrono::steady_clock::now();
+        L.nextRetryAt = now + L.rto;
+        L.oldestSince = now;  // this batch just became the oldest unacked
       }
     }
     outstanding_.fetch_add(1, std::memory_order_release);
@@ -282,18 +284,26 @@ class ReliableFabric : public Fabric {
     std::uint64_t oldest_seq = 0;  ///< lowest unacknowledged sequence
     std::uint64_t next_seq = 0;    ///< next sequence the sender will assign
     std::uint32_t retries = 0;     ///< consecutive retransmits w/o progress
+    std::uint64_t stalled_ns = 0;  ///< time since the last cumulative-ACK
+                                   ///< advance (watchdog stalled-link input)
   };
 
   std::vector<LinkSendState> sendStates() const {
+    const auto now = std::chrono::steady_clock::now();
     std::vector<LinkSendState> out;
     for (std::uint32_t s = 0; s < nodes_; ++s) {
       for (std::uint32_t d = 0; d < nodes_; ++d) {
         const SendLink& L = sendLinks_[linkIndex(s, d)];
         std::scoped_lock lk(L.mutex);
         if (L.unacked.empty()) continue;
+        const auto stalled =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - L.oldestSince)
+                .count();
         out.push_back(LinkSendState{s, d, L.unacked.size(),
                                     L.unacked.begin()->first, L.nextSeq,
-                                    L.retries});
+                                    L.retries,
+                                    stalled > 0 ? std::uint64_t(stalled) : 0});
       }
     }
     return out;
@@ -322,6 +332,11 @@ class ReliableFabric : public Fabric {
     std::chrono::steady_clock::time_point nextRetryAt{};
     std::chrono::microseconds rto{0};
     std::uint32_t retries = 0;
+    /// When the current oldest unacked seq became the oldest — reset on
+    /// every cumulative-ACK advance, so (now - oldestSince) is how long the
+    /// link has made zero forward progress. The stall watchdog's
+    /// stalled-link signal.
+    std::chrono::steady_clock::time_point oldestSince{};
   };
   struct RecvLink {
     mutable gravel::mutex mutex;
@@ -368,7 +383,9 @@ class ReliableFabric : public Fabric {
       if (erased > 0) {
         L.retries = 0;
         L.rto = config_.rto_base;
-        L.nextRetryAt = std::chrono::steady_clock::now() + L.rto;
+        const auto now = std::chrono::steady_clock::now();
+        L.nextRetryAt = now + L.rto;
+        L.oldestSince = now;  // cumulative ACK advanced: progress was made
       }
     }
     if (erased > 0) {

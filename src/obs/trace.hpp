@@ -14,6 +14,14 @@
 //     free bits (16..31) on every data command, so no wire-format growth and
 //     the ID survives aggregation, framing, retransmission and reordering.
 //
+// Layered on the same record sites (ISSUE 5):
+//   - the flight recorder (flight_recorder.hpp) keeps an always-on ring of
+//     the last N events per thread, independent of sampling — record sites
+//     gate on active() (= sampling enabled OR flight recording enabled) and
+//     pass id 0 for unsampled messages;
+//   - the latency-attribution engine (latency.hpp) consumes the sampled
+//     buffers incrementally and attributes p50/p99 to pipeline stages.
+//
 // The Perfetto/Chrome-trace exporter over these buffers lives in
 // trace_export.hpp; depth-gauge samples recorded here render as counter
 // tracks there.
@@ -22,56 +30,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/atomic.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/stage.hpp"
 
 namespace gravel::obs {
-
-/// Lifecycle stages of one Gravel message, in pipeline order (paper §3.4).
-enum class Stage : std::uint8_t {
-  kEnqueue = 0,    ///< GPU work-item deposited it into the Gravel queue
-  kAggregate = 1,  ///< aggregator drained it into a per-destination buffer
-  kFlush = 2,      ///< its per-destination buffer was handed to the fabric
-  kWireSend = 3,   ///< the (possibly faulty) wire accepted the framed batch
-  kDeliver = 4,    ///< destination network thread pulled it from its inbox
-  kResolve = 5,    ///< resolved as a local memory op / active message
-  kGauge = 6,      ///< not a message stage: a sampled gauge value
-};
-
-inline const char* stageName(Stage s) noexcept {
-  switch (s) {
-    case Stage::kEnqueue: return "enqueue";
-    case Stage::kAggregate: return "aggregate";
-    case Stage::kFlush: return "flush";
-    case Stage::kWireSend: return "wire-send";
-    case Stage::kDeliver: return "deliver";
-    case Stage::kResolve: return "resolve";
-    case Stage::kGauge: return "gauge";
-  }
-  return "?";
-}
-
-/// Number of message stages (kGauge excluded).
-inline constexpr int kMessageStages = 6;
-
-/// One recorded event, 32 bytes. For message stages `id` is the sampled
-/// trace ID (1..65535) and `value` carries the symmetric-heap address (a
-/// cheap payload correlator); for kGauge `id` names the gauge and `value`
-/// is the sample. `node` is 16 bits wide so Fig-12-style scaling runs past
-/// 256 nodes record unaliased ids (ClusterConfig::validate bounds nodes at
-/// 65536 to match).
-struct TraceEvent {
-  std::uint64_t ts_ns = 0;  ///< nanoseconds since the tracer's epoch
-  std::uint64_t value = 0;
-  std::uint32_t id = 0;
-  std::uint16_t node = 0;  ///< node whose pipeline recorded the event
-  std::uint16_t aux = 0;   ///< destination node for message stages
-  Stage stage = Stage::kEnqueue;
-};
 
 /// Fixed-capacity single-writer event buffer. The writer publishes with a
 /// release store of the count; concurrent readers acquire the count and read
@@ -114,12 +83,15 @@ class TraceBuffer {
 
 /// Tracing knobs, embedded in ClusterConfig as `config.obs`.
 struct TraceConfig {
-  /// Master switch. Off means no sampling, no stamping, no recording — the
-  /// only residual cost is one branch per record site.
+  /// Master switch for *sampled* tracing. Off means no sampling, no
+  /// stamping, no buffer recording. The flight recorder below is
+  /// independent of this switch.
   bool enabled = false;
 
   /// Sample 1 in N candidate messages (per node, deterministic round-robin
-  /// over the enqueue count). 1 traces everything.
+  /// over the enqueue count). 1 traces everything. The GRAVEL_TRACE_SAMPLE
+  /// environment variable, when set to a positive integer, overrides this
+  /// at Tracer construction (see README quickstart).
   std::uint32_t sample_interval = 64;
 
   /// Events per recording thread; overflow drops (counted, reported by the
@@ -127,27 +99,18 @@ struct TraceConfig {
   std::size_t buffer_events = 1 << 16;
 
   /// Queue-depth / occupancy gauge sampling cadence; zero disables the
-  /// sampler thread.
+  /// gauge duty of the monitor thread.
   std::chrono::microseconds gauge_period{0};
-};
 
-/// Well-known gauge IDs (TraceEvent::id when stage == kGauge).
-enum class Gauge : std::uint32_t {
-  kGpuQueueDepth = 1,   ///< reserved-but-unrouted Gravel queue slots
-  kAggBufferFill = 2,   ///< messages sitting in per-destination buffers
-  kFabricPending = 3,   ///< unresolved (or unacked) batches in the fabric
-  kReorderDepth = 4,    ///< parked out-of-order batches (reliability layer)
+  /// Always-on flight recorder: every record site also appends to a
+  /// bounded per-thread ring of the last `flightrec_events` events
+  /// (sampled or not — unsampled events carry id 0), dumped as
+  /// gravel_flightrec.json on quiet-deadline expiry, LinkFailureError, or
+  /// GRAVEL_FLIGHTREC_DUMP=1 exit. Costs ~2 relaxed atomic ops plus one
+  /// clock read per record; set false for overhead-free record sites.
+  bool flightrec = true;
+  std::size_t flightrec_events = 2048;
 };
-
-inline const char* gaugeName(Gauge g) noexcept {
-  switch (g) {
-    case Gauge::kGpuQueueDepth: return "gpu_queue_depth";
-    case Gauge::kAggBufferFill: return "agg_buffer_fill";
-    case Gauge::kFabricPending: return "fabric_pending";
-    case Gauge::kReorderDepth: return "reorder_depth";
-  }
-  return "?";
-}
 
 /// The per-cluster trace sink. Threads acquire a private buffer on first
 /// record (mutex once), then record lock-free. Trace IDs are 16-bit, never
@@ -157,11 +120,29 @@ class Tracer {
   explicit Tracer(const TraceConfig& config)
       : config_(config),
         enabled_(config.enabled),
+        flight_(config.flightrec ? config.flightrec_events : 0),
         epoch_(std::chrono::steady_clock::now()),
-        gen_(nextGeneration()) {}
+        gen_(nextGeneration()) {
+    if (const char* env = std::getenv("GRAVEL_TRACE_SAMPLE")) {
+      // Positive integers override the configured interval; anything else
+      // (unset, empty, 0, garbage) leaves the config value in force.
+      const unsigned long v = std::strtoul(env, nullptr, 10);
+      if (v >= 1 && v <= 0xffffffffUL)
+        config_.sample_interval = std::uint32_t(v);
+    }
+  }
 
   bool enabled() const noexcept { return enabled_; }
+
+  /// True when any record site should fire: sampled tracing, the flight
+  /// recorder, or both. Call sites guard their per-message loops on this
+  /// and pass traceId() (possibly 0) straight through.
+  bool active() const noexcept { return enabled_ || flight_.enabled(); }
+
   const TraceConfig& config() const noexcept { return config_; }
+
+  FlightRecorder& flightRecorder() noexcept { return flight_; }
+  const FlightRecorder& flightRecorder() const noexcept { return flight_; }
 
   std::uint64_t nowNs() const noexcept {
     return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -183,24 +164,32 @@ class Tracer {
     return id;
   }
 
-  /// Records a message-stage event. Call only with id != 0.
+  /// Records a message-stage event. id 0 is legal and means "not sampled":
+  /// the event still reaches the flight recorder but never a TraceBuffer.
   void recordStage(Stage stage, std::uint32_t id, std::uint16_t node,
-                   std::uint16_t dest, std::uint64_t value = 0) noexcept {
-    if (!enabled_) return;
-    threadBuffer().record(TraceEvent{nowNs(), value, id, node, dest, stage});
+                   std::uint16_t dest, std::uint64_t value = 0,
+                   std::uint8_t kind = 0) noexcept {
+    if (!enabled_ && !flight_.enabled()) return;
+    const TraceEvent e{nowNs(), value, id, node, dest, stage, kind};
+    if (flight_.enabled()) flight_.record(e);
+    if (enabled_ && id != 0) threadBuffer().record(e);
   }
 
-  /// Records a gauge sample (renders as a Perfetto counter track).
+  /// Records a gauge sample (renders as a Perfetto counter track; also
+  /// lands in the flight ring so post-mortems see recent depth history).
   void recordGauge(Gauge gauge, std::uint16_t node, std::uint64_t value) {
-    if (!enabled_) return;
-    threadBuffer().record(TraceEvent{nowNs(), value, std::uint32_t(gauge),
-                                     node, 0, Stage::kGauge});
+    if (!enabled_ && !flight_.enabled()) return;
+    const TraceEvent e{nowNs(), value, std::uint32_t(gauge),
+                       node, 0, Stage::kGauge};
+    if (flight_.enabled()) flight_.record(e);
+    if (enabled_) threadBuffer().record(e);
   }
 
-  /// Names the calling thread's buffer (its Perfetto track).
+  /// Names the calling thread's buffer (its Perfetto track) and its flight
+  /// ring.
   void nameThread(const std::string& name) {
-    if (!enabled_) return;
-    threadBuffer().setName(name);
+    if (enabled_) threadBuffer().setName(name);
+    if (flight_.enabled()) flight_.nameThread(name);
   }
 
   /// All buffers created so far. Safe to iterate at quiescent points; each
@@ -261,6 +250,7 @@ class Tracer {
 
   TraceConfig config_;
   bool enabled_;
+  FlightRecorder flight_;
   std::chrono::steady_clock::time_point epoch_;
   std::uint64_t gen_;
 

@@ -1,0 +1,420 @@
+// Stall watchdog: turns periodic runtime samples (GPU-queue progress,
+// per-destination aggregation buffer ages, reliable-link send states) into
+// structured diagnoses — which queue stopped making progress, which
+// destination's buffer is backed up, which link owes which sequence range.
+// The Cluster's monitor thread feeds observe() on a configurable cadence
+// and the quiet() post-mortem appends describe() to its error message, so
+// a wedged run names its own culprit instead of handing the user a pile of
+// counters (ISSUE 5).
+//
+// Layering: gravel_obs is an INTERFACE library on gravel_common only, so
+// this file cannot see the aggregator/queue/fabric types. The runtime
+// flattens what the watchdog needs into plain sample structs; the detection
+// rules below are pure functions of consecutive samples.
+//
+// Detection rules (DESIGN.md §10):
+//   no-progress    a queue with a nonzero backlog whose routed count has
+//                  not advanced for >= no_progress_deadline;
+//   backpressure   a per-destination aggregation buffer that has held
+//                  messages for >= backpressure_deadline (far past the
+//                  flush timeout: the flush path is wedged);
+//   stalled-link   a reliable link whose oldest unacked batch has not been
+//                  acknowledged for >= stalled_link_deadline.
+//
+// Concurrency: observe() has exactly one caller (the monitor thread).
+// Diagnoses live in a fixed array published through a release-stored count;
+// immutable fields (kind/subject/first_ns) are written before publication,
+// fields that keep updating while a condition persists (last_ns, depth,
+// seq range) are relaxed atomics so readers — quiet()'s post-mortem runs
+// while the monitor thread is live — stay race-free without a lock.
+//
+// gravel-lint: hot-path
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace gravel::obs {
+
+struct WatchdogConfig {
+  /// Master switch for the watchdog duty of the monitor thread.
+  bool enabled = true;
+
+  /// Sampling cadence.
+  std::chrono::microseconds period{5000};
+
+  /// A queue with backlog must advance within this deadline.
+  std::chrono::milliseconds no_progress_deadline{500};
+
+  /// A per-destination buffer may hold messages at most this long. Must
+  /// comfortably exceed ClusterConfig::flush_timeout, which bounds how long
+  /// a healthy aggregator parks a partial buffer.
+  std::chrono::milliseconds backpressure_deadline{1000};
+
+  /// A reliable link's oldest unacked batch must be acknowledged within
+  /// this deadline.
+  std::chrono::milliseconds stalled_link_deadline{500};
+
+  /// Diagnosis slots; one stall that persists updates its slot in place,
+  /// so this bounds *distinct* stalled subjects, not observations.
+  std::size_t max_diagnoses = 64;
+};
+
+enum class StallKind : std::uint8_t {
+  kNoProgress = 0,
+  kBackpressure = 1,
+  kStalledLink = 2,
+};
+
+inline const char* stallKindName(StallKind k) noexcept {
+  switch (k) {
+    case StallKind::kNoProgress: return "no-progress";
+    case StallKind::kBackpressure: return "backpressure";
+    case StallKind::kStalledLink: return "stalled-link";
+  }
+  return "?";
+}
+
+/// One node's GPU-queue progress: reservations vs. slots routed.
+struct QueueSample {
+  std::uint32_t node = 0;
+  std::uint64_t reserved = 0;
+  std::uint64_t routed = 0;
+};
+
+/// One nonempty per-destination aggregation buffer.
+struct BufferSample {
+  std::uint32_t node = 0;  ///< aggregator's node
+  std::uint32_t dest = 0;
+  std::uint64_t fill = 0;    ///< messages parked
+  std::uint64_t age_ns = 0;  ///< time since the buffer last became nonempty
+};
+
+/// One reliable link with unacked traffic (ReliableFabric::sendStates).
+struct LinkSample {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t unacked = 0;
+  std::uint64_t oldest_seq = 0;
+  std::uint64_t next_seq = 0;
+  std::uint32_t retries = 0;
+  std::uint64_t stalled_ns = 0;  ///< time the oldest unacked seq has stood
+};
+
+/// One monitor tick's view of the runtime.
+struct WatchdogSample {
+  std::uint64_t now_ns = 0;
+  std::vector<QueueSample> queues;
+  std::vector<BufferSample> buffers;  ///< nonempty buffers only
+  std::vector<LinkSample> links;      ///< links with unacked traffic only
+};
+
+/// Reader-facing diagnosis record (plain copy of a live slot).
+struct Diagnosis {
+  StallKind kind = StallKind::kNoProgress;
+  std::uint32_t node = 0;  ///< queue owner / buffer owner / link source
+  std::uint32_t dest = 0;  ///< buffer or link destination (no-progress: n/a)
+  std::uint64_t depth = 0; ///< backlog slots / parked msgs / unacked batches
+  std::uint64_t first_ns = 0;  ///< when the stall condition began
+  std::uint64_t last_ns = 0;   ///< latest tick it still held
+  std::uint64_t oldest_seq = 0;  ///< stalled-link: owed range [oldest, next)
+  std::uint64_t next_seq = 0;
+  std::uint32_t retries = 0;
+  bool open = true;  ///< still failing at the most recent observe()
+
+  std::uint64_t duration_ns() const noexcept {
+    return last_ns >= first_ns ? last_ns - first_ns : 0;
+  }
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(const WatchdogConfig& config)
+      : config_(config),
+        capacity_(config.max_diagnoses),
+        slots_(std::make_unique<Slot[]>(config.max_diagnoses)) {}
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  const WatchdogConfig& config() const noexcept { return config_; }
+
+  /// Feeds one tick. Single writer: the monitor thread.
+  void observe(const WatchdogSample& s) {
+    observeQueues(s);
+    observeBuffers(s);
+    observeLinks(s);
+  }
+
+  /// All diagnoses so far (open and resolved), oldest first. Safe from any
+  /// thread while observe() runs.
+  std::vector<Diagnosis> diagnoses() const {
+    const std::size_t n = count_.load(std::memory_order_acquire);
+    std::vector<Diagnosis> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(slots_[i].read());
+    return out;
+  }
+
+  /// Subjects that stalled after the diagnosis table filled.
+  std::uint64_t overflow() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+  /// One-line post-mortem, appended to the quiet-deadline error message.
+  std::string describe() const {
+    const std::vector<Diagnosis> all = diagnoses();
+    std::ostringstream os;
+    if (all.empty()) {
+      os << "watchdog: no diagnoses";
+      return os.str();
+    }
+    os << "watchdog: " << all.size() << " diagnosis(es)";
+    const std::uint64_t ovf = overflow();
+    if (ovf != 0) os << " (+" << ovf << " overflowed)";
+    for (const Diagnosis& d : all) {
+      os << "; [" << stallKindName(d.kind) << "]";
+      switch (d.kind) {
+        case StallKind::kNoProgress:
+          os << " gpu-queue node " << d.node << ": " << d.depth
+             << " slot(s) reserved but unrouted";
+          break;
+        case StallKind::kBackpressure:
+          os << " agg buffer node " << d.node << " -> dest " << d.dest
+             << ": " << d.depth << " message(s) parked";
+          break;
+        case StallKind::kStalledLink:
+          os << " link " << d.node << "->" << d.dest << ": " << d.depth
+             << " unacked, seq [" << d.oldest_seq << "," << d.next_seq
+             << "), " << d.retries << " retransmit(s)";
+          break;
+      }
+      os << " for " << d.duration_ns() / 1000000 << " ms"
+         << (d.open ? "" : " (recovered)");
+    }
+    return os.str();
+  }
+
+  /// Publishes diagnosis counters/gauges into the registry.
+  void publish(MetricsRegistry& metrics) const {
+    const std::vector<Diagnosis> all = diagnoses();
+    metrics.setCounter("watchdog.diagnoses", "", all.size() + overflow());
+    for (const Diagnosis& d : all) {
+      std::string name;
+      std::string label;
+      switch (d.kind) {
+        case StallKind::kNoProgress:
+          name = "watchdog.no_progress_ms";
+          label = "node=" + std::to_string(d.node);
+          break;
+        case StallKind::kBackpressure:
+          name = "watchdog.backpressure_ms";
+          label = "node=" + std::to_string(d.node) +
+                  ",dest=" + std::to_string(d.dest);
+          break;
+        case StallKind::kStalledLink:
+          name = "watchdog.stalled_link_ms";
+          label = "link=" + std::to_string(d.node) + "->" +
+                  std::to_string(d.dest);
+          break;
+      }
+      metrics.setGauge(name, label, double(d.duration_ns()) / 1e6);
+    }
+  }
+
+ private:
+  /// Internal diagnosis slot. kind/node/dest/first_ns are written before
+  /// the slot index is release-published and never change; the rest keep
+  /// updating (relaxed) while the condition persists.
+  struct Slot {
+    StallKind kind = StallKind::kNoProgress;
+    std::uint32_t node = 0;
+    std::uint32_t dest = 0;
+    std::uint64_t first_ns = 0;
+    atomic<std::uint64_t> depth{0};
+    atomic<std::uint64_t> last_ns{0};
+    atomic<std::uint64_t> oldest_seq{0};
+    atomic<std::uint64_t> next_seq{0};
+    atomic<std::uint32_t> retries{0};
+    atomic<bool> open{true};
+
+    Diagnosis read() const {
+      Diagnosis d;
+      d.kind = kind;
+      d.node = node;
+      d.dest = dest;
+      d.first_ns = first_ns;
+      d.depth = depth.load(std::memory_order_relaxed);
+      d.last_ns = last_ns.load(std::memory_order_relaxed);
+      d.oldest_seq = oldest_seq.load(std::memory_order_relaxed);
+      d.next_seq = next_seq.load(std::memory_order_relaxed);
+      d.retries = retries.load(std::memory_order_relaxed);
+      d.open = open.load(std::memory_order_relaxed);
+      return d;
+    }
+  };
+
+  /// Writer-private per-queue progress memory.
+  struct QueueTrack {
+    bool init = false;
+    std::uint64_t routed = 0;
+    std::uint64_t change_ns = 0;  ///< last time routed advanced (or idle)
+    int slot = -1;                ///< open diagnosis slot, -1 if none
+  };
+
+  /// Writer-private per-subject open-diagnosis memory for conditions whose
+  /// samples only list failing subjects (buffers, links).
+  struct SubjectTrack {
+    int slot = -1;
+    std::uint64_t seen_tick = 0;
+  };
+
+  void observeQueues(const WatchdogSample& s) {
+    const auto deadline =
+        std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          config_.no_progress_deadline)
+                          .count());
+    for (const QueueSample& q : s.queues) {
+      QueueTrack& t = queues_[q.node];
+      const std::uint64_t backlog =
+          q.reserved > q.routed ? q.reserved - q.routed : 0;
+      if (!t.init || q.routed != t.routed || backlog == 0) {
+        // Progress (or nothing owed): remember the tick, close any stall.
+        t.init = true;
+        t.routed = q.routed;
+        t.change_ns = s.now_ns;
+        closeSlot(t.slot);
+        continue;
+      }
+      if (s.now_ns - t.change_ns < deadline) continue;
+      if (t.slot < 0)
+        t.slot = openSlot(StallKind::kNoProgress, q.node, 0, t.change_ns);
+      updateSlot(t.slot, s.now_ns, backlog, 0, 0, 0);
+    }
+  }
+
+  void observeBuffers(const WatchdogSample& s) {
+    ++tick_;
+    const auto deadline =
+        std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          config_.backpressure_deadline)
+                          .count());
+    for (const BufferSample& b : s.buffers) {
+      if (b.age_ns < deadline) continue;
+      SubjectTrack& t =
+          buffers_[(std::uint64_t(b.node) << 32) | b.dest];
+      t.seen_tick = tick_;
+      if (t.slot < 0)
+        t.slot = openSlot(StallKind::kBackpressure, b.node, b.dest,
+                          s.now_ns - b.age_ns);
+      updateSlot(t.slot, s.now_ns, b.fill, 0, 0, 0);
+    }
+    closeUnseen(buffers_);
+  }
+
+  void observeLinks(const WatchdogSample& s) {
+    const auto deadline =
+        std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          config_.stalled_link_deadline)
+                          .count());
+    for (const LinkSample& l : s.links) {
+      if (l.unacked == 0 || l.stalled_ns < deadline) continue;
+      SubjectTrack& t = links_[(std::uint64_t(l.src) << 32) | l.dst];
+      t.seen_tick = tick_;
+      if (t.slot < 0)
+        t.slot = openSlot(StallKind::kStalledLink, l.src, l.dst,
+                          s.now_ns - l.stalled_ns);
+      updateSlot(t.slot, s.now_ns, l.unacked, l.oldest_seq, l.next_seq,
+                 l.retries);
+    }
+    closeUnseen(links_);
+  }
+
+  int openSlot(StallKind kind, std::uint32_t node, std::uint32_t dest,
+               std::uint64_t first_ns) {
+    const std::size_t n = count_.load(std::memory_order_relaxed);
+    if (n >= capacity_) {
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+      return -1;
+    }
+    Slot& slot = slots_[n];
+    slot.kind = kind;
+    slot.node = node;
+    slot.dest = dest;
+    slot.first_ns = first_ns;
+    slot.open.store(true, std::memory_order_relaxed);
+    count_.store(n + 1, std::memory_order_release);
+    return int(n);
+  }
+
+  void updateSlot(int i, std::uint64_t now_ns, std::uint64_t depth,
+                  std::uint64_t oldest, std::uint64_t next,
+                  std::uint32_t retries) {
+    if (i < 0) return;
+    Slot& slot = slots_[std::size_t(i)];
+    slot.last_ns.store(now_ns, std::memory_order_relaxed);
+    slot.depth.store(depth, std::memory_order_relaxed);
+    slot.oldest_seq.store(oldest, std::memory_order_relaxed);
+    slot.next_seq.store(next, std::memory_order_relaxed);
+    slot.retries.store(retries, std::memory_order_relaxed);
+  }
+
+  void closeSlot(int& i) {
+    if (i < 0) return;
+    slots_[std::size_t(i)].open.store(false, std::memory_order_relaxed);
+    i = -1;
+  }
+
+  void closeUnseen(std::map<std::uint64_t, SubjectTrack>& tracks) {
+    for (auto& [key, t] : tracks)
+      if (t.seen_tick != tick_) closeSlot(t.slot);
+  }
+
+  WatchdogConfig config_;
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  atomic<std::size_t> count_{0};
+  atomic<std::uint64_t> overflow_{0};
+
+  // Writer-private (monitor-thread) detection state.
+  std::uint64_t tick_ = 0;
+  std::map<std::uint32_t, QueueTrack> queues_;
+  std::map<std::uint64_t, SubjectTrack> buffers_;
+  std::map<std::uint64_t, SubjectTrack> links_;
+};
+
+/// Serializes the diagnosis table (gravel_watchdog.json / CI artifact).
+inline void writeWatchdogJson(std::ostream& os, const Watchdog& wd) {
+  JsonWriter w(os);
+  w.beginObject();
+  w.kv("overflow", wd.overflow());
+  w.key("diagnoses").beginArray();
+  for (const Diagnosis& d : wd.diagnoses()) {
+    w.beginObject();
+    w.kv("kind", stallKindName(d.kind));
+    w.kv("node", std::uint64_t{d.node});
+    w.kv("dest", std::uint64_t{d.dest});
+    w.kv("depth", d.depth);
+    w.kv("first_ns", d.first_ns);
+    w.kv("last_ns", d.last_ns);
+    w.kv("oldest_seq", d.oldest_seq);
+    w.kv("next_seq", d.next_seq);
+    w.kv("retries", std::uint64_t{d.retries});
+    w.kv("open", d.open);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+}
+
+}  // namespace gravel::obs

@@ -139,6 +139,14 @@ class Aggregator {
     router_.sampleBufferFills(fn);
   }
 
+  /// Nonempty per-destination buffers with fill and age, for the stall
+  /// watchdog's backpressure detector (sampler cadence only).
+  void sampleBufferAges(
+      const std::function<void(std::uint32_t dst, std::uint64_t fill,
+                               std::uint64_t age_ns)>& fn) {
+    router_.sampleBufferAges(fn);
+  }
+
   std::size_t capacityMsgs() const noexcept { return capacityMsgs_; }
 
  private:
@@ -166,12 +174,14 @@ class Aggregator {
       // The staging owns a copy: hand the slot back to producers before
       // taking any buffer locks.
       queue_.release(ref);
-      if (tracer_.enabled()) {
+      // active(), not enabled(): the flight recorder wants every message's
+      // aggregate event (id 0 = unsampled; recordStage keeps those out of
+      // the sampled buffers).
+      if (tracer_.active()) {
         for (const NetMessage& m : msgs)
-          if (const std::uint32_t id = m.traceId())
-            tracer_.recordStage(obs::Stage::kAggregate, id,
-                                std::uint16_t(self_), std::uint16_t(m.dest),
-                                m.addr);
+          tracer_.recordStage(obs::Stage::kAggregate, m.traceId(),
+                              std::uint16_t(self_), std::uint16_t(m.dest),
+                              m.addr, std::uint8_t(m.command()));
       }
       const std::uint32_t dests = router_.routeStaged(staging);
       messagesRouted_.add(ref.count, std::memory_order_relaxed);
@@ -197,11 +207,11 @@ class Aggregator {
   /// fabric. Runs with the destination's buffer lock held (per-destination
   /// batch order == append order).
   void onFlush(std::uint32_t dst, std::vector<NetMessage>&& batch) {
-    if (tracer_.enabled()) {
+    if (tracer_.active()) {
       for (const NetMessage& m : batch)
-        if (const std::uint32_t id = m.traceId())
-          tracer_.recordStage(obs::Stage::kFlush, id, std::uint16_t(self_),
-                              std::uint16_t(dst), m.addr);
+        tracer_.recordStage(obs::Stage::kFlush, m.traceId(),
+                            std::uint16_t(self_), std::uint16_t(dst), m.addr,
+                            std::uint8_t(m.command()));
     }
     fabric_.send(self_, dst, std::move(batch));
   }

@@ -1,7 +1,11 @@
 #include "runtime/cluster.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include "common/backoff.hpp"
@@ -35,6 +39,8 @@ Cluster::Cluster(const ClusterConfig& config)
   // The top of the stack forwards the tracer down to the wire, so kWireSend
   // events fire at the real transport boundary (retransmissions included).
   fabric_->setTracer(&tracer_);
+  if (config_.watchdog.enabled)
+    watchdog_ = std::make_unique<obs::Watchdog>(config_.watchdog);
   nodes_.reserve(config.nodes);
   for (std::uint32_t i = 0; i < config.nodes; ++i)
     nodes_.push_back(std::make_unique<NodeRuntime>(i, config_, *fabric_,
@@ -42,9 +48,13 @@ Cluster::Cluster(const ClusterConfig& config)
 }
 
 Cluster::~Cluster() {
-  samplerStop_.store(true, std::memory_order_release);
-  if (gaugeSampler_.joinable()) gaugeSampler_.join();
+  monitorStop_.store(true, std::memory_order_release);
+  if (monitor_.joinable()) monitor_.join();
   for (auto& n : nodes_) n->stopThreads();
+  // Opt-in exit dump: GRAVEL_FLIGHTREC_DUMP=1 writes the flight record even
+  // on clean shutdown (CI smoke uses this to validate the artifact).
+  if (const char* env = std::getenv("GRAVEL_FLIGHTREC_DUMP"))
+    if (*env != '\0' && std::string(env) != "0") dumpFlightRecorder("exit");
 }
 
 std::uint32_t Cluster::registerHandler(AmHandler handler) {
@@ -57,8 +67,9 @@ std::uint32_t Cluster::registerHandler(AmHandler handler) {
 void Cluster::ensureThreadsStarted() {
   if (threadsStarted_) return;
   for (auto& n : nodes_) n->startThreads();
-  if (tracer_.enabled() && config_.obs.gauge_period.count() > 0)
-    gaugeSampler_ = std::thread([this] { gaugeSamplerLoop(); });
+  const bool gauges = tracer_.enabled() && config_.obs.gauge_period.count() > 0;
+  if (gauges || watchdog_)
+    monitor_ = std::thread([this] { monitorLoop(); });
   threadsStarted_ = true;
 }
 
@@ -142,6 +153,11 @@ void Cluster::quietDeadlineExpired(const char* stage) {
        << std::uint64_t(snap.number("rel.link_retries", link));
   }
   os << "; registry captured " << snap.metrics.size() << " metric(s)";
+  // The watchdog has been sampling all along: its diagnoses say *which*
+  // queue/buffer/link stalled and since when, which the counters above only
+  // imply.
+  if (watchdog_) os << "; " << watchdog_->describe();
+  dumpFlightRecorder("quiet-deadline");
   GRAVEL_CHECK_MSG(false, os.str());
 }
 
@@ -151,7 +167,10 @@ void Cluster::quiet() {
   const auto deadline = std::chrono::steady_clock::now() +
                         config_.quiet_deadline;
   const auto check = [&](const char* stage) {
-    if (auto f = fabric_->failure()) throw net::LinkFailureError(*f);
+    if (auto f = fabric_->failure()) {
+      dumpFlightRecorder("link-failure");
+      throw net::LinkFailureError(*f);
+    }
     if (bounded && std::chrono::steady_clock::now() >= deadline)
       quietDeadlineExpired(stage);
   };
@@ -175,7 +194,10 @@ void Cluster::quiet() {
   }
   // A retry budget can exhaust in the instant quiescence is observed
   // elsewhere; surface it rather than silently succeeding.
-  if (auto f = fabric_->failure()) throw net::LinkFailureError(*f);
+  if (auto f = fabric_->failure()) {
+    dumpFlightRecorder("link-failure");
+    throw net::LinkFailureError(*f);
+  }
 }
 
 ClusterRunStats Cluster::runStats() const {
@@ -227,6 +249,23 @@ ClusterRunStats Cluster::runStats() const {
   // Window mean from cumulative sums.
   const double cnt = double(b.count()) - double(batchBase_.count());
   s.avg_batch_bytes = cnt > 0 ? (b.sum() - batchBase_.sum()) / cnt : 0.0;
+
+  // Latency attribution over the sampled messages. Histograms are
+  // cumulative over the cluster's lifetime (quantiles cannot be windowed
+  // the way the counters above are); benches that want per-workload numbers
+  // build a fresh cluster per workload.
+  {
+    std::scoped_lock lk(latencyMutex_);
+    latency_.ingest(tracer_);
+    const obs::LatencyAttribution::Summary ls = latency_.summary();
+    for (int t = 0; t < ClusterRunStats::kLatTransitions; ++t) {
+      s.lat_stage_p50_ns[t] = ls.stage_p50_ns[t];
+      s.lat_stage_p99_ns[t] = ls.stage_p99_ns[t];
+    }
+    s.lat_e2e_p50_ns = ls.e2e_p50_ns;
+    s.lat_e2e_p99_ns = ls.e2e_p99_ns;
+    s.lat_samples = ls.e2e_count;
+  }
   return s;
 }
 
@@ -246,12 +285,59 @@ void Cluster::resetStats() {
 
 // --- observability ---------------------------------------------------------
 
-void Cluster::gaugeSamplerLoop() {
-  tracer_.nameThread("sampler");
-  while (!samplerStop_.load(std::memory_order_acquire)) {
-    sampleGauges();
-    std::this_thread::sleep_for(config_.obs.gauge_period);
+// One thread, up to two duties on independent cadences: gauge sampling +
+// online latency ingest (tracer cadence, config.obs.gauge_period) and
+// watchdog sampling (config.watchdog.period). Sleeps are capped so a stop
+// request is honoured promptly even under long cadences.
+void Cluster::monitorLoop() {
+  using clock = std::chrono::steady_clock;
+  tracer_.nameThread("monitor");
+  const bool gauges = tracer_.enabled() && config_.obs.gauge_period.count() > 0;
+  auto nextGauge = clock::now();
+  auto nextWatch = clock::now();
+  while (!monitorStop_.load(std::memory_order_acquire)) {
+    const auto now = clock::now();
+    if (gauges && now >= nextGauge) {
+      sampleGauges();
+      ingestLatency();
+      nextGauge = now + config_.obs.gauge_period;
+    }
+    if (watchdog_ && now >= nextWatch) {
+      sampleWatchdog();
+      nextWatch = now + config_.watchdog.period;
+    }
+    auto wake = clock::time_point::max();
+    if (gauges) wake = std::min(wake, nextGauge);
+    if (watchdog_) wake = std::min(wake, nextWatch);
+    const auto cap = clock::now() + std::chrono::milliseconds(10);
+    std::this_thread::sleep_until(std::min(wake, cap));
   }
+}
+
+void Cluster::sampleWatchdog() {
+  obs::WatchdogSample s;
+  s.now_ns = tracer_.nowNs();
+  s.queues.reserve(config_.nodes);
+  for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+    NodeRuntime& n = *nodes_[i];
+    s.queues.push_back({i, n.queue().reservedCount(),
+                        n.aggregator().slotsProcessedStat()});
+    n.aggregator().sampleBufferAges(
+        [&](std::uint32_t dst, std::uint64_t fill, std::uint64_t age_ns) {
+          s.buffers.push_back({i, dst, fill, age_ns});
+        });
+  }
+  if (reliable_) {
+    for (const auto& ls : reliable_->sendStates())
+      s.links.push_back({ls.src, ls.dst, ls.unacked, ls.oldest_seq,
+                         ls.next_seq, ls.retries, ls.stalled_ns});
+  }
+  watchdog_->observe(s);
+}
+
+void Cluster::ingestLatency() {
+  std::scoped_lock lk(latencyMutex_);
+  latency_.ingest(tracer_);
 }
 
 void Cluster::sampleGauges() {
@@ -378,6 +464,14 @@ obs::MetricsSnapshot Cluster::collectMetrics() {
     metrics_.setCounter("trace.dropped_events", "", tracer_.droppedEvents());
   }
 
+  // Per-stage latency attribution (lat.*) and watchdog diagnoses.
+  {
+    std::scoped_lock lk(latencyMutex_);
+    latency_.ingest(tracer_);
+    latency_.publish(metrics_);
+  }
+  if (watchdog_) watchdog_->publish(metrics_);
+
   return metrics_.snapshot();
 }
 
@@ -391,6 +485,36 @@ void Cluster::writeMetricsJson(std::ostream& os) {
 
 void Cluster::writeMetricsCsv(std::ostream& os) {
   collectMetrics().toCsv(os);
+}
+
+void Cluster::writeFlightRecorder(std::ostream& os,
+                                  const std::string& reason) const {
+  obs::writeFlightRecorderJson(os, tracer_.flightRecorder(), reason,
+                               tracer_.nowNs());
+}
+
+void Cluster::writeWatchdog(std::ostream& os) const {
+  if (watchdog_) {
+    obs::writeWatchdogJson(os, *watchdog_);
+    return;
+  }
+  os << "{\"overflow\": 0, \"diagnoses\": []}";
+}
+
+// Best-effort post-mortem artifact; never throws (it runs on error paths
+// and in the destructor).
+void Cluster::dumpFlightRecorder(const char* reason) const noexcept {
+  try {
+    if (!tracer_.flightRecorder().enabled()) return;
+    const char* dir = std::getenv("GRAVEL_FLIGHTREC_DIR");
+    std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
+    path += "/gravel_flightrec.json";
+    std::ofstream os(path);
+    if (!os) return;
+    writeFlightRecorder(os, reason);
+  } catch (...) {
+    // Swallow: a failed dump must not mask the error being reported.
+  }
 }
 
 }  // namespace gravel::rt

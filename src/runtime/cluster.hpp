@@ -6,7 +6,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <ostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -15,8 +17,10 @@
 #include "net/fabric.hpp"
 #include "net/fault.hpp"
 #include "net/reliable.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "runtime/active_message.hpp"
 #include "runtime/cluster_stats.hpp"
 #include "runtime/config.hpp"
@@ -112,11 +116,30 @@ class Cluster {
   void writeMetricsJson(std::ostream& os);
   void writeMetricsCsv(std::ostream& os);
 
+  /// The stall watchdog (config.watchdog); null when disabled. Its
+  /// diagnoses also surface in quiet()'s post-mortem and collectMetrics().
+  obs::Watchdog* watchdog() noexcept { return watchdog_.get(); }
+  const obs::Watchdog* watchdog() const noexcept { return watchdog_.get(); }
+
+  /// Flight-recorder dump (the last N trace events per thread) as JSON.
+  /// Safe at any time, including while runtime threads are live. The
+  /// cluster also writes this automatically to
+  /// ${GRAVEL_FLIGHTREC_DIR:-.}/gravel_flightrec.json on quiet-deadline
+  /// expiry, on LinkFailureError, and at destruction when
+  /// GRAVEL_FLIGHTREC_DUMP=1.
+  void writeFlightRecorder(std::ostream& os, const std::string& reason) const;
+
+  /// Watchdog diagnosis table as JSON (empty table when disabled).
+  void writeWatchdog(std::ostream& os) const;
+
  private:
   void ensureThreadsStarted();
   [[noreturn]] void quietDeadlineExpired(const char* stage);
-  void gaugeSamplerLoop();
+  void monitorLoop();
   void sampleGauges();
+  void sampleWatchdog();
+  void ingestLatency();
+  void dumpFlightRecorder(const char* reason) const noexcept;
 
   ClusterConfig config_;
   obs::Tracer tracer_;        ///< must outlive nodes_/fabric (they hold refs)
@@ -129,8 +152,19 @@ class Cluster {
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   bool threadsStarted_ = false;
 
-  std::thread gaugeSampler_;
-  atomic<bool> samplerStop_{false};
+  /// Monitor thread: gauge sampling (tracer duty), watchdog sampling and
+  /// online latency ingest share one thread with independent cadences.
+  std::thread monitor_;
+  atomic<bool> monitorStop_{false};
+
+  std::unique_ptr<obs::Watchdog> watchdog_;
+
+  // Latency-attribution engine. Single-owner by design (no internal locks);
+  // the mutex serializes the monitor thread's incremental ingest against
+  // collectMetrics()/runStats() readers. Mutable because runStats() is
+  // const but wants a fresh ingest.
+  mutable obs::LatencyAttribution latency_;
+  mutable std::mutex latencyMutex_;
 
   // Snapshot baselines so runStats() reports per-window deltas.
   net::LinkStats fabricBase_{};

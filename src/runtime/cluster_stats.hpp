@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/stage.hpp"
 #include "simt/types.hpp"
 
 namespace gravel::rt {
@@ -59,6 +60,18 @@ struct ClusterRunStats {
   std::uint64_t injected_drops = 0;  ///< batches the adversary discarded
   std::uint64_t injected_dups = 0;   ///< extra copies it delivered
 
+  // Per-transition latency attribution over sampled messages (zero when
+  // tracing is off or nothing was sampled). Index t is the transition out
+  // of stage t: enqueue->aggregate, ..., deliver->resolve — see
+  // obs::transitionLabel. Filled from the latency-attribution engine's
+  // pooled histograms; benches print these as Table-5-style columns.
+  static constexpr int kLatTransitions = obs::kMessageStages - 1;
+  double lat_stage_p50_ns[kLatTransitions] = {};
+  double lat_stage_p99_ns[kLatTransitions] = {};
+  double lat_e2e_p50_ns = 0;
+  double lat_e2e_p99_ns = 0;
+  std::uint64_t lat_samples = 0;  ///< e2e-paired samples behind the quantiles
+
   /// Combines another window (or another cluster's shard) into this one.
   /// Field semantics differ and naive `+=` over the whole struct is wrong:
   /// peak-style fields (`reorder_peak`) are high-water marks and combine
@@ -105,6 +118,19 @@ struct ClusterRunStats {
 
     injected_drops += o.injected_drops;
     injected_dups += o.injected_dups;
+
+    // Quantiles cannot be combined exactly from two summaries; take the
+    // conservative (worst-shard) value — merged benches report the slowest
+    // shard's percentile, which is the number a regression gate cares about.
+    for (int t = 0; t < kLatTransitions; ++t) {
+      lat_stage_p50_ns[t] = std::max(lat_stage_p50_ns[t],
+                                     o.lat_stage_p50_ns[t]);
+      lat_stage_p99_ns[t] = std::max(lat_stage_p99_ns[t],
+                                     o.lat_stage_p99_ns[t]);
+    }
+    lat_e2e_p50_ns = std::max(lat_e2e_p50_ns, o.lat_e2e_p50_ns);
+    lat_e2e_p99_ns = std::max(lat_e2e_p99_ns, o.lat_e2e_p99_ns);
+    lat_samples += o.lat_samples;
   }
 
   std::uint64_t opsTotal() const {

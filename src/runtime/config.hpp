@@ -10,6 +10,7 @@
 #include "net/fault.hpp"
 #include "net/reliable.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "runtime/message.hpp"
 #include "simt/types.hpp"
 
@@ -73,6 +74,12 @@ struct ClusterConfig {
   /// else.
   obs::TraceConfig obs{};
 
+  /// Stall watchdog (src/obs/watchdog.hpp): the monitor thread samples
+  /// queue progress, buffer ages and reliable-link send states on
+  /// `watchdog.period` and turns persistent stalls into structured
+  /// diagnoses that quiet()'s post-mortem and the metrics registry report.
+  obs::WatchdogConfig watchdog{};
+
   simt::DeviceConfig device{};
 
   /// Rejects degenerate configurations up front, with actionable messages.
@@ -96,6 +103,17 @@ struct ClusterConfig {
                      "aggregator needs at least one thread");
     GRAVEL_CHECK_MSG(aggregator_timeout_check_slots > 0,
                      "busy-path timeout cadence must be >= 1 slot");
+    if (watchdog.enabled) {
+      GRAVEL_CHECK_MSG(watchdog.period.count() > 0,
+                       "watchdog.period must be positive when enabled");
+      GRAVEL_CHECK_MSG(watchdog.max_diagnoses > 0,
+                       "watchdog.max_diagnoses must be >= 1 when enabled");
+      GRAVEL_CHECK_MSG(
+          watchdog.no_progress_deadline.count() > 0 &&
+              watchdog.backpressure_deadline.count() > 0 &&
+              watchdog.stalled_link_deadline.count() > 0,
+          "watchdog deadlines must be positive when the watchdog is enabled");
+    }
   }
 };
 

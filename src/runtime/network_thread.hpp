@@ -90,11 +90,13 @@ class NetworkThread {
   }
 
   void resolve(AmContext& ctx, const NetMessage& m) {
-    const std::uint32_t traceId =
-        tracer_.enabled() ? m.traceId() : 0;
-    if (traceId)
-      tracer_.recordStage(obs::Stage::kDeliver, traceId, std::uint16_t(self_),
-                          std::uint16_t(self_), m.addr);
+    // active(), not enabled(): the flight recorder records every delivery
+    // (id 0 = unsampled), the sampled buffers only the stamped ones.
+    const bool traced = tracer_.active();
+    if (traced)
+      tracer_.recordStage(obs::Stage::kDeliver, m.traceId(),
+                          std::uint16_t(self_), std::uint16_t(self_), m.addr,
+                          std::uint8_t(m.command()));
     switch (m.command()) {
       case Command::kPut:
         heap_.storeU64(m.addr, m.value);
@@ -111,9 +113,10 @@ class NetworkThread {
         GRAVEL_CHECK_MSG(false, "control message escaped the fabric layer");
         break;
     }
-    if (traceId)
-      tracer_.recordStage(obs::Stage::kResolve, traceId, std::uint16_t(self_),
-                          std::uint16_t(self_), m.addr);
+    if (traced)
+      tracer_.recordStage(obs::Stage::kResolve, m.traceId(),
+                          std::uint16_t(self_), std::uint16_t(self_), m.addr,
+                          std::uint8_t(m.command()));
   }
 
   std::uint32_t self_;

@@ -23,12 +23,14 @@ void NodeRuntime::enqueueGroup(simt::WorkItem& wi, const NetMessage& m,
   // the command word before the payload is written — from here the ID rides
   // the wire format through every downstream stage for free.
   NetMessage traced = m;
-  if (active && tracer_.enabled()) {
-    if (const std::uint32_t traceId = tracer_.maybeSample()) {
-      traced.setTraceId(traceId);
-      tracer_.recordStage(obs::Stage::kEnqueue, traceId, std::uint16_t(id_),
-                          std::uint16_t(m.dest), m.addr);
-    }
+  if (active && tracer_.active()) {
+    // maybeSample() returns 0 when sampling skips (or is off) — the flight
+    // recorder still gets the enqueue event, just with id 0.
+    const std::uint32_t traceId = tracer_.maybeSample();
+    if (traceId != 0) traced.setTraceId(traceId);
+    tracer_.recordStage(obs::Stage::kEnqueue, traceId, std::uint16_t(id_),
+                        std::uint16_t(m.dest), m.addr,
+                        std::uint8_t(m.command()));
   }
 
   GravelQueue::SlotRef ref{};

@@ -176,6 +176,32 @@ class SlotRouter {
     }
   }
 
+  /// Nonempty buffers with how long they have held messages — the stall
+  /// watchdog's backpressure signal. A healthy aggregator never lets a
+  /// buffer sit past the flush timeout, so a large age means the flush path
+  /// is wedged. Sampler cadence only (takes each buffer's lock briefly).
+  void sampleBufferAges(
+      const std::function<void(std::uint32_t dst, std::uint64_t fill,
+                               std::uint64_t age_ns)>& fn) {
+    const auto now = std::chrono::steady_clock::now();
+    for (std::uint32_t dst = 0; dst < buffers_.size(); ++dst) {
+      std::uint64_t fill;
+      std::uint64_t age_ns;
+      {
+        std::scoped_lock lk(buffers_[dst].mutex);
+        fill = buffers_[dst].messages.size();
+        age_ns = fill == 0
+                     ? 0
+                     : std::uint64_t(std::max<std::chrono::nanoseconds::rep>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               now - buffers_[dst].openedAt)
+                               .count(),
+                           0));
+      }
+      if (fill != 0) fn(dst, fill, age_ns);
+    }
+  }
+
   /// Routing-path lock acquisitions (one per appendRun). Excludes
   /// maintenance locking (timeouts, flushAll, gauges) by design: the
   /// regression check compares this against destinations-per-slot.

@@ -205,6 +205,37 @@ TEST(Stats, Pow2HistogramEdgeCases) {
   EXPECT_EQ(h.bucket(Pow2Histogram::kBuckets - 1), 2u);
 }
 
+TEST(Stats, Pow2HistogramQuantileInterpolatesInsideBucket) {
+  Pow2Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  for (int i = 0; i < 100; ++i) h.add(8);  // bucket [8,16)
+  // All mass in one bucket: the estimate walks linearly across it.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 12.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 16.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Stats, Pow2HistogramQuantileIsMonotonicAcrossBuckets) {
+  Pow2Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);    // [8,16)
+  for (int i = 0; i < 9; ++i) h.add(1000);   // [512,1024)
+  h.add(100000);                             // [65536,131072)
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  // p50 sits in the bulk bucket, p99 in the tail — the property the
+  // latency bottleneck attribution depends on.
+  EXPECT_LT(h.quantile(0.50), 16.0);
+  EXPECT_GE(h.quantile(0.99), 512.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 131072.0);
+}
+
 TEST(Stats, MetricSetAccumulates) {
   MetricSet a, b;
   a["bytes"] = 10;

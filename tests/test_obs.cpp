@@ -4,13 +4,18 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
+#include "obs/watchdog.hpp"
 #include "runtime/cluster.hpp"
 
 namespace gravel {
@@ -409,6 +414,429 @@ TEST(Stats, ClusterRunStatsMergeWithEmptySides) {
   EXPECT_EQ(b.net_batches, 4u);
   EXPECT_DOUBLE_EQ(b.avg_batch_bytes, 50.0);
   EXPECT_EQ(b.reorder_peak, 2u);
+}
+
+TEST(Stats, ClusterRunStatsMergeTakesWorstShardLatency) {
+  rt::ClusterRunStats a;
+  a.lat_stage_p99_ns[0] = 100.0;
+  a.lat_e2e_p99_ns = 500.0;
+  a.lat_samples = 3;
+  rt::ClusterRunStats b;
+  b.lat_stage_p99_ns[0] = 400.0;
+  b.lat_e2e_p99_ns = 200.0;
+  b.lat_samples = 5;
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.lat_stage_p99_ns[0], 400.0);  // worst shard wins
+  EXPECT_DOUBLE_EQ(a.lat_e2e_p99_ns, 500.0);
+  EXPECT_EQ(a.lat_samples, 8u);  // sample counts sum
+}
+
+// --- Flight recorder -------------------------------------------------------
+
+TEST(FlightRec, RingKeepsLastEventsAndSkipsLiveSlotWhenWrapped) {
+  obs::FlightRing ring(3);  // rounds up to 4
+  EXPECT_EQ(ring.capacity(), 4u);
+
+  TraceEvent e{};
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    e.value = i;
+    ring.record(e);
+  }
+  // Not yet wrapped: every recorded event is visible.
+  auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(snap[i].value, i);
+
+  for (std::uint64_t i = 3; i < 10; ++i) {
+    e.value = i;
+    ring.record(e);
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  // Wrapped: the single oldest retained slot is skipped (it is the one a
+  // live writer could be overwriting), so the last capacity-1 remain.
+  snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(snap[i].value, 7 + i);
+}
+
+TEST(FlightRec, RecorderRegistersThreadsLockFreeAndDumpsJson) {
+  obs::FlightRecorder rec(8);
+  ASSERT_TRUE(rec.enabled());
+  TraceEvent e{};
+  e.stage = Stage::kEnqueue;
+  rec.record(e);
+  rec.nameThread("main-thread");
+  rec.nameThread("renamed");  // first name wins
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t)
+    workers.emplace_back([&rec, t] {
+      TraceEvent w{};
+      w.value = std::uint64_t(t);
+      for (int i = 0; i < 20; ++i) rec.record(w);
+      rec.nameThread("worker-" + std::to_string(t));
+    });
+  for (auto& w : workers) w.join();
+
+  const auto threads = rec.threads();
+  EXPECT_EQ(threads.size(), 5u);
+
+  std::ostringstream os;
+  obs::writeFlightRecorderJson(os, rec, "unit-test", 12345);
+  const std::string j = os.str();
+  EXPECT_TRUE(jsonBalanced(j));
+  EXPECT_NE(j.find("\"reason\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(j.find("main-thread"), std::string::npos);
+  EXPECT_EQ(j.find("renamed"), std::string::npos);
+  for (int t = 0; t < 4; ++t)
+    EXPECT_NE(j.find("worker-" + std::to_string(t)), std::string::npos);
+  // 20 events into an 8-slot ring: overwrites are reported.
+  EXPECT_NE(j.find("\"overwritten\":12"), std::string::npos);
+}
+
+TEST(FlightRec, ZeroCapacityDisablesRecording) {
+  obs::FlightRecorder rec(0);
+  EXPECT_FALSE(rec.enabled());
+  rec.nameThread("ignored");
+  EXPECT_TRUE(rec.threads().empty());
+}
+
+TEST(FlightRec, TracerRecordsUnsampledEventsToFlightRingOnly) {
+  TraceConfig cfg;  // enabled = false, flightrec = true (default)
+  Tracer t(cfg);
+  EXPECT_FALSE(t.enabled());
+  EXPECT_TRUE(t.active());  // flight recorder keeps record sites live
+  t.recordStage(Stage::kEnqueue, 0, 1, 2, 99);  // id 0 = unsampled
+  EXPECT_TRUE(t.allEvents().empty());           // sampled buffers untouched
+  const auto threads = t.flightRecorder().threads();
+  ASSERT_EQ(threads.size(), 1u);
+  ASSERT_EQ(threads[0]->ring.recorded(), 1u);
+  EXPECT_EQ(threads[0]->ring.snapshot()[0].value, 99u);
+
+  TraceConfig off;
+  off.flightrec = false;
+  Tracer t2(off);
+  EXPECT_FALSE(t2.active());  // both layers off: record sites fully dark
+}
+
+// --- GRAVEL_TRACE_SAMPLE ---------------------------------------------------
+
+TEST(Trace, SampleIntervalEnvOverridesConfig) {
+  ASSERT_EQ(setenv("GRAVEL_TRACE_SAMPLE", "3", 1), 0);
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.sample_interval = 64;
+  {
+    Tracer t(cfg);
+    EXPECT_EQ(t.config().sample_interval, 3u);
+    std::uint32_t sampled = 0;
+    for (int i = 0; i < 30; ++i)
+      if (t.maybeSample() != 0) ++sampled;
+    EXPECT_EQ(sampled, 10u);  // 1 in 3
+  }
+  // Zero and garbage leave the configured value in force.
+  ASSERT_EQ(setenv("GRAVEL_TRACE_SAMPLE", "0", 1), 0);
+  EXPECT_EQ(Tracer(cfg).config().sample_interval, 64u);
+  ASSERT_EQ(setenv("GRAVEL_TRACE_SAMPLE", "banana", 1), 0);
+  EXPECT_EQ(Tracer(cfg).config().sample_interval, 64u);
+  ASSERT_EQ(unsetenv("GRAVEL_TRACE_SAMPLE"), 0);
+  EXPECT_EQ(Tracer(cfg).config().sample_interval, 64u);
+}
+
+// --- Latency attribution ---------------------------------------------------
+
+TraceEvent latEvent(Stage s, std::uint32_t id, std::uint64_t ts,
+                    std::uint16_t dest = 1, std::uint8_t kind = 1) {
+  TraceEvent e{};
+  e.ts_ns = ts;
+  e.id = id;
+  e.aux = dest;
+  e.stage = s;
+  e.kind = kind;
+  return e;
+}
+
+TEST(Latency, AttributesTransitionsAndNamesBottleneck) {
+  obs::LatencyAttribution lat;
+  // One message with geometrically growing stage gaps; the last transition
+  // (deliver -> resolve, gap 1600 ns) is the bottleneck.
+  const std::uint64_t ts[] = {100, 200, 400, 800, 1600, 3200};
+  for (int s = 0; s < obs::kMessageStages; ++s)
+    lat.consume(latEvent(Stage(s), 7, ts[s]));
+
+  const auto sum = lat.summary();
+  for (int t = 0; t < obs::LatencyAttribution::kTransitions; ++t)
+    EXPECT_EQ(sum.stage_count[t], 1u) << "transition " << t;
+  EXPECT_EQ(sum.e2e_count, 1u);
+  EXPECT_EQ(sum.bottleneck, obs::LatencyAttribution::kTransitions - 1);
+  // The 1600 ns gap lands in bucket [1024, 2048); e2e (3100) in [2048,4096).
+  EXPECT_GE(sum.stage_p99_ns[4], 1024.0);
+  EXPECT_LT(sum.stage_p99_ns[4], 2048.0);
+  EXPECT_GE(sum.e2e_p99_ns, 2048.0);
+  EXPECT_LT(sum.e2e_p99_ns, 4096.0);
+
+  // Keyed by (dest, kind).
+  ASSERT_EQ(lat.keyed().size(), 1u);
+  EXPECT_EQ(lat.keyed().begin()->first.first, 1u);
+  EXPECT_EQ(lat.keyed().begin()->first.second, 1u);
+}
+
+TEST(Latency, DuplicatesKeepFirstAndOutOfOrderArrivalsStillPair) {
+  obs::LatencyAttribution lat;
+  // Events arrive across buffers in arbitrary order; retransmission
+  // re-records wire-send with a later timestamp, which must be ignored.
+  lat.consume(latEvent(Stage::kResolve, 9, 600));
+  lat.consume(latEvent(Stage::kEnqueue, 9, 100));
+  lat.consume(latEvent(Stage::kDeliver, 9, 500));
+  lat.consume(latEvent(Stage::kDeliver, 9, 5000));  // duplicate: keep first
+  const auto sum = lat.summary();
+  EXPECT_EQ(sum.stage_count[4], 1u);  // deliver -> resolve paired once
+  EXPECT_GE(sum.stage_p99_ns[4], 64.0);
+  EXPECT_LT(sum.stage_p99_ns[4], 128.0);  // 100 ns, not 5000-based
+  EXPECT_EQ(sum.e2e_count, 1u);           // enqueue + resolve = 500 ns
+}
+
+TEST(Latency, IdWrapStartsFreshIncarnation) {
+  obs::LatencyAttribution lat;
+  for (int s = 0; s < obs::kMessageStages; ++s)
+    lat.consume(latEvent(Stage(s), 3, 100 * (s + 1)));
+  // 16-bit ids recycle: a second enqueue for id 3 is a new message.
+  for (int s = 0; s < obs::kMessageStages; ++s)
+    lat.consume(latEvent(Stage(s), 3, 100000 + 100 * (s + 1)));
+  const auto sum = lat.summary();
+  EXPECT_EQ(sum.e2e_count, 2u);
+  for (int t = 0; t < obs::LatencyAttribution::kTransitions; ++t)
+    EXPECT_EQ(sum.stage_count[t], 2u);
+}
+
+TEST(Latency, BackwardsClockSampleIsDiscarded) {
+  obs::LatencyAttribution lat;
+  // Cross-core steady-clock reads can race at sub-tick resolution; a
+  // backwards pair must not be recorded as a huge unsigned delta.
+  lat.consume(latEvent(Stage::kEnqueue, 4, 200));
+  lat.consume(latEvent(Stage::kAggregate, 4, 150));
+  EXPECT_EQ(lat.summary().stage_count[0], 0u);
+}
+
+TEST(Latency, IngestsTracerBuffersIncrementallyAndPublishes) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.flightrec = false;
+  Tracer t(cfg);
+  obs::LatencyAttribution lat;
+  for (int s = 0; s < obs::kMessageStages; ++s)
+    t.recordStage(Stage(s), 11, 0, 1, 0, 1);
+  lat.ingest(t);
+  EXPECT_EQ(lat.summary().e2e_count, 1u);
+  // A second ingest consumes only new events — counts must not double.
+  lat.ingest(t);
+  EXPECT_EQ(lat.summary().e2e_count, 1u);
+
+  MetricsRegistry reg;
+  lat.publish(reg);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.contains("lat.stage_ns", "stage=enqueue_to_aggregate"));
+  EXPECT_TRUE(snap.contains("lat.e2e_ns"));
+  EXPECT_TRUE(snap.contains("lat.bottleneck_stage"));
+  EXPECT_TRUE(snap.contains("lat.stage_p99_ns", "stage=deliver_to_resolve"));
+}
+
+TEST(Latency, ClusterRunStatsCarryStageQuantiles) {
+  rt::Cluster cluster(tracedConfig());
+  runTracedWorkload(cluster);
+  const rt::ClusterRunStats s = cluster.runStats();
+  EXPECT_GT(s.lat_samples, 0u);
+  EXPECT_GT(s.lat_e2e_p99_ns, 0.0);
+  EXPECT_GE(s.lat_e2e_p99_ns, s.lat_e2e_p50_ns);
+  // Every transition of the pipeline was exercised.
+  for (int t = 0; t < rt::ClusterRunStats::kLatTransitions; ++t)
+    EXPECT_GT(s.lat_stage_p99_ns[t], 0.0) << obs::transitionLabel(t);
+
+  const MetricsSnapshot snap = cluster.collectMetrics();
+  EXPECT_TRUE(snap.contains("lat.e2e_p99_ns"));
+}
+
+// --- Stall watchdog --------------------------------------------------------
+
+obs::WatchdogConfig fastWatchdog() {
+  obs::WatchdogConfig wc;
+  wc.period = std::chrono::microseconds(1000);
+  wc.no_progress_deadline = std::chrono::milliseconds(10);
+  wc.backpressure_deadline = std::chrono::milliseconds(10);
+  wc.stalled_link_deadline = std::chrono::milliseconds(10);
+  return wc;
+}
+
+TEST(Watchdog, DiagnosesNoProgressAndClosesOnRecovery) {
+  obs::Watchdog wd(fastWatchdog());
+  obs::WatchdogSample s;
+  s.now_ns = 0;
+  s.queues = {{0, 100, 50}};
+  wd.observe(s);  // baseline tick
+  EXPECT_TRUE(wd.diagnoses().empty());
+
+  s.now_ns = 20'000'000;  // 20 ms later, routed unchanged, backlog 50
+  wd.observe(s);
+  auto diags = wd.diagnoses();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].kind, obs::StallKind::kNoProgress);
+  EXPECT_EQ(diags[0].node, 0u);
+  EXPECT_EQ(diags[0].depth, 50u);
+  EXPECT_TRUE(diags[0].open);
+  EXPECT_NE(wd.describe().find("[no-progress]"), std::string::npos);
+  EXPECT_NE(wd.describe().find("node 0"), std::string::npos);
+
+  s.now_ns = 25'000'000;
+  s.queues = {{0, 100, 60}};  // progress: routed advanced
+  wd.observe(s);
+  diags = wd.diagnoses();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_FALSE(diags[0].open);  // diagnosis retained, marked recovered
+}
+
+TEST(Watchdog, EmptyBacklogIsNotAStall) {
+  obs::Watchdog wd(fastWatchdog());
+  obs::WatchdogSample s;
+  s.now_ns = 0;
+  s.queues = {{2, 80, 80}};  // all routed
+  wd.observe(s);
+  s.now_ns = 50'000'000;  // far past the deadline, still nothing owed
+  wd.observe(s);
+  EXPECT_TRUE(wd.diagnoses().empty());
+}
+
+TEST(Watchdog, DiagnosesBackpressureAndStalledLinkWithSeqRange) {
+  obs::Watchdog wd(fastWatchdog());
+  obs::WatchdogSample s;
+  s.now_ns = 30'000'000;
+  s.buffers = {{1, 0, 5, 20'000'000}};           // 20 ms old buffer 1->0
+  s.links = {{0, 1, 3, 7, 10, 2, 15'000'000}};   // seq [7,10) stalled 15 ms
+  wd.observe(s);
+  const auto diags = wd.diagnoses();
+  ASSERT_EQ(diags.size(), 2u);
+
+  const std::string desc = wd.describe();
+  EXPECT_NE(desc.find("[backpressure]"), std::string::npos);
+  EXPECT_NE(desc.find("node 1 -> dest 0"), std::string::npos);
+  EXPECT_NE(desc.find("[stalled-link]"), std::string::npos);
+  EXPECT_NE(desc.find("seq [7,10)"), std::string::npos);
+
+  // Registry publication, one metric per diagnosis plus the total.
+  MetricsRegistry reg;
+  wd.publish(reg);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.number("watchdog.diagnoses"), 2.0);
+  EXPECT_TRUE(snap.contains("watchdog.backpressure_ms", "node=1,dest=0"));
+  EXPECT_TRUE(snap.contains("watchdog.stalled_link_ms", "link=0->1"));
+
+  std::ostringstream os;
+  obs::writeWatchdogJson(os, wd);
+  EXPECT_TRUE(jsonBalanced(os.str()));
+  EXPECT_NE(os.str().find("\"kind\":\"stalled-link\""), std::string::npos);
+}
+
+TEST(Watchdog, DiagnosisTableOverflowIsCountedNotGrown) {
+  obs::WatchdogConfig wc = fastWatchdog();
+  wc.max_diagnoses = 2;
+  obs::Watchdog wd(wc);
+  obs::WatchdogSample s;
+  s.now_ns = 30'000'000;
+  for (std::uint32_t d = 0; d < 5; ++d)
+    s.buffers.push_back({0, d, 1, 20'000'000});
+  wd.observe(s);
+  EXPECT_EQ(wd.diagnoses().size(), 2u);
+  EXPECT_EQ(wd.overflow(), 3u);
+  EXPECT_NE(wd.describe().find("+3 overflowed"), std::string::npos);
+}
+
+TEST(Watchdog, ForcedAggregatorStallIsNamedInQuietPostMortem) {
+  rt::ClusterConfig c = tracedConfig();
+  c.quiet_deadline = std::chrono::milliseconds(400);
+  c.watchdog.period = std::chrono::microseconds(2000);
+  c.watchdog.no_progress_deadline = std::chrono::milliseconds(50);
+  rt::Cluster cluster(c);
+  cluster.start();
+  // Wedge node 0's aggregator: its GPU queue fills and never drains.
+  cluster.node(0).aggregator().stop();
+  auto slots = cluster.alloc<std::uint64_t>(64);
+  try {
+    cluster.launchAll(128, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+      cluster.node(n).shmemInc(wi, (n + 1) % 2, slots.at(wi.globalId() % 64));
+    });
+    FAIL() << "quiet() should have hit its deadline";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("quiet deadline"), std::string::npos) << msg;
+    // The watchdog names the wedged queue, not just "something is slow".
+    EXPECT_NE(msg.find("[no-progress]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("gpu-queue node 0"), std::string::npos) << msg;
+  }
+  // The always-on flight recorder captured every runtime thread's last
+  // events — the dump a post-mortem reader opens first.
+  std::ostringstream os;
+  cluster.writeFlightRecorder(os, "test");
+  const std::string j = os.str();
+  EXPECT_TRUE(jsonBalanced(j));
+  EXPECT_NE(j.find("gpu."), std::string::npos);
+  EXPECT_NE(j.find("agg."), std::string::npos);
+  EXPECT_NE(j.find("net."), std::string::npos);
+}
+
+TEST(Watchdog, StalledLinkIsNamedWhenWireGoesDark) {
+  rt::ClusterConfig c = tracedConfig();
+  c.quiet_deadline = std::chrono::milliseconds(400);
+  c.watchdog.period = std::chrono::microseconds(2000);
+  c.watchdog.stalled_link_deadline = std::chrono::milliseconds(50);
+  // Every batch (data and ACK) is dropped; retries never exhaust, so the
+  // quiet deadline - not a LinkFailureError - ends the run.
+  c.fault.seed = 1;
+  c.fault.drop_prob = 1.0;
+  c.reliability.enabled = true;
+  c.reliability.rto_base = std::chrono::microseconds(500);
+  c.reliability.rto_max = std::chrono::microseconds(4000);
+  c.reliability.max_retries = 1u << 30;
+  rt::Cluster cluster(c);
+  auto slots = cluster.alloc<std::uint64_t>(64);
+  try {
+    cluster.launchAll(32, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+      cluster.node(n).shmemInc(wi, (n + 1) % 2, slots.at(wi.globalId() % 64));
+    });
+    FAIL() << "quiet() should have hit its deadline";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("[stalled-link]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("seq ["), std::string::npos) << msg;
+  }
+}
+
+// --- Multi-threaded aggregator flow export ---------------------------------
+
+std::size_t countOccurrences(const std::string& hay, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(Trace, FlowEventsSurviveMultiThreadedAggregators) {
+  // With >= 2 aggregator threads per node, a message's aggregate/flush
+  // events land in different per-thread buffers than its enqueue; the
+  // exporter must still emit matched flow start/finish pairs.
+  rt::ClusterConfig c = tracedConfig();
+  c.aggregator_threads = 2;
+  rt::Cluster cluster(c);
+  runTracedWorkload(cluster);
+
+  std::ostringstream os;
+  cluster.writeTrace(os);
+  const std::string j = os.str();
+  EXPECT_TRUE(jsonBalanced(j));
+  EXPECT_NE(j.find("agg.0.1"), std::string::npos);  // second worker traced
+  const std::size_t starts = countOccurrences(j, "\"ph\":\"s\"");
+  const std::size_t finishes = countOccurrences(j, "\"ph\":\"f\"");
+  EXPECT_GT(starts, 0u);
+  EXPECT_EQ(starts, finishes);  // no dangling flow ends
 }
 
 }  // namespace

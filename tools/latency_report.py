@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Per-stage latency report over a gravel_metrics.json snapshot.
+
+Reads the ``lat.*`` metrics the latency-attribution engine
+(src/obs/latency.hpp) publishes — pooled per-transition Pow2Histograms and
+the end-to-end histogram — recomputes p50/p99 from the exported bucket
+arrays, prints one row per pipeline transition, and names the bottleneck
+(the transition with the largest p99).
+
+The quantile rule replicates Pow2Histogram::quantile exactly: bucket 0
+holds {0}, bucket i>=1 covers [2^(i-1), 2^i); the estimate interpolates
+linearly inside the bucket where the cumulative count crosses q*total.
+
+Usage:
+    latency_report.py [gravel_metrics.json]
+
+Exit status: 0 report printed, 1 no latency metrics in the snapshot
+(tracing was off or nothing was sampled), 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+# Pipeline transitions in order, matching obs::transitionLabel.
+TRANSITIONS = [
+    "enqueue_to_aggregate",
+    "aggregate_to_flush",
+    "flush_to_wire-send",
+    "wire-send_to_deliver",
+    "deliver_to_resolve",
+]
+
+
+def quantile(buckets: list[int], q: float) -> float:
+    """Pow2Histogram::quantile — see src/common/stats.hpp."""
+    total = sum(buckets)
+    if total == 0:
+        return 0.0
+    q = min(max(q, 0.0), 1.0)
+    target = q * total
+    cum = 0
+    for i, count in enumerate(buckets):
+        if count == 0:
+            continue
+        before = cum
+        cum += count
+        if cum >= target:
+            lo = 0.0 if i == 0 else float(1 << (i - 1))
+            hi = 1.0 if i == 0 else float(1 << i)
+            frac = (target - before) / count
+            frac = min(max(frac, 0.0), 1.0)
+            return lo + frac * (hi - lo)
+    return float(1 << (len(buckets) - 1))
+
+
+def fmt_ns(ns: float) -> str:
+    if ns >= 1e6:
+        return f"{ns / 1e6:8.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:8.2f} us"
+    return f"{ns:8.0f} ns"
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 2 or (len(argv) == 2 and argv[1].startswith("-")):
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = Path(argv[1]) if len(argv) == 2 else Path("gravel_metrics.json")
+    try:
+        snapshot = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+
+    # Pooled per-transition histograms carry labels exactly "stage=<t>";
+    # keyed variants ("dest=...,kind=...,stage=...") are skipped here.
+    stage_hists: dict[str, list[int]] = {}
+    e2e_hist: list[int] | None = None
+    for m in snapshot.get("metrics", []):
+        if m.get("kind") != "histogram":
+            continue
+        name, labels = m.get("name"), m.get("labels", "")
+        if name == "lat.stage_ns" and labels.startswith("stage="):
+            stage_hists[labels[len("stage="):]] = m.get("buckets", [])
+        elif name == "lat.e2e_ns" and labels == "":
+            e2e_hist = m.get("buckets", [])
+
+    if not stage_hists and e2e_hist is None:
+        print("no latency metrics found (was the run traced? GRAVEL_TRACE=1)",
+              file=sys.stderr)
+        return 1
+
+    print(f"{'transition':<24} {'samples':>9} {'p50':>11} {'p99':>11}")
+    bottleneck = None
+    worst_p99 = -1.0
+    for t in TRANSITIONS:
+        buckets = stage_hists.get(t)
+        if not buckets or sum(buckets) == 0:
+            print(f"{t:<24} {0:>9} {'-':>11} {'-':>11}")
+            continue
+        p50 = quantile(buckets, 0.50)
+        p99 = quantile(buckets, 0.99)
+        print(f"{t:<24} {sum(buckets):>9} {fmt_ns(p50):>11} {fmt_ns(p99):>11}")
+        if p99 > worst_p99:
+            worst_p99 = p99
+            bottleneck = t
+    if e2e_hist is not None and sum(e2e_hist) > 0:
+        p50 = quantile(e2e_hist, 0.50)
+        p99 = quantile(e2e_hist, 0.99)
+        print(f"{'end_to_end':<24} {sum(e2e_hist):>9} "
+              f"{fmt_ns(p50):>11} {fmt_ns(p99):>11}")
+    if bottleneck is not None:
+        print(f"\nbottleneck: {bottleneck} (p99 {fmt_ns(worst_p99).strip()})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

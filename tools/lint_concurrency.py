@@ -41,6 +41,14 @@ import tempfile
 from pathlib import Path
 
 HOT_PATH_MARKER = "gravel-lint: hot-path"
+# Files (relative to the scanned root) that are hot-path REGARDLESS of the
+# marker. The observability record path runs on every message of every
+# runtime thread, so a dropped marker comment must not silently exempt it.
+HOT_PATH_FILES = (
+    "obs/flight_recorder.hpp",
+    "obs/latency.hpp",
+    "obs/watchdog.hpp",
+)
 ALLOW_RE = re.compile(r"gravel-lint:\s*allow\(([a-z-]+)\)")
 
 NAKED_ATOMIC_RE = re.compile(r"std::atomic\s*<|std::atomic_flag\b")
@@ -122,7 +130,7 @@ def lint_file(path: Path, rel: str) -> list[Finding]:
     raw_lines = raw.splitlines()
     text = strip_block_comments(raw)
     lines = [LINE_COMMENT_RE.sub("", ln) for ln in text.splitlines()]
-    hot_path = HOT_PATH_MARKER in raw
+    hot_path = HOT_PATH_MARKER in raw or rel in HOT_PATH_FILES
     findings: list[Finding] = []
 
     atomic_exempt = any(
@@ -237,6 +245,9 @@ SELFTEST_CASES = [
     ("runtime/good_ref.hpp",
      "std::atomic_ref<unsigned long> r(x);\n",
      None),  # atomic_ref has no gravel wrapper
+    ("obs/flight_recorder.hpp",
+     "struct S { gravel::mutex m; };\n",
+     "hot-path-blocking"),  # listed hot-path file, marker absent
 ]
 
 
