@@ -1,0 +1,157 @@
+// Bounded per-destination dead-letter queue (DESIGN.md §11).
+//
+// When the failure policy is `degrade`, messages owed to an excised link are
+// drained here instead of being retried forever — the aggregator keeps the
+// GPU queues moving (the GICC/proxy-thread property) and every message stays
+// accounted for. The conservation invariant the degraded quiet() reports is
+//
+//     delivered + dead_lettered == sent
+//
+// so `dead_lettered` counts every message routed here, even when the bounded
+// store is full and the payload itself is discarded (`evicted` tracks the
+// discarded subset — those cannot be redelivered, but they were never
+// silently lost either). `rejected` counts device-side admission pushback:
+// operations refused at enqueue time, before they ever became sends.
+//
+// Entries keep their (src, dst) so a restarted node can be paid back:
+// drainFor(n) removes everything owed to n (dst == n) plus everything n
+// itself owed others (src == n); the ReliableFabric redelivers them through
+// the normal send path under the link's new era.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/atomic.hpp"
+#include "common/error.hpp"
+#include "runtime/message.hpp"
+
+namespace gravel::net {
+
+/// Cumulative accounting; `stored` is the only instantaneous value.
+struct DeadLetterStats {
+  std::uint64_t dead_lettered = 0;  ///< messages routed here (conservation)
+  std::uint64_t redelivered = 0;    ///< messages re-sent after a restart
+  std::uint64_t rejected = 0;       ///< enqueue-side admission refusals
+  std::uint64_t evicted = 0;        ///< dead-lettered past the bound (dropped)
+  std::uint64_t stored = 0;         ///< messages currently parked
+};
+
+class DeadLetterQueue {
+ public:
+  struct Entry {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::vector<rt::NetMessage> msgs;
+  };
+
+  DeadLetterQueue(std::uint32_t nodes, std::uint64_t capacityPerDest)
+      : nodes_(nodes),
+        capacity_(capacityPerDest),
+        perDest_(nodes),
+        storedPerDest_(nodes, 0) {
+    GRAVEL_CHECK_MSG(capacityPerDest > 0,
+                     "dead-letter queue capacity must be >= 1 message");
+  }
+
+  DeadLetterQueue(const DeadLetterQueue&) = delete;
+  DeadLetterQueue& operator=(const DeadLetterQueue&) = delete;
+
+  std::uint64_t capacityPerDest() const noexcept { return capacity_; }
+
+  /// Dead-letters a batch. Always counted; stored only while the
+  /// destination's bound has room (partial storage keeps the accounting
+  /// exact: the overflow is counted evicted, message-granular).
+  void push(std::uint32_t src, std::uint32_t dst,
+            std::vector<rt::NetMessage>&& msgs) {
+    if (msgs.empty()) return;
+    GRAVEL_CHECK_MSG(src < nodes_ && dst < nodes_, "dead-letter: bad link");
+    std::scoped_lock lk(mutex_);
+    const std::uint64_t n = msgs.size();
+    stats_.dead_lettered += n;
+    const std::uint64_t room = capacity_ > storedPerDest_[dst]
+                                   ? capacity_ - storedPerDest_[dst]
+                                   : 0;
+    if (room == 0) {
+      stats_.evicted += n;
+      return;
+    }
+    if (n > room) {
+      stats_.evicted += n - room;
+      msgs.resize(room);
+    }
+    storedPerDest_[dst] += msgs.size();
+    stats_.stored += msgs.size();
+    perDest_[dst].push_back(Entry{src, dst, std::move(msgs)});
+  }
+
+  /// Re-parks an entry drained by drainFor() whose source is still dead —
+  /// storage-only, no dead_lettered recount (it was counted on first push).
+  void restore(Entry&& e) {
+    if (e.msgs.empty()) return;
+    std::scoped_lock lk(mutex_);
+    storedPerDest_[e.dst] += e.msgs.size();
+    stats_.stored += e.msgs.size();
+    perDest_[e.dst].push_back(std::move(e));
+  }
+
+  /// True when the destination's store is at its bound — the admission
+  /// check's pushback condition.
+  bool full(std::uint32_t dst) const {
+    std::scoped_lock lk(mutex_);
+    return storedPerDest_[dst] >= capacity_;
+  }
+
+  std::uint64_t storedFor(std::uint32_t dst) const {
+    std::scoped_lock lk(mutex_);
+    return storedPerDest_[dst];
+  }
+
+  void noteRejected(std::uint64_t n) {
+    std::scoped_lock lk(mutex_);
+    stats_.rejected += n;
+  }
+
+  void noteRedelivered(std::uint64_t n) {
+    std::scoped_lock lk(mutex_);
+    stats_.redelivered += n;
+  }
+
+  /// Removes every entry involving `node` (owed to it, or owed by it) for
+  /// redelivery after a restart.
+  std::vector<Entry> drainFor(std::uint32_t node) {
+    std::scoped_lock lk(mutex_);
+    std::vector<Entry> out;
+    for (std::uint32_t dst = 0; dst < nodes_; ++dst) {
+      std::deque<Entry>& q = perDest_[dst];
+      for (auto it = q.begin(); it != q.end();) {
+        if (it->src != node && it->dst != node) {
+          ++it;
+          continue;
+        }
+        storedPerDest_[dst] -= it->msgs.size();
+        stats_.stored -= it->msgs.size();
+        out.push_back(std::move(*it));
+        it = q.erase(it);
+      }
+    }
+    return out;
+  }
+
+  DeadLetterStats stats() const {
+    std::scoped_lock lk(mutex_);
+    return stats_;
+  }
+
+ private:
+  std::uint32_t nodes_;
+  std::uint64_t capacity_;
+  mutable gravel::mutex mutex_;
+  std::vector<std::deque<Entry>> perDest_;  ///< indexed by destination
+  std::vector<std::uint64_t> storedPerDest_;
+  DeadLetterStats stats_;
+};
+
+}  // namespace gravel::net

@@ -43,6 +43,10 @@ struct Delivery {
   std::uint32_t src = 0;
   std::uint64_t seq = 0;
   std::vector<rt::NetMessage> messages;
+  /// Link era the batch was admitted under (reliability layer; 0 elsewhere).
+  /// markResolved() refuses to acknowledge a stale-era delivery after the
+  /// circuit breaker re-synced the link.
+  std::uint32_t era = 0;
 };
 
 /// Per-link traffic counters, readable after a run (Table 5, Figure 12-15
@@ -71,6 +75,11 @@ struct ReliabilityStats {
   std::uint64_t acks_sent = 0;      ///< standalone ACK batches emitted
   std::uint64_t reorder_drops = 0;  ///< out-of-window batches discarded
   std::uint64_t reorder_peak = 0;   ///< deepest receiver reorder buffer seen
+  // Circuit breaker / degraded mode (zero under fail_fast).
+  std::uint64_t breaker_trips = 0;     ///< links excised by the breaker
+  std::uint64_t probes = 0;            ///< half-open probe batches sent
+  std::uint64_t stale_data_drops = 0;  ///< stale-era data frames rejected
+  std::uint64_t stale_ack_drops = 0;   ///< stale-era cumulative ACKs rejected
 };
 
 /// A link whose sender exhausted its retry budget: structured failure info

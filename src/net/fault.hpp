@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <vector>
 
@@ -45,6 +46,41 @@ struct FaultConfig {
   bool active() const noexcept {
     return drop_prob > 0 || dup_prob > 0 || reorder_prob > 0 ||
            delay_prob > 0 || !partitions.empty();
+  }
+
+  /// Environment overrides, mirroring GRAVEL_TRACE_SAMPLE: a chaos harness
+  /// (or CI matrix) can dial fault injection up without recompiling.
+  ///
+  ///   GRAVEL_FAULT_DROP / _DUP / _REORDER / _DELAY — probabilities in [0,1]
+  ///   GRAVEL_FAULT_SEED                            — RNG seed (u64)
+  ///
+  /// Invalid or out-of-range values are ignored (the compiled-in config
+  /// wins). Returns true when any override took effect.
+  bool applyEnvOverrides() {
+    bool any = false;
+    auto prob = [&](const char* name, double& field) {
+      const char* raw = std::getenv(name);
+      if (raw == nullptr || *raw == '\0') return;
+      char* end = nullptr;
+      const double v = std::strtod(raw, &end);
+      if (end == raw || *end != '\0' || !(v >= 0.0 && v <= 1.0)) return;
+      field = v;
+      any = true;
+    };
+    prob("GRAVEL_FAULT_DROP", drop_prob);
+    prob("GRAVEL_FAULT_DUP", dup_prob);
+    prob("GRAVEL_FAULT_REORDER", reorder_prob);
+    prob("GRAVEL_FAULT_DELAY", delay_prob);
+    if (const char* raw = std::getenv("GRAVEL_FAULT_SEED");
+        raw != nullptr && *raw != '\0') {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(raw, &end, 10);
+      if (end != raw && *end == '\0') {
+        seed = v;
+        any = true;
+      }
+    }
+    return any;
   }
 };
 

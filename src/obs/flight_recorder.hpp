@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -186,15 +187,19 @@ class FlightRecorder {
 ///   {"reason": ..., "now_ns": ..., "threads": [{"name", "recorded",
 ///    "capacity", "overwritten", "events": [{...}, ...]}, ...]}
 /// Events carry ts_ns/stage/id/node/dest/value/kind; id 0 means the event
-/// was recorded outside sampling (flight-only).
-inline void writeFlightRecorderJson(std::ostream& os,
-                                    const FlightRecorder& rec,
-                                    const std::string& reason,
-                                    std::uint64_t now_ns) {
+/// was recorded outside sampling (flight-only). `extra`, when given, is
+/// invoked after the header keys to append caller-owned top-level keys
+/// (the Cluster injects its membership/degraded-mode block this way — this
+/// layer cannot see runtime types).
+inline void writeFlightRecorderJson(
+    std::ostream& os, const FlightRecorder& rec, const std::string& reason,
+    std::uint64_t now_ns,
+    const std::function<void(JsonWriter&)>& extra = nullptr) {
   JsonWriter w(os);
   w.beginObject();
   w.kv("reason", reason);
   w.kv("now_ns", now_ns);
+  if (extra) extra(w);
   w.key("threads").beginArray();
   for (const FlightRecorder::ThreadRing* t : rec.threads()) {
     const std::uint64_t recorded = t->ring.recorded();

@@ -100,6 +100,18 @@ struct BufferSample {
   std::uint64_t age_ns = 0;  ///< time since the buffer last became nonempty
 };
 
+/// Circuit-breaker state of a reliable link, mirrored numerically so this
+/// layer needn't see net::BreakerState (gravel_obs depends on gravel_common
+/// only): 0 = closed, 1 = open, 2 = half-open.
+inline const char* linkBreakerName(std::uint8_t b) noexcept {
+  switch (b) {
+    case 0: return "closed";
+    case 1: return "open";
+    case 2: return "half-open";
+  }
+  return "?";
+}
+
 /// One reliable link with unacked traffic (ReliableFabric::sendStates).
 struct LinkSample {
   std::uint32_t src = 0;
@@ -109,6 +121,8 @@ struct LinkSample {
   std::uint64_t next_seq = 0;
   std::uint32_t retries = 0;
   std::uint64_t stalled_ns = 0;  ///< time the oldest unacked seq has stood
+  std::uint8_t breaker = 0;      ///< linkBreakerName() code (degrade policy)
+  std::uint32_t epoch = 0;       ///< destination node's membership epoch
 };
 
 /// One monitor tick's view of the runtime.
@@ -130,6 +144,8 @@ struct Diagnosis {
   std::uint64_t oldest_seq = 0;  ///< stalled-link: owed range [oldest, next)
   std::uint64_t next_seq = 0;
   std::uint32_t retries = 0;
+  std::uint8_t breaker = 0;  ///< stalled-link: linkBreakerName() code
+  std::uint32_t epoch = 0;   ///< stalled-link: dest's membership epoch
   bool open = true;  ///< still failing at the most recent observe()
 
   std::uint64_t duration_ns() const noexcept {
@@ -196,7 +212,8 @@ class Watchdog {
         case StallKind::kStalledLink:
           os << " link " << d.node << "->" << d.dest << ": " << d.depth
              << " unacked, seq [" << d.oldest_seq << "," << d.next_seq
-             << "), " << d.retries << " retransmit(s)";
+             << "), " << d.retries << " retransmit(s), breaker "
+             << linkBreakerName(d.breaker) << ", dest epoch " << d.epoch;
           break;
       }
       os << " for " << d.duration_ns() / 1000000 << " ms"
@@ -246,6 +263,8 @@ class Watchdog {
     atomic<std::uint64_t> oldest_seq{0};
     atomic<std::uint64_t> next_seq{0};
     atomic<std::uint32_t> retries{0};
+    atomic<std::uint8_t> breaker{0};
+    atomic<std::uint32_t> epoch{0};
     atomic<bool> open{true};
 
     Diagnosis read() const {
@@ -259,6 +278,8 @@ class Watchdog {
       d.oldest_seq = oldest_seq.load(std::memory_order_relaxed);
       d.next_seq = next_seq.load(std::memory_order_relaxed);
       d.retries = retries.load(std::memory_order_relaxed);
+      d.breaker = breaker.load(std::memory_order_relaxed);
+      d.epoch = epoch.load(std::memory_order_relaxed);
       d.open = open.load(std::memory_order_relaxed);
       return d;
     }
@@ -335,7 +356,7 @@ class Watchdog {
         t.slot = openSlot(StallKind::kStalledLink, l.src, l.dst,
                           s.now_ns - l.stalled_ns);
       updateSlot(t.slot, s.now_ns, l.unacked, l.oldest_seq, l.next_seq,
-                 l.retries);
+                 l.retries, l.breaker, l.epoch);
     }
     closeUnseen(links_);
   }
@@ -359,7 +380,8 @@ class Watchdog {
 
   void updateSlot(int i, std::uint64_t now_ns, std::uint64_t depth,
                   std::uint64_t oldest, std::uint64_t next,
-                  std::uint32_t retries) {
+                  std::uint32_t retries, std::uint8_t breaker = 0,
+                  std::uint32_t epoch = 0) {
     if (i < 0) return;
     Slot& slot = slots_[std::size_t(i)];
     slot.last_ns.store(now_ns, std::memory_order_relaxed);
@@ -367,6 +389,8 @@ class Watchdog {
     slot.oldest_seq.store(oldest, std::memory_order_relaxed);
     slot.next_seq.store(next, std::memory_order_relaxed);
     slot.retries.store(retries, std::memory_order_relaxed);
+    slot.breaker.store(breaker, std::memory_order_relaxed);
+    slot.epoch.store(epoch, std::memory_order_relaxed);
   }
 
   void closeSlot(int& i) {
@@ -410,6 +434,8 @@ inline void writeWatchdogJson(std::ostream& os, const Watchdog& wd) {
     w.kv("oldest_seq", d.oldest_seq);
     w.kv("next_seq", d.next_seq);
     w.kv("retries", std::uint64_t{d.retries});
+    w.kv("breaker", linkBreakerName(d.breaker));
+    w.kv("epoch", std::uint64_t{d.epoch});
     w.kv("open", d.open);
     w.endObject();
   }

@@ -18,6 +18,7 @@ Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
       tracer_(config.obs),
       allocator_(config.heap_bytes),
+      resolvedBase_(config.nodes, 0),
       opBase_(config.nodes),
       devBase_(config.nodes),
       aggBase_(config.nodes) {
@@ -25,6 +26,10 @@ Cluster::Cluster(const ClusterConfig& config)
   // aggregator threads, zero-size GPU queue, ...) fail here with an
   // actionable message instead of misbehaving deep in the pipeline.
   config_.validate();
+  // GRAVEL_FAULT_* environment overrides may activate fault injection on a
+  // cluster whose compiled-in config is fault-free, so apply them before
+  // choosing the wire.
+  config_.fault.applyEnvOverrides();
   if (config_.fault.active())
     wire_ = std::make_unique<net::FaultyFabric>(config_.nodes, config_.fault);
   else
@@ -41,10 +46,20 @@ Cluster::Cluster(const ClusterConfig& config)
   fabric_->setTracer(&tracer_);
   if (config_.watchdog.enabled)
     watchdog_ = std::make_unique<obs::Watchdog>(config_.watchdog);
+  if (reliable_ &&
+      config_.reliability.policy == net::FailurePolicy::kDegrade) {
+    membership_ = std::make_unique<Membership>(config_.nodes);
+    dlq_ = std::make_unique<net::DeadLetterQueue>(
+        config_.nodes, config_.reliability.dlq_capacity);
+    reliable_->attachDegrade(membership_.get(), dlq_.get());
+  }
   nodes_.reserve(config.nodes);
-  for (std::uint32_t i = 0; i < config.nodes; ++i)
+  for (std::uint32_t i = 0; i < config.nodes; ++i) {
     nodes_.push_back(std::make_unique<NodeRuntime>(i, config_, *fabric_,
                                                    registry_, tracer_));
+    if (membership_) nodes_.back()->attachAdmission(membership_.get(),
+                                                    dlq_.get());
+  }
 }
 
 Cluster::~Cluster() {
@@ -68,9 +83,54 @@ void Cluster::ensureThreadsStarted() {
   if (threadsStarted_) return;
   for (auto& n : nodes_) n->startThreads();
   const bool gauges = tracer_.enabled() && config_.obs.gauge_period.count() > 0;
-  if (gauges || watchdog_)
+  if (gauges || watchdog_ || membership_)
     monitor_ = std::thread([this] { monitorLoop(); });
   threadsStarted_ = true;
+}
+
+// --- graceful degradation ---------------------------------------------------
+
+void Cluster::crashNode(std::uint32_t n) {
+  GRAVEL_CHECK_MSG(membership_ != nullptr,
+                   "crashNode requires reliability.policy == kDegrade");
+  GRAVEL_CHECK_MSG(n < config_.nodes, "crashNode: bad node id");
+  ensureThreadsStarted();
+  if (!membership_->declareDead(n, "crashNode() injected")) return;
+  // Stop (and join) the node's network thread first: afterwards its
+  // resolution level is final, so excision settles sender-side copies
+  // against the truth — resolved counts delivered, the rest dead-letters.
+  // The aggregator deliberately keeps running: GPU queues keep draining
+  // (the proxy-thread property) and its sends dead-letter at the breaker.
+  nodes_[n]->network().stop();
+  reliable_->exciseNode(n, /*receiverStopped=*/true);
+}
+
+void Cluster::restartNode(std::uint32_t n) {
+  GRAVEL_CHECK_MSG(membership_ != nullptr,
+                   "restartNode requires reliability.policy == kDegrade");
+  GRAVEL_CHECK_MSG(n < config_.nodes, "restartNode: bad node id");
+  GRAVEL_CHECK_MSG(membership_->dead(n),
+                   "restartNode: node is not dead (crashNode it first, or "
+                   "let the failure detector excise it)");
+  // Epoch bump first, then the link re-sync (another era bump): any frame
+  // of the dead incarnation still sitting in wire inboxes is provably
+  // stale-era when it finally drains.
+  membership_->restart(n, "restartNode() injected");
+  reliable_->resetNode(n);
+  // resetNode() re-closed every link touching n — including links whose
+  // other endpoint is still dead. Re-excise those peers, or traffic between
+  // n and a dead peer would retransmit into the void (n's sends never trip
+  // a generous retry budget, the peer's sends are never polled) instead of
+  // dead-lettering, wedging quiet() until its deadline.
+  for (std::uint32_t d : membership_->deadNodes())
+    reliable_->exciseNode(d, /*receiverStopped=*/!threadsStarted_ ||
+                                 !nodes_[d]->network().running());
+  // A crashNode()-stopped network thread restarts; a detector-excised
+  // node's thread never died and keeps running.
+  if (threadsStarted_ && !nodes_[n]->network().running())
+    nodes_[n]->network().start();
+  // Pay back what the cluster owes the node (and what it owed others).
+  reliable_->redeliver(n);
 }
 
 void Cluster::launchAll(std::uint64_t gridPerNode, std::uint32_t wgSize,
@@ -153,6 +213,22 @@ void Cluster::quietDeadlineExpired(const char* stage) {
        << std::uint64_t(snap.number("rel.link_retries", link));
   }
   os << "; registry captured " << snap.metrics.size() << " metric(s)";
+  // Degraded-mode context: "link excised by failure policy" (breaker open,
+  // traffic dead-lettering by design) is a different situation from "quiet
+  // deadline expired" on a healthy link, and the post-mortem must not
+  // conflate them. describePending() above already lists excised links; add
+  // the membership view so the reader sees which *nodes* are out.
+  if (membership_) {
+    for (std::uint32_t n : membership_->deadNodes())
+      os << "; node " << n << " excised by failure policy (dead, epoch "
+         << membership_->epoch(n) << ") — its traffic dead-letters instead "
+         << "of completing; this deadline expiry is about the remaining "
+         << "live links";
+    const net::DeadLetterStats d = dlq_->stats();
+    if (d.rejected != 0)
+      os << "; admission control rejected " << d.rejected
+         << " operation(s) at enqueue";
+  }
   // The watchdog has been sampling all along: its diagnoses say *which*
   // queue/buffer/link stalled and since when, which the counters above only
   // imply.
@@ -228,6 +304,9 @@ ClusterRunStats Cluster::runStats() const {
     s.agg_slots += agg.slotsProcessedStat() - ab.slots;
     s.agg_lock_acquisitions += agg.lockAcquisitions() - ab.locks;
     s.agg_dests_touched += agg.destsTouched() - ab.dests;
+
+    s.net_resolved += nodes_[i]->network().messagesResolved() -
+                      resolvedBase_[i];
   }
   const net::LinkStats t = fabric_->total();
   s.net_batches = t.batches - fabricBase_.batches;
@@ -240,6 +319,27 @@ ClusterRunStats Cluster::runStats() const {
   s.acks_sent = r.acks_sent - relBase_.acks_sent;
   s.reorder_drops = r.reorder_drops - relBase_.reorder_drops;
   s.reorder_peak = r.reorder_peak;  // high-water mark, not a delta
+  s.breaker_trips = r.breaker_trips - relBase_.breaker_trips;
+  s.probes = r.probes - relBase_.probes;
+  s.stale_data_drops = r.stale_data_drops - relBase_.stale_data_drops;
+  s.stale_ack_drops = r.stale_ack_drops - relBase_.stale_ack_drops;
+  if (membership_) {
+    for (std::uint32_t n : membership_->deadNodes())
+      s.degraded.dead_nodes.push_back({n, membership_->epoch(n)});
+    // Links excised at window end, mirroring dead_nodes. A breaker that
+    // tripped and re-closed within the window is not listed — its damage
+    // shows in breaker_trips and the dead-letter deltas — so a healed
+    // cluster's later windows stop reporting degraded().
+    for (const auto& b : reliable_->breakerStates())
+      if (b.state != net::BreakerState::kClosed)
+        s.degraded.tripped_links.push_back(
+            {b.src, b.dst, std::uint8_t(b.state), b.era});
+    const net::DeadLetterStats d = dlq_->stats();
+    s.degraded.dead_lettered = d.dead_lettered - dlqBase_.dead_lettered;
+    s.degraded.redelivered = d.redelivered - dlqBase_.redelivered;
+    s.degraded.rejected = d.rejected - dlqBase_.rejected;
+    s.degraded.evicted = d.evicted - dlqBase_.evicted;
+  }
   const net::FaultStats f = fabric_->faultStats();
   s.injected_drops =
       (f.drops + f.partition_drops) - (faultBase_.drops +
@@ -281,20 +381,25 @@ void Cluster::resetStats() {
   batchBase_ = fabric_->batchSizeBytes();
   relBase_ = fabric_->reliabilityStats();
   faultBase_ = fabric_->faultStats();
+  for (std::uint32_t i = 0; i < config_.nodes; ++i)
+    resolvedBase_[i] = nodes_[i]->network().messagesResolved();
+  if (dlq_) dlqBase_ = dlq_->stats();
 }
 
 // --- observability ---------------------------------------------------------
 
-// One thread, up to two duties on independent cadences: gauge sampling +
-// online latency ingest (tracer cadence, config.obs.gauge_period) and
-// watchdog sampling (config.watchdog.period). Sleeps are capped so a stop
-// request is honoured promptly even under long cadences.
+// One thread, up to three duties on independent cadences: gauge sampling +
+// online latency ingest (tracer cadence, config.obs.gauge_period), watchdog
+// sampling (config.watchdog.period) and the membership failure detector
+// (config.membership.probe_period, degrade policy only). Sleeps are capped
+// so a stop request is honoured promptly even under long cadences.
 void Cluster::monitorLoop() {
   using clock = std::chrono::steady_clock;
   tracer_.nameThread("monitor");
   const bool gauges = tracer_.enabled() && config_.obs.gauge_period.count() > 0;
   auto nextGauge = clock::now();
   auto nextWatch = clock::now();
+  auto nextProbe = clock::now();
   while (!monitorStop_.load(std::memory_order_acquire)) {
     const auto now = clock::now();
     if (gauges && now >= nextGauge) {
@@ -306,11 +411,37 @@ void Cluster::monitorLoop() {
       sampleWatchdog();
       nextWatch = now + config_.watchdog.period;
     }
+    if (membership_ && now >= nextProbe) {
+      sampleMembership();
+      nextProbe = now + config_.membership.probe_period;
+    }
     auto wake = clock::time_point::max();
     if (gauges) wake = std::min(wake, nextGauge);
     if (watchdog_) wake = std::min(wake, nextWatch);
+    if (membership_) wake = std::min(wake, nextProbe);
     const auto cap = clock::now() + std::chrono::milliseconds(10);
     std::this_thread::sleep_until(std::min(wake, cap));
+  }
+}
+
+// The stall-driven half of the failure detector: a link that has made no
+// cumulative-ACK progress for membership.suspect_after marks its
+// *destination* suspect. Suspicion alone never kills — the circuit breaker
+// corroborates it when the same link's retry budget exhausts (tripLink), and
+// ACK progress clears it (applyAck). A dead source's view does not vote.
+void Cluster::sampleMembership() {
+  const auto threshold =
+      std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        config_.membership.suspect_after)
+                        .count());
+  for (const auto& ls : reliable_->sendStates()) {
+    if (ls.stalled_ns < threshold) continue;
+    if (membership_->dead(ls.src) || membership_->dead(ls.dst)) continue;
+    membership_->suspect(ls.dst, "link " + std::to_string(ls.src) + "->" +
+                                     std::to_string(ls.dst) +
+                                     " made no ACK progress for " +
+                                     std::to_string(ls.stalled_ns / 1000000) +
+                                     " ms");
   }
 }
 
@@ -330,7 +461,9 @@ void Cluster::sampleWatchdog() {
   if (reliable_) {
     for (const auto& ls : reliable_->sendStates())
       s.links.push_back({ls.src, ls.dst, ls.unacked, ls.oldest_seq,
-                         ls.next_seq, ls.retries, ls.stalled_ns});
+                         ls.next_seq, ls.retries, ls.stalled_ns,
+                         std::uint8_t(ls.breaker),
+                         membership_ ? membership_->epoch(ls.dst) : 0});
   }
   watchdog_->observe(s);
 }
@@ -430,6 +563,10 @@ obs::MetricsSnapshot Cluster::collectMetrics() {
   metrics_.setCounter("rel.acks_sent", "", r.acks_sent);
   metrics_.setCounter("rel.reorder_drops", "", r.reorder_drops);
   metrics_.setGauge("rel.reorder_peak", "", double(r.reorder_peak));
+  metrics_.setCounter("rel.breaker_trips", "", r.breaker_trips);
+  metrics_.setCounter("rel.probes", "", r.probes);
+  metrics_.setCounter("rel.stale_data_drops", "", r.stale_data_drops);
+  metrics_.setCounter("rel.stale_ack_drops", "", r.stale_ack_drops);
   if (reliable_) {
     for (const auto& ls : reliable_->sendStates()) {
       const std::string link =
@@ -439,6 +576,32 @@ obs::MetricsSnapshot Cluster::collectMetrics() {
       metrics_.setGauge("rel.link_next_seq", link, double(ls.next_seq));
       metrics_.setGauge("rel.link_retries", link, double(ls.retries));
     }
+    for (const auto& b : reliable_->breakerStates()) {
+      const std::string link =
+          "link=" + std::to_string(b.src) + "->" + std::to_string(b.dst);
+      metrics_.setGauge("rel.link_breaker", link, double(std::uint8_t(b.state)));
+      metrics_.setGauge("rel.link_era", link, double(b.era));
+    }
+  }
+
+  // Membership / dead-letter accounting (degrade policy only).
+  if (membership_) {
+    for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+      const std::string node = "node=" + std::to_string(i);
+      metrics_.setGauge("health.state", node,
+                        double(std::uint8_t(membership_->health(i))));
+      metrics_.setGauge("health.epoch", node, double(membership_->epoch(i)));
+    }
+    metrics_.setGauge("health.live_nodes", "",
+                      double(membership_->liveCount()));
+    metrics_.setCounter("health.transitions", "",
+                        membership_->version());
+    const net::DeadLetterStats d = dlq_->stats();
+    metrics_.setCounter("dlq.dead_lettered", "", d.dead_lettered);
+    metrics_.setCounter("dlq.redelivered", "", d.redelivered);
+    metrics_.setCounter("dlq.rejected", "", d.rejected);
+    metrics_.setCounter("dlq.evicted", "", d.evicted);
+    metrics_.setGauge("dlq.stored", "", double(d.stored));
   }
 
   const net::FaultStats f = fabric_->faultStats();
@@ -489,8 +652,41 @@ void Cluster::writeMetricsCsv(std::ostream& os) {
 
 void Cluster::writeFlightRecorder(std::ostream& os,
                                   const std::string& reason) const {
+  // Under the degrade policy the dump gains a top-level health/dead-letter
+  // block: a post-mortem reader sees breaker and membership state next to
+  // the per-thread event rings.
+  const auto extra = [this](obs::JsonWriter& w) {
+    if (!membership_) return;
+    w.key("health").beginArray();
+    for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+      w.beginObject();
+      w.kv("node", std::uint64_t{i});
+      w.kv("state", nodeHealthName(membership_->health(i)));
+      w.kv("epoch", std::uint64_t{membership_->epoch(i)});
+      w.endObject();
+    }
+    w.endArray();
+    w.key("breakers").beginArray();
+    for (const auto& b : reliable_->breakerStates()) {
+      w.beginObject();
+      w.kv("src", std::uint64_t{b.src});
+      w.kv("dst", std::uint64_t{b.dst});
+      w.kv("state", net::breakerStateName(b.state));
+      w.kv("era", std::uint64_t{b.era});
+      w.endObject();
+    }
+    w.endArray();
+    const net::DeadLetterStats d = dlq_->stats();
+    w.key("dead_letter").beginObject();
+    w.kv("dead_lettered", d.dead_lettered);
+    w.kv("redelivered", d.redelivered);
+    w.kv("rejected", d.rejected);
+    w.kv("evicted", d.evicted);
+    w.kv("stored", d.stored);
+    w.endObject();
+  };
   obs::writeFlightRecorderJson(os, tracer_.flightRecorder(), reason,
-                               tracer_.nowNs());
+                               tracer_.nowNs(), extra);
 }
 
 void Cluster::writeWatchdog(std::ostream& os) const {

@@ -14,6 +14,7 @@
 
 #include "common/atomic.hpp"
 #include "common/stats.hpp"
+#include "net/dead_letter.hpp"
 #include "net/fabric.hpp"
 #include "net/fault.hpp"
 #include "net/reliable.hpp"
@@ -24,6 +25,7 @@
 #include "runtime/active_message.hpp"
 #include "runtime/cluster_stats.hpp"
 #include "runtime/config.hpp"
+#include "runtime/membership.hpp"
 #include "runtime/node_runtime.hpp"
 
 namespace gravel::rt {
@@ -91,8 +93,34 @@ class Cluster {
   void quiet();
 
   /// Per-run traffic/operation roll-up; resetStats() starts a new window.
+  /// Under the degrade failure policy, `runStats().degraded` reports which
+  /// nodes/links were excised and the dead-letter accounting that closes
+  /// net_resolved + degraded.dead_lettered == net_messages for the window.
   ClusterRunStats runStats() const;
   void resetStats();
+
+  // --- graceful degradation (config.reliability.policy == kDegrade) -------
+
+  /// Membership/health view; null under fail_fast.
+  Membership* membership() noexcept { return membership_.get(); }
+  const Membership* membership() const noexcept { return membership_.get(); }
+
+  /// Dead-letter queue; null under fail_fast.
+  net::DeadLetterQueue* deadLetters() noexcept { return dlq_.get(); }
+
+  /// Crash injection: declares node `n` dead, stops its network thread and
+  /// excises every link touching it — in-flight traffic it already resolved
+  /// counts delivered, the rest is dead-lettered, and new sends toward it
+  /// dead-letter immediately (its aggregator keeps draining the GPU queue,
+  /// the proxy-thread property). quiet() then completes degraded instead of
+  /// throwing. No-op if the node is already dead. Requires kDegrade.
+  void crashNode(std::uint32_t n);
+
+  /// Restart injection: brings a crashed node back under the next epoch —
+  /// links re-sync (stale-epoch wire traffic stays rejected), its network
+  /// thread restarts, and dead-lettered traffic involving it is redelivered
+  /// through the normal send path. Requires a prior crashNode/excision.
+  void restartNode(std::uint32_t n);
 
   // --- observability (src/obs) -------------------------------------------
 
@@ -138,6 +166,7 @@ class Cluster {
   void monitorLoop();
   void sampleGauges();
   void sampleWatchdog();
+  void sampleMembership();
   void ingestLatency();
   void dumpFlightRecorder(const char* reason) const noexcept;
 
@@ -149,6 +178,8 @@ class Cluster {
   net::Fabric* fabric_ = nullptr;                 ///< top of the stack
   AmRegistry registry_;
   SymmetricAllocator allocator_;
+  std::unique_ptr<Membership> membership_;        ///< degrade policy only
+  std::unique_ptr<net::DeadLetterQueue> dlq_;     ///< degrade policy only
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   bool threadsStarted_ = false;
 
@@ -171,6 +202,8 @@ class Cluster {
   RunningStat batchBase_{};
   net::ReliabilityStats relBase_{};
   net::FaultStats faultBase_{};
+  net::DeadLetterStats dlqBase_{};
+  std::vector<std::uint64_t> resolvedBase_;
   std::vector<NodeOpStats> opBase_;
   std::vector<simt::DeviceStats> devBase_;
   struct AggBase {

@@ -5,11 +5,74 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "obs/stage.hpp"
 #include "simt/types.hpp"
 
 namespace gravel::rt {
+
+/// What a degraded-mode window looked like (reliability.policy == kDegrade):
+/// which nodes are excised, which links tripped, and the dead-letter
+/// accounting that closes the conservation invariant
+///
+///     delivered (net_resolved) + dead_lettered == sent (net_messages)
+///
+/// for the window. All-zero/empty under fail_fast or a healthy run.
+struct DegradedRunReport {
+  struct DeadNode {
+    std::uint32_t node = 0;
+    std::uint32_t epoch = 0;  ///< incarnation at the end of the window
+  };
+  struct TrippedLink {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint8_t breaker = 0;  ///< net::BreakerState at window end
+    std::uint32_t era = 0;     ///< re-sync count (lifetime, not windowed)
+  };
+
+  std::vector<DeadNode> dead_nodes;
+  std::vector<TrippedLink> tripped_links;
+
+  // Window deltas from the dead-letter queue.
+  std::uint64_t dead_lettered = 0;  ///< messages excised links owed
+  std::uint64_t redelivered = 0;    ///< paid back after a restart
+  std::uint64_t rejected = 0;       ///< enqueue-side admission refusals
+  std::uint64_t evicted = 0;        ///< dead-lettered past the bound
+
+  bool degraded() const noexcept {
+    return !dead_nodes.empty() || !tripped_links.empty() ||
+           dead_lettered != 0 || rejected != 0;
+  }
+
+  void merge(const DegradedRunReport& o) {
+    for (const DeadNode& dn : o.dead_nodes) {
+      bool found = false;
+      for (DeadNode& mine : dead_nodes) {
+        if (mine.node != dn.node) continue;
+        mine.epoch = std::max(mine.epoch, dn.epoch);
+        found = true;
+        break;
+      }
+      if (!found) dead_nodes.push_back(dn);
+    }
+    for (const TrippedLink& tl : o.tripped_links) {
+      bool found = false;
+      for (TrippedLink& mine : tripped_links) {
+        if (mine.src != tl.src || mine.dst != tl.dst) continue;
+        mine.breaker = tl.breaker;  // later window wins
+        mine.era = std::max(mine.era, tl.era);
+        found = true;
+        break;
+      }
+      if (!found) tripped_links.push_back(tl);
+    }
+    dead_lettered += o.dead_lettered;
+    redelivered += o.redelivered;
+    rejected += o.rejected;
+    evicted += o.evicted;
+  }
+};
 
 struct ClusterRunStats {
   std::uint32_t nodes = 0;
@@ -48,6 +111,12 @@ struct ClusterRunStats {
   std::uint64_t net_bytes = 0;
   double avg_batch_bytes = 0;  ///< Table 5 "average message size"
 
+  /// Messages resolved at their destination heaps this window (summed over
+  /// network threads). Equals net_messages on a healthy run; under degrade,
+  /// net_resolved + degraded.dead_lettered == net_messages — the
+  /// conservation invariant quiet() reports instead of throwing.
+  std::uint64_t net_resolved = 0;
+
   // Reliability sublayer (zero when it is disabled).
   std::uint64_t retransmits = 0;   ///< sender-side timeout retransmissions
   std::uint64_t dup_drops = 0;     ///< receiver-side duplicates discarded
@@ -55,6 +124,13 @@ struct ClusterRunStats {
   std::uint64_t acks_sent = 0;     ///< standalone ACK batches emitted
   std::uint64_t reorder_drops = 0; ///< out-of-window batches discarded
   std::uint64_t reorder_peak = 0;  ///< deepest reorder buffer (absolute)
+
+  // Graceful degradation (zero under fail_fast — see DegradedRunReport).
+  std::uint64_t breaker_trips = 0;     ///< closed/half-open -> open edges
+  std::uint64_t probes = 0;            ///< half-open probe batches sent
+  std::uint64_t stale_data_drops = 0;  ///< stale-era data frames rejected
+  std::uint64_t stale_ack_drops = 0;   ///< stale-era ACKs rejected
+  DegradedRunReport degraded{};
 
   // Fault injection on the wire (zero on PerfectFabric).
   std::uint64_t injected_drops = 0;  ///< batches the adversary discarded
@@ -108,6 +184,7 @@ struct ClusterRunStats {
     net_batches += o.net_batches;
     net_messages += o.net_messages;
     net_bytes += o.net_bytes;
+    net_resolved += o.net_resolved;
 
     retransmits += o.retransmits;
     dup_drops += o.dup_drops;
@@ -118,6 +195,12 @@ struct ClusterRunStats {
 
     injected_drops += o.injected_drops;
     injected_dups += o.injected_dups;
+
+    breaker_trips += o.breaker_trips;
+    probes += o.probes;
+    stale_data_drops += o.stale_data_drops;
+    stale_ack_drops += o.stale_ack_drops;
+    degraded.merge(o.degraded);
 
     // Quantiles cannot be combined exactly from two summaries; take the
     // conservative (worst-shard) value — merged benches report the slowest

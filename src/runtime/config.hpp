@@ -11,6 +11,7 @@
 #include "net/reliable.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
+#include "runtime/membership.hpp"
 #include "runtime/message.hpp"
 #include "simt/types.hpp"
 
@@ -63,6 +64,11 @@ struct ClusterConfig {
   /// batches.
   net::ReliabilityConfig reliability{};
 
+  /// Failure detector behind `reliability.policy == kDegrade` (DESIGN.md
+  /// §11): stall-driven suspicion thresholds sampled by the monitor thread.
+  /// Inert under fail_fast.
+  MembershipConfig membership{};
+
   /// Upper bound on each quiet() wait loop. On expiry quiet() throws with a
   /// per-link diagnostic instead of hanging the process. Zero disables the
   /// deadline.
@@ -103,6 +109,18 @@ struct ClusterConfig {
                      "aggregator needs at least one thread");
     GRAVEL_CHECK_MSG(aggregator_timeout_check_slots > 0,
                      "busy-path timeout cadence must be >= 1 slot");
+    if (reliability.policy == net::FailurePolicy::kDegrade) {
+      GRAVEL_CHECK_MSG(reliability.enabled,
+                       "the degrade failure policy needs the reliability "
+                       "layer: circuit breakers live on its links");
+      GRAVEL_CHECK_MSG(reliability.dlq_capacity > 0,
+                       "degrade needs a dead-letter capacity of >= 1 message "
+                       "per destination");
+      GRAVEL_CHECK_MSG(membership.suspect_after.count() > 0 &&
+                           membership.probe_period.count() > 0,
+                       "membership detector thresholds must be positive "
+                       "under the degrade policy");
+    }
     if (watchdog.enabled) {
       GRAVEL_CHECK_MSG(watchdog.period.count() > 0,
                        "watchdog.period must be positive when enabled");

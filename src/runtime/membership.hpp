@@ -1,0 +1,194 @@
+// Cluster membership: the per-node health state machine behind graceful
+// degradation (DESIGN.md §11).
+//
+// Each node carries a health state and a monotonically increasing epoch:
+//
+//   alive ──stalled links──▶ suspect ──trip corroborates──▶ dead
+//     ▲                        │                              │
+//     └───progress resumed─────┘          restartNode() ──▶ recovered
+//     ▲                                                       │
+//     └──────────────── link probe acknowledged ──────────────┘
+//
+// The failure detector is deliberately *derived*: it consumes signals the
+// runtime already produces — ReliableFabric's oldest-unacked stall ages
+// (Cluster's monitor thread feeds them here), retry-budget exhaustion (the
+// circuit breaker in reliable.hpp corroborates a suspicion into a death) and
+// explicit crashNode()/restartNode() injection. The epoch increments on
+// every restart; the reliability layer tags wire traffic with a per-link era
+// derived from these transitions so stale-incarnation frames are rejected
+// instead of applied twice.
+//
+// Concurrency: health and epoch are lock-free atomics (hot-path readers:
+// the admission check in NodeRuntime, the breaker check in
+// ReliableFabric::send). Transitions serialize under one mutex so the
+// transition log and the state machine agree; all transition methods return
+// whether they actually fired, making them safe to call from racing
+// detectors.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/atomic.hpp"
+#include "common/error.hpp"
+
+namespace gravel::rt {
+
+enum class NodeHealth : std::uint8_t {
+  kAlive = 0,
+  kSuspect = 1,    ///< links into the node stopped making progress
+  kDead = 2,       ///< excised: traffic to it dead-letters instead of retrying
+  kRecovered = 3,  ///< restarted under a new epoch, not yet reconfirmed
+};
+
+inline const char* nodeHealthName(NodeHealth h) noexcept {
+  switch (h) {
+    case NodeHealth::kAlive: return "alive";
+    case NodeHealth::kSuspect: return "suspect";
+    case NodeHealth::kDead: return "dead";
+    case NodeHealth::kRecovered: return "recovered";
+  }
+  return "?";
+}
+
+/// Failure-detector knobs (consumed by the Cluster monitor thread).
+struct MembershipConfig {
+  /// A node becomes suspect when some link into it has made no
+  /// cumulative-ACK progress for this long.
+  std::chrono::milliseconds suspect_after{250};
+
+  /// Detector sampling cadence on the monitor thread.
+  std::chrono::milliseconds probe_period{5};
+};
+
+/// One entry of the transition log (post-mortems, DegradedRunReport).
+struct MembershipTransition {
+  std::uint32_t node = 0;
+  NodeHealth from = NodeHealth::kAlive;
+  NodeHealth to = NodeHealth::kAlive;
+  std::uint32_t epoch = 0;  ///< epoch *after* the transition
+  std::uint64_t ns = 0;     ///< steady-clock timestamp
+  std::string reason;
+};
+
+class Membership {
+ public:
+  explicit Membership(std::uint32_t nodes) : nodes_(nodes), states_(nodes) {}
+
+  Membership(const Membership&) = delete;
+  Membership& operator=(const Membership&) = delete;
+
+  std::uint32_t nodes() const noexcept { return nodes_; }
+
+  NodeHealth health(std::uint32_t n) const noexcept {
+    return NodeHealth(states_[n].health.load(std::memory_order_acquire));
+  }
+  std::uint32_t epoch(std::uint32_t n) const noexcept {
+    return states_[n].epoch.load(std::memory_order_acquire);
+  }
+  bool dead(std::uint32_t n) const noexcept {
+    return health(n) == NodeHealth::kDead;
+  }
+
+  /// Bumped on every transition; cheap "did anything change" poll.
+  std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  std::uint32_t liveCount() const noexcept {
+    std::uint32_t live = 0;
+    for (std::uint32_t n = 0; n < nodes_; ++n)
+      if (!dead(n)) ++live;
+    return live;
+  }
+
+  std::vector<std::uint32_t> deadNodes() const {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t n = 0; n < nodes_; ++n)
+      if (dead(n)) out.push_back(n);
+    return out;
+  }
+
+  /// alive/recovered -> suspect. Driven by the stall detector.
+  bool suspect(std::uint32_t n, const std::string& reason) {
+    return transition(n, reason, [](NodeHealth h) {
+      return (h == NodeHealth::kAlive || h == NodeHealth::kRecovered)
+                 ? NodeHealth::kSuspect
+                 : h;
+    });
+  }
+
+  /// any-but-dead -> dead. Driven by breaker trips and crashNode().
+  bool declareDead(std::uint32_t n, const std::string& reason) {
+    return transition(n, reason, [](NodeHealth h) {
+      return h != NodeHealth::kDead ? NodeHealth::kDead : h;
+    });
+  }
+
+  /// suspect/recovered -> alive. Driven by link progress and probe ACKs.
+  bool confirmAlive(std::uint32_t n, const std::string& reason) {
+    return transition(n, reason, [](NodeHealth h) {
+      return (h == NodeHealth::kSuspect || h == NodeHealth::kRecovered)
+                 ? NodeHealth::kAlive
+                 : h;
+    });
+  }
+
+  /// dead -> recovered, under the next epoch. Driven by restartNode().
+  bool restart(std::uint32_t n, const std::string& reason) {
+    std::scoped_lock lk(mutex_);
+    if (NodeHealth(states_[n].health.load(std::memory_order_relaxed)) !=
+        NodeHealth::kDead)
+      return false;
+    states_[n].epoch.fetch_add(1, std::memory_order_acq_rel);
+    commit(n, NodeHealth::kDead, NodeHealth::kRecovered, reason);
+    return true;
+  }
+
+  std::vector<MembershipTransition> transitions() const {
+    std::scoped_lock lk(mutex_);
+    return log_;
+  }
+
+ private:
+  struct NodeState {
+    atomic<std::uint8_t> health{std::uint8_t(NodeHealth::kAlive)};
+    atomic<std::uint32_t> epoch{0};
+  };
+
+  template <typename Next>
+  bool transition(std::uint32_t n, const std::string& reason, Next next) {
+    GRAVEL_CHECK_MSG(n < nodes_, "membership: bad node id");
+    std::scoped_lock lk(mutex_);
+    const NodeHealth from =
+        NodeHealth(states_[n].health.load(std::memory_order_relaxed));
+    const NodeHealth to = next(from);
+    if (to == from) return false;
+    commit(n, from, to, reason);
+    return true;
+  }
+
+  // Caller holds mutex_.
+  void commit(std::uint32_t n, NodeHealth from, NodeHealth to,
+              const std::string& reason) {
+    states_[n].health.store(std::uint8_t(to), std::memory_order_release);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count();
+    log_.push_back(MembershipTransition{
+        n, from, to, states_[n].epoch.load(std::memory_order_relaxed),
+        std::uint64_t(ns), reason});
+    version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  std::uint32_t nodes_;
+  mutable std::vector<NodeState> states_;
+  mutable gravel::mutex mutex_;  ///< serializes transitions + the log
+  std::vector<MembershipTransition> log_;
+  atomic<std::uint64_t> version_{0};
+};
+
+}  // namespace gravel::rt

@@ -79,9 +79,32 @@ struct NetMessage {
   std::uint64_t seq() const noexcept { return addr; }
   std::uint64_t cumAck() const noexcept { return value; }
 
+  /// Link eras (graceful degradation, DESIGN.md §11): a control frame
+  /// carries the sending link's era in bits 16..31 (the trace-ID field,
+  /// which control frames never use) and, for its piggybacked/standalone
+  /// cumulative ACK, the *acknowledged* link's era in bits 32..47 (free in
+  /// control frames: no AM handler). The reliability layer bumps a link's
+  /// era whenever the circuit breaker excises or re-syncs it, so frames and
+  /// ACKs from a stale incarnation are provably rejected instead of being
+  /// applied twice or corrupting re-synced sequence state. Both fields are
+  /// 0 under the fail-fast policy — the wire format is byte-identical.
+  static constexpr int kEraShift = 16;
+  static constexpr int kAckEraShift = 32;
+  static constexpr std::uint64_t kEraFieldMask = 0xffffull;
+
+  std::uint32_t era() const noexcept {
+    return std::uint32_t((cmd >> kEraShift) & kEraFieldMask);
+  }
+  std::uint32_t ackEra() const noexcept {
+    return std::uint32_t((cmd >> kAckEraShift) & kEraFieldMask);
+  }
+
   static NetMessage control(std::uint32_t dest, ControlKind kind,
-                            std::uint64_t seq, std::uint64_t cumAck) {
-    return {std::uint64_t(Command::kControl) | (std::uint64_t(kind) << 8),
+                            std::uint64_t seq, std::uint64_t cumAck,
+                            std::uint32_t era = 0, std::uint32_t ackEra = 0) {
+    return {std::uint64_t(Command::kControl) | (std::uint64_t(kind) << 8) |
+                ((std::uint64_t(era) & kEraFieldMask) << kEraShift) |
+                ((std::uint64_t(ackEra) & kEraFieldMask) << kAckEraShift),
             dest, seq, cumAck};
   }
 };

@@ -34,6 +34,10 @@ class NetworkThread {
   NetworkThread& operator=(const NetworkThread&) = delete;
 
   void start() {
+    // A previously stopped worker (crash/restart cycling) was joined by
+    // stop(), but the moved-from std::thread must be reaped before the slot
+    // is reused.
+    if (worker_.joinable()) worker_.join();
     // Thread creation below establishes the happens-before to the worker.
     stopped_.store(false, std::memory_order_relaxed);
     worker_ = std::thread([this] { run(); });
@@ -48,6 +52,13 @@ class NetworkThread {
 
   std::uint64_t messagesResolved() const noexcept {
     return resolved_.load(std::memory_order_relaxed);
+  }
+
+  /// Whether the worker is (logically) live — false before start(), after
+  /// stop(), and after crashNode() stopped it. restartNode() uses this to
+  /// avoid double-starting a thread the failure detector never killed.
+  bool running() const noexcept {
+    return !stopped_.load(std::memory_order_acquire);
   }
 
  private:

@@ -5,12 +5,14 @@
 
 #include <cstdint>
 
+#include "net/dead_letter.hpp"
 #include "net/fabric.hpp"
 #include "obs/trace.hpp"
 #include "queue/gravel_queue.hpp"
 #include "runtime/active_message.hpp"
 #include "runtime/aggregator.hpp"
 #include "runtime/config.hpp"
+#include "runtime/membership.hpp"
 #include "runtime/message.hpp"
 #include "runtime/network_thread.hpp"
 #include "runtime/symmetric_heap.hpp"
@@ -70,6 +72,17 @@ class NodeRuntime {
     aggregator_.start(config_.aggregator_threads);
     network_.start();
   }
+
+  /// Soft admission control (degrade policy): when a destination is dead and
+  /// its dead-letter store is already at its bound, new remote operations
+  /// toward it are refused at enqueue time — pushback at the source instead
+  /// of unbounded eviction downstream. Both collaborators must outlive this
+  /// node; never attached under fail_fast.
+  void attachAdmission(const Membership* membership,
+                       net::DeadLetterQueue* dlq) {
+    membership_ = membership;
+    dlq_ = dlq;
+  }
   void stopThreads() {
     aggregator_.stop();
     network_.stop();
@@ -87,6 +100,7 @@ class NodeRuntime {
                 std::uint64_t byteOffset, std::uint64_t value,
                 bool active = true, simt::FBar* fb = nullptr) {
     const bool local = dest == id_;
+    if (active && !local && !admitRemote(dest)) active = false;
     if (active) {
       if (local) {
         heap_.storeU64(byteOffset, value);
@@ -105,6 +119,7 @@ class NodeRuntime {
   void shmemInc(simt::WorkItem& wi, std::uint32_t dest,
                 std::uint64_t byteOffset, bool active = true,
                 simt::FBar* fb = nullptr) {
+    if (active && !admitRemote(dest)) active = false;
     if (active) {
       if (dest == id_)
         ++opStats_.inc_local;
@@ -119,6 +134,7 @@ class NodeRuntime {
   void shmemAm(simt::WorkItem& wi, std::uint32_t dest, std::uint32_t handler,
                std::uint64_t arg0, std::uint64_t arg1, bool active = true,
                simt::FBar* fb = nullptr) {
+    if (active && !admitRemote(dest)) active = false;
     if (active) {
       if (dest == id_)
         ++opStats_.am_local;
@@ -136,6 +152,19 @@ class NodeRuntime {
   }
 
  private:
+  /// The admission check. Refusing turns the lane inactive: it still takes
+  /// part in the collective reservation (software-predication semantics are
+  /// untouched), its message just never enters the queue, and the refusal is
+  /// counted. A live (or merely suspect) destination is always admitted —
+  /// only a dead destination whose dead-letter bound is exhausted pushes
+  /// back.
+  bool admitRemote(std::uint32_t dest) {
+    if (membership_ == nullptr || dlq_ == nullptr) return true;
+    if (!membership_->dead(dest) || !dlq_->full(dest)) return true;
+    dlq_->noteRejected(1);
+    return false;
+  }
+
   /// The §4.1 work-group-level reservation: leader election by reduce-max
   /// over active lane ids, per-lane slot columns by prefix-sum, one
   /// fetch-add (inside acquireWrite) by the leader, broadcast of the slot
@@ -164,6 +193,8 @@ class NodeRuntime {
   NetworkThread network_;
   simt::Device device_;
   NodeOpStats opStats_;
+  const Membership* membership_ = nullptr;  ///< admission (degrade only)
+  net::DeadLetterQueue* dlq_ = nullptr;
 };
 
 }  // namespace gravel::rt

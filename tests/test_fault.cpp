@@ -13,7 +13,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/cluster.hpp"
@@ -269,6 +273,314 @@ TEST(Fault, ExhaustedRetryBudgetSurfacesLinkFailure) {
     EXPECT_GE(e.info().retries, 4u);
     EXPECT_GE(e.info().oldest_seq, 1u);
   }
+}
+
+// --- GRAVEL_FAULT_* environment overrides ----------------------------------
+
+TEST(Fault, EnvOverridesParseValidValuesAndIgnoreGarbage) {
+  ASSERT_EQ(::setenv("GRAVEL_FAULT_DROP", "0.25", 1), 0);
+  ASSERT_EQ(::setenv("GRAVEL_FAULT_DUP", "not-a-number", 1), 0);
+  ASSERT_EQ(::setenv("GRAVEL_FAULT_REORDER", "1.5", 1), 0);  // out of [0,1]
+  ASSERT_EQ(::setenv("GRAVEL_FAULT_SEED", "42", 1), 0);
+  net::FaultConfig f;
+  EXPECT_TRUE(f.applyEnvOverrides());
+  ::unsetenv("GRAVEL_FAULT_DROP");
+  ::unsetenv("GRAVEL_FAULT_DUP");
+  ::unsetenv("GRAVEL_FAULT_REORDER");
+  ::unsetenv("GRAVEL_FAULT_SEED");
+  EXPECT_DOUBLE_EQ(f.drop_prob, 0.25);
+  EXPECT_DOUBLE_EQ(f.dup_prob, 0.0);      // unparsable: ignored
+  EXPECT_DOUBLE_EQ(f.reorder_prob, 0.0);  // out of range: ignored
+  EXPECT_EQ(f.seed, 42u);
+
+  net::FaultConfig untouched;
+  EXPECT_FALSE(untouched.applyEnvOverrides());
+  EXPECT_DOUBLE_EQ(untouched.drop_prob, 0.0);
+  EXPECT_EQ(untouched.seed, 1u);
+}
+
+TEST(Fault, EnvOverridesReachTheClusterWire) {
+  // The Cluster ctor applies the overrides before choosing its wire, so
+  // GRAVEL_FAULT_* alone turns a perfect-wire config faulty — and with the
+  // reliability layer on, the run still converges bit-exactly.
+  ASSERT_EQ(::setenv("GRAVEL_FAULT_DROP", "0.05", 1), 0);
+  ASSERT_EQ(::setenv("GRAVEL_FAULT_SEED", "9", 1), 0);
+  ClusterConfig c = base();
+  c.reliability = fastReliability();
+  const RunResult r = runWorkload(c);
+  ::unsetenv("GRAVEL_FAULT_DROP");
+  ::unsetenv("GRAVEL_FAULT_SEED");
+  EXPECT_EQ(r.heap, baseline().heap);
+  EXPECT_GT(r.stats.injected_drops, 0u);
+  EXPECT_GT(r.stats.retransmits, 0u);
+}
+
+// --- Graceful degradation (FailurePolicy::kDegrade) ------------------------
+
+net::ReliabilityConfig degradeReliability() {
+  net::ReliabilityConfig r = fastReliability();
+  r.policy = net::FailurePolicy::kDegrade;
+  return r;
+}
+
+TEST(Degrade, FailFastLeavesBreakerMachineryInert) {
+  // Default policy: no membership, no dead letters, breaker counters zero —
+  // the degradation layer must be invisible until asked for.
+  ClusterConfig c = base();
+  c.reliability.enabled = true;
+  Cluster cluster(c);
+  EXPECT_EQ(cluster.membership(), nullptr);
+  EXPECT_EQ(cluster.deadLetters(), nullptr);
+  auto slot = cluster.alloc<std::uint64_t>(1);
+  cluster.launchAll(32, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+    cluster.node(n).shmemInc(wi, (n + 1) % kNodes, slot.at(0));
+  });
+  const ClusterRunStats s = cluster.runStats();
+  EXPECT_EQ(s.breaker_trips, 0u);
+  EXPECT_EQ(s.probes, 0u);
+  EXPECT_EQ(s.stale_data_drops, 0u);
+  EXPECT_EQ(s.stale_ack_drops, 0u);
+  EXPECT_FALSE(s.degraded.degraded());
+  EXPECT_EQ(s.net_resolved, s.net_messages);
+}
+
+TEST(Degrade, CrashedNodeCompletesQuietWithExactAccounting) {
+  // The acceptance scenario: lose 1 of 8 nodes, finish the run degraded.
+  ClusterConfig c = base();
+  c.nodes = 8;
+  c.reliability = degradeReliability();
+  Cluster cluster(c);
+  auto slots = cluster.alloc<std::uint64_t>(16);
+  // Phase 1: everyone alive, ring traffic, clean quiet.
+  cluster.launchAll(64, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+    cluster.node(n).shmemInc(wi, (n + 1) % 8, slots.at(n));
+  });
+  const ClusterRunStats healthy = cluster.runStats();
+  EXPECT_FALSE(healthy.degraded.degraded());
+  EXPECT_EQ(healthy.net_resolved, healthy.net_messages);
+
+  cluster.crashNode(7);
+  cluster.resetStats();
+  // Phase 2: each survivor sends one message per work-item into the dead
+  // node and one to a live neighbor. quiet() completes degraded instead of
+  // throwing, and every message is accounted: the live half resolves, the
+  // dead half dead-letters, nothing is silently lost.
+  cluster.launchAll(64, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+    const bool live = n != 7;
+    cluster.node(n).shmemInc(wi, 7, slots.at(8), live);
+    cluster.node(n).shmemInc(wi, (n + 1) % 7, slots.at(9 + n), live);
+  });
+  const ClusterRunStats s = cluster.runStats();
+  ASSERT_EQ(s.degraded.dead_nodes.size(), 1u);
+  EXPECT_EQ(s.degraded.dead_nodes[0].node, 7u);
+  EXPECT_EQ(s.degraded.dead_nodes[0].epoch, 0u);
+  EXPECT_EQ(s.degraded.dead_lettered, 7u * 64u);  // exact: all traffic to 7
+  EXPECT_EQ(s.degraded.rejected, 0u);
+  EXPECT_EQ(s.degraded.evicted, 0u);
+  EXPECT_EQ(s.net_resolved + s.degraded.dead_lettered, s.net_messages);
+  // The live half really landed; the dead node's heap was never touched.
+  for (std::uint32_t n = 0; n < 7; ++n)
+    EXPECT_EQ(cluster.node((n + 1) % 7).heap().loadU64(slots.at(9 + n)), 64u);
+  EXPECT_EQ(cluster.node(7).heap().loadU64(slots.at(8)), 0u);
+}
+
+TEST(Degrade, PartitionTripsBreakerAndQuietCompletes) {
+  // The exact setup that makes fail_fast throw LinkFailureError — under
+  // degrade the breaker trips, the loss is accounted and quiet() returns.
+  ClusterConfig c = base();
+  c.fault.seed = 13;
+  c.fault.partitions.push_back(
+      {0, 1, std::chrono::microseconds(0), std::chrono::seconds(30)});
+  c.reliability = degradeReliability();
+  c.reliability.rto_base = std::chrono::microseconds(200);
+  c.reliability.rto_max = std::chrono::microseconds(1000);
+  c.reliability.max_retries = 4;
+  c.reliability.breaker_cooldown = std::chrono::milliseconds(1);
+  Cluster cluster(c);
+  auto slot = cluster.alloc<std::uint64_t>(1);
+  cluster.launchAll(32, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+    cluster.node(n).shmemInc(wi, 1, slot.at(0), n == 0);
+  });
+  const ClusterRunStats s = cluster.runStats();
+  EXPECT_GE(s.breaker_trips, 1u);
+  bool found01 = false;
+  for (const auto& tl : s.degraded.tripped_links)
+    found01 = found01 || (tl.src == 0 && tl.dst == 1);
+  EXPECT_TRUE(found01);
+  EXPECT_GE(s.degraded.dead_lettered, 1u);
+  EXPECT_TRUE(s.degraded.degraded());
+  EXPECT_EQ(s.net_resolved + s.degraded.dead_lettered, s.net_messages);
+}
+
+TEST(Degrade, RestartRedeliversDeadLettersUnderNewEpoch) {
+  ClusterConfig c = base();
+  c.reliability = degradeReliability();
+  Cluster cluster(c);
+  auto slot = cluster.alloc<std::uint64_t>(1);
+  cluster.start();
+  cluster.crashNode(1);
+  cluster.resetStats();
+  cluster.launchAll(64, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+    cluster.node(n).shmemInc(wi, 1, slot.at(0), n == 0);
+  });
+  ClusterRunStats s = cluster.runStats();
+  EXPECT_EQ(s.degraded.dead_lettered, 64u);
+  EXPECT_EQ(s.degraded.redelivered, 0u);
+  EXPECT_EQ(cluster.node(1).heap().loadU64(slot.at(0)), 0u);
+
+  cluster.restartNode(1);
+  cluster.quiet();  // drain the redelivery
+  s = cluster.runStats();
+  EXPECT_EQ(s.degraded.redelivered, 64u);
+  EXPECT_EQ(s.degraded.dead_lettered, 64u);
+  EXPECT_TRUE(s.degraded.dead_nodes.empty());
+  // Redelivered messages count as sent again, so conservation still closes.
+  EXPECT_EQ(s.net_resolved + s.degraded.dead_lettered, s.net_messages);
+  EXPECT_EQ(cluster.node(1).heap().loadU64(slot.at(0)), 64u);
+  ASSERT_NE(cluster.membership(), nullptr);
+  EXPECT_EQ(cluster.membership()->epoch(1), 1u);
+  EXPECT_FALSE(cluster.membership()->dead(1));
+  // The redelivery's ACK progress reconfirms the node (recovered -> alive);
+  // give the last in-flight ACK a moment to land.
+  const auto until = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (cluster.membership()->health(1) != NodeHealth::kAlive &&
+         std::chrono::steady_clock::now() < until)
+    std::this_thread::yield();
+  EXPECT_EQ(cluster.membership()->health(1), NodeHealth::kAlive);
+}
+
+TEST(Degrade, StaleEraWireTrafficIsRejectedAfterRestart) {
+  // Fabric-level determinism: drive ReliableFabric directly so the stale
+  // frame's rejection is provable, not probabilistic.
+  net::PerfectFabric wire(2);
+  Membership members(2);
+  net::DeadLetterQueue dlq(2, 64);
+  net::ReliabilityConfig rc;
+  rc.enabled = true;
+  rc.policy = net::FailurePolicy::kDegrade;
+  net::ReliableFabric rel(wire, rc);
+  rel.attachDegrade(&members, &dlq);
+
+  // A frame of the first incarnation is on the wire when the node dies.
+  rel.send(0, 1, {NetMessage::put(1, 0, 7)});
+  EXPECT_EQ(rel.pendingCount(), 1u);
+  ASSERT_TRUE(members.declareDead(1, "test crash"));
+  rel.exciseNode(1, /*receiverStopped=*/true);
+  EXPECT_EQ(rel.pendingCount(), 0u);
+  EXPECT_EQ(dlq.stats().dead_lettered, 1u);  // the owed copy is accounted
+  ASSERT_TRUE(members.restart(1, "test restart"));
+  rel.resetNode(1);
+  EXPECT_EQ(members.epoch(1), 1u);
+
+  // The era-0 data frame must be rejected, not applied under the new epoch.
+  net::Delivery d;
+  EXPECT_FALSE(rel.tryReceive(1, d));
+  EXPECT_EQ(rel.reliabilityStats().stale_data_drops, 1u);
+
+  // A stale ACK must not erase the new incarnation's unacked state.
+  rel.send(0, 1, {NetMessage::put(1, 8, 9)});  // seq 1 under the new era
+  wire.send(1, 0, {NetMessage::control(0, ControlKind::kAck, 0, 1, 0, 0)});
+  EXPECT_FALSE(rel.tryReceive(0, d));  // absorbs (and rejects) the stale ACK
+  EXPECT_EQ(rel.reliabilityStats().stale_ack_drops, 1u);
+  EXPECT_EQ(rel.pendingCount(), 1u);  // still owed
+
+  // Redelivery pays the dead-lettered batch back under the new era; both
+  // current-era messages arrive exactly once.
+  rel.redeliver(1);
+  EXPECT_EQ(dlq.stats().stored, 0u);
+  std::uint64_t puts = 0;
+  while (rel.tryReceive(1, d)) {
+    for (const NetMessage& m : d.messages)
+      if (m.command() == Command::kPut) ++puts;
+    rel.markResolved(1, d);
+  }
+  EXPECT_EQ(puts, 2u);
+  while (rel.tryReceive(0, d)) {
+  }  // drain ACKs back to the sender
+  EXPECT_TRUE(rel.quiescent());
+  EXPECT_EQ(dlq.stats().redelivered, 1u);
+  EXPECT_EQ(rel.reliabilityStats().stale_data_drops, 1u);  // no new ones
+}
+
+TEST(Degrade, AdmissionControlRejectsWhenDeadDestinationDlqIsFull) {
+  ClusterConfig c = base();
+  c.reliability = degradeReliability();
+  c.reliability.dlq_capacity = 4;
+  Cluster cluster(c);
+  auto slot = cluster.alloc<std::uint64_t>(1);
+  cluster.start();
+  cluster.crashNode(1);
+  cluster.resetStats();
+  // Phase A fills the dead destination's bounded store. How the 16 ops
+  // split between dead-letter and enqueue rejection depends on aggregator
+  // timing, but the split itself must be exact and the store must saturate
+  // at its bound.
+  cluster.launchAll(16, 16, [&](std::uint32_t n, simt::WorkItem& wi) {
+    cluster.node(n).shmemInc(wi, 1, slot.at(0), n == 0);
+  });
+  const ClusterRunStats a = cluster.runStats();
+  EXPECT_EQ(a.degraded.dead_lettered + a.degraded.rejected, 16u);
+  EXPECT_GE(a.degraded.dead_lettered, 4u);
+  EXPECT_EQ(cluster.deadLetters()->storedFor(1), 4u);
+  EXPECT_EQ(a.net_resolved + a.degraded.dead_lettered, a.net_messages);
+
+  cluster.resetStats();
+  // Phase B: the store is full, so every further op toward the dead node is
+  // refused at enqueue — pushback, not an unbounded queue.
+  cluster.launchAll(16, 16, [&](std::uint32_t n, simt::WorkItem& wi) {
+    cluster.node(n).shmemInc(wi, 1, slot.at(0), n == 0);
+  });
+  const ClusterRunStats b = cluster.runStats();
+  EXPECT_EQ(b.degraded.rejected, 16u);
+  EXPECT_EQ(b.degraded.dead_lettered, 0u);
+  EXPECT_EQ(b.net_messages, 0u);
+  EXPECT_EQ(cluster.deadLetters()->storedFor(1), 4u);
+}
+
+TEST(Degrade, QuietDeadlinePostMortemSeparatesExcisionFromStall) {
+  // A dead node's silence is by design; a live link's stall is the actual
+  // problem. The deadline post-mortem must not conflate the two.
+  ClusterConfig c = base();
+  c.fault.seed = 17;
+  c.fault.partitions.push_back(
+      {0, 2, std::chrono::microseconds(0), std::chrono::seconds(60)});
+  c.reliability = degradeReliability();
+  c.reliability.max_retries = 1000000;  // the stalled link never trips
+  c.quiet_deadline = std::chrono::milliseconds(1500);
+  Cluster cluster(c);
+  auto slot = cluster.alloc<std::uint64_t>(1);
+  cluster.start();
+  cluster.crashNode(3);
+  try {
+    cluster.launchAll(32, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+      cluster.node(n).shmemInc(wi, 2, slot.at(0), n == 0);
+    });
+    FAIL() << "quiet() should have hit its deadline";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quiet deadline"), std::string::npos) << what;
+    // The live stalled link is reported as a stall...
+    EXPECT_NE(what.find("stalled link=0->2"), std::string::npos) << what;
+    // ...while the excised node is explicitly a different situation.
+    EXPECT_NE(what.find("node 3 excised by failure policy (dead, epoch 0)"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(Degrade, FlightRecorderCarriesHealthBreakersAndDeadLetters) {
+  ClusterConfig c = base();
+  c.reliability = degradeReliability();
+  Cluster cluster(c);
+  cluster.start();
+  cluster.crashNode(2);
+  std::ostringstream os;
+  cluster.writeFlightRecorder(os, "chaos-inspection");
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"health\""), std::string::npos);
+  EXPECT_NE(json.find("\"dead\""), std::string::npos);
+  EXPECT_NE(json.find("\"breakers\""), std::string::npos);
+  EXPECT_NE(json.find("\"dead_letter\""), std::string::npos);
 }
 
 }  // namespace

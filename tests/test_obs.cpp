@@ -735,6 +735,29 @@ TEST(Watchdog, DiagnosesBackpressureAndStalledLinkWithSeqRange) {
   EXPECT_NE(os.str().find("\"kind\":\"stalled-link\""), std::string::npos);
 }
 
+// A stalled-link diagnosis under the degrade policy names the breaker state
+// and the destination's membership epoch — a reader of the post-mortem can
+// tell "link excised and dead-lettering" from "link merely slow" without
+// cross-referencing cluster stats.
+TEST(Watchdog, StalledLinkDiagnosisCarriesBreakerAndEpoch) {
+  obs::Watchdog wd(fastWatchdog());
+  obs::WatchdogSample s;
+  s.now_ns = 30'000'000;
+  s.links = {{0, 1, 3, 7, 10, 2, 15'000'000, 1, 4}};  // breaker open, epoch 4
+  wd.observe(s);
+  ASSERT_EQ(wd.diagnoses().size(), 1u);
+
+  const std::string desc = wd.describe();
+  EXPECT_NE(desc.find("breaker open"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("dest epoch 4"), std::string::npos) << desc;
+
+  std::ostringstream os;
+  obs::writeWatchdogJson(os, wd);
+  EXPECT_TRUE(jsonBalanced(os.str()));
+  EXPECT_NE(os.str().find("\"breaker\":\"open\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"epoch\":4"), std::string::npos);
+}
+
 TEST(Watchdog, DiagnosisTableOverflowIsCountedNotGrown) {
   obs::WatchdogConfig wc = fastWatchdog();
   wc.max_diagnoses = 2;

@@ -92,6 +92,26 @@ TEST(VerifyDfs, SlotRoutedAggregation) {
   EXPECT_TRUE(r.exhausted) << "schedule budget too small: " << r.schedules;
 }
 
+// Circuit-breaker trip racing in-flight delivery/ACK traffic (PR 6): the
+// poller may trip the link at any point relative to admission and the ACK;
+// whatever the schedule picks, the payload applies exactly once and the
+// dead-letter conservation invariant closes.
+TEST(VerifyDfs, BreakerTripRecover) {
+  const ExploreResult r = breakerTripRecover(dfs("dfs_breakertrip", 1, 400000));
+  EXPECT_TRUE(r.ok) << r.report("breakerTripRecover");
+  EXPECT_TRUE(r.exhausted) << "schedule budget too small: " << r.schedules;
+}
+
+// Half-open probe protocol with a deterministic setup-phase trip: the stale
+// era-0 frame must be provably rejected, and the probe must walk the breaker
+// open -> half-open -> closed and clear the membership suspicion.
+TEST(VerifyDfs, BreakerHalfOpenProbe) {
+  const ExploreResult r =
+      breakerHalfOpenProbe(dfs("dfs_breakerprobe", 2, 400000));
+  EXPECT_TRUE(r.ok) << r.report("breakerHalfOpenProbe");
+  EXPECT_TRUE(r.exhausted) << "schedule budget too small: " << r.schedules;
+}
+
 // PCT randomized-priority smoke runs: cheap probabilistic coverage beyond
 // the DFS preemption bound. Seeded deterministically inside explore().
 TEST(VerifyPct, SlotRoutedAggregation) {
@@ -113,6 +133,16 @@ TEST(VerifyPct, MpmcRoundTrip) {
 TEST(VerifyPct, ReliableDropRetransmit) {
   const ExploreResult r = reliableDropRetransmit(pct("pct_reldrop", 200));
   EXPECT_TRUE(r.ok) << r.report("reliableDropRetransmit[pct]");
+}
+
+TEST(VerifyPct, BreakerTripRecover) {
+  const ExploreResult r = breakerTripRecover(pct("pct_breakertrip", 200));
+  EXPECT_TRUE(r.ok) << r.report("breakerTripRecover[pct]");
+}
+
+TEST(VerifyPct, BreakerHalfOpenProbe) {
+  const ExploreResult r = breakerHalfOpenProbe(pct("pct_breakerprobe", 200));
+  EXPECT_TRUE(r.ok) << r.report("breakerHalfOpenProbe[pct]");
 }
 
 }  // namespace

@@ -70,9 +70,9 @@ const MutationRow kMatrix[] = {
     // Reliable layer: the ACK path's outstanding-counter decrement and the
     // quiescent() read that consumers use as a "all settled" barrier.
     {"reliableQuiescentVisibility", &reliableQuiescentVisibility, 1,
-     "reliable.hpp", 392, "release"},
+     "reliable.hpp", 641, "release"},
     {"reliableQuiescentVisibility", &reliableQuiescentVisibility, 1,
-     "reliable.hpp", 191, "acquire"},
+     "reliable.hpp", 314, "acquire"},
 };
 // clang-format on
 

@@ -578,4 +578,182 @@ inline ExploreResult slotRoutedAggregation(const ExploreOptions& opts) {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Degrade-policy configuration for the breaker scenarios: rto 0 keeps
+// retransmit eligibility time-independent (as above), and max_retries 0
+// means the first poll() that finds an unacked batch trips the link — so
+// whether a trip happens at all is decided purely by the schedule (did the
+// ACK win the race to the sender before the poll?), which is exactly the
+// nondeterminism the checker should own.
+inline net::ReliabilityConfig breakerRelConfig() {
+  net::ReliabilityConfig cfg = boundedRelConfig();
+  cfg.policy = net::FailurePolicy::kDegrade;
+  cfg.max_retries = 0;
+  cfg.breaker_cooldown = std::chrono::milliseconds{0};  // probes always legal
+  cfg.dlq_capacity = 8;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Circuit-breaker trip racing in-flight traffic: sender S ships one payload,
+// a separate poller P may trip the link (retry budget 0) at any point
+// relative to R's admission and the returning ACK, and S redelivers whatever
+// was dead-lettered. Depending on the interleaving the batch is (a) ACKed
+// before the trip, (b) settled as delivered at re-sync (admitted but the
+// stale-era ACK suppressed), or (c) dead-lettered and paid back through a
+// half-open probe under the new era. In every case the payload must apply
+// exactly once and the conservation invariant delivered + dead_lettered ==
+// sent must close.
+inline ExploreResult breakerTripRecover(const ExploreOptions& opts) {
+  return verify::explore(opts, [] {
+    struct State {
+      ScriptedWire wire{2, 0, false};  // perfect wire; the breaker is the foe
+      rt::Membership members{2};
+      net::DeadLetterQueue dlq{2, 8};
+      net::ReliableFabric rel{wire, breakerRelConfig()};
+      atomic<bool> senderDone{false};
+      std::uint64_t result = 0;
+      int applied = 0;  // receiver-thread-private application count
+      State() { rel.attachDegrade(&members, &dlq); }
+    };
+    auto st = std::make_shared<State>();
+
+    RunSpec spec;
+    spec.threads.push_back([st] {  // S: sender + recovery manager
+      st->rel.send(0, 1, {rt::NetMessage::put(1, 0, 7)});
+      net::Delivery d;
+      for (;;) {
+        const bool got = st->rel.tryReceive(0, d);  // absorbs ACKs
+        // Pay back a dead-lettered batch (at most once: P polls once, so
+        // the redelivered probe itself can never be tripped again).
+        if (st->dlq.stats().stored > 0) st->rel.redeliver(1);
+        if (st->rel.quiescent() && st->dlq.stats().stored == 0) break;
+        if (!got) verify::spinYield();
+      }
+      st->senderDone.store(true, std::memory_order_release);
+    });
+    spec.threads.push_back([st] {  // P: one retransmit scan — the trip race
+      st->rel.poll(0);
+    });
+    spec.threads.push_back([st] {  // R: node 1's network thread
+      net::Delivery d;
+      while (!st->senderDone.load(std::memory_order_acquire)) {
+        if (!st->rel.tryReceive(1, d)) {
+          verify::spinYield();
+          continue;
+        }
+        for (const rt::NetMessage& m : d.messages)
+          if (m.command() == rt::Command::kPut) {
+            ++st->applied;
+            verify::dataStore(&st->result);
+            st->result = m.value;
+          }
+        st->rel.markResolved(1, d);
+      }
+    });
+    spec.finalCheck = [st]() -> std::string {
+      if (st->applied > 1)
+        return "payload applied " + std::to_string(st->applied) +
+               " times across the trip/recovery (want at most once)";
+      if (st->applied == 1 && st->result != 7) return "payload corrupt";
+      if (!st->rel.quiescent()) return "cluster never quiesced";
+      const net::DeadLetterStats d = st->dlq.stats();
+      const std::uint64_t sent = st->rel.total().messages;
+      if (std::uint64_t(st->applied) + d.dead_lettered != sent)
+        return "conservation broken: applied " + std::to_string(st->applied) +
+               " + dead_lettered " + std::to_string(d.dead_lettered) +
+               " != sent " + std::to_string(sent);
+      if (d.redelivered > 0 && st->applied != 1)
+        return "redelivered batch never applied";
+      if (st->members.dead(0) || st->members.dead(1))
+        return "a single link trip must not kill a node (suspect at most)";
+      return "";
+    };
+    return spec;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Half-open probe protocol, with the trip made deterministic in the setup
+// phase: the era-0 data frame is still sitting in the receiver's wire inbox
+// when the link re-syncs, so the new incarnation must provably reject it
+// (stale_data_drops == 1 — a frame from before the trip can never apply
+// under the new era). Recovery then walks the full breaker state machine:
+// open -> half-open (the redelivered batch rides as the probe) -> closed on
+// the probe's ACK, which also clears the membership suspicion.
+inline ExploreResult breakerHalfOpenProbe(const ExploreOptions& opts) {
+  return verify::explore(opts, [] {
+    struct State {
+      ScriptedWire wire{2, 0, false};
+      rt::Membership members{2};
+      net::DeadLetterQueue dlq{2, 8};
+      net::ReliableFabric rel{wire, breakerRelConfig()};
+      atomic<bool> senderDone{false};
+      std::uint64_t result = 0;
+      int applied = 0;
+      State() { rel.attachDegrade(&members, &dlq); }
+    };
+    auto st = std::make_shared<State>();
+
+    // Setup phase (no schedule points registered yet): send, then trip. The
+    // era-0 frame is on the wire, its sender-side copy is dead-lettered,
+    // the breaker is open and node 1 is suspect.
+    st->rel.send(0, 1, {rt::NetMessage::put(1, 0, 7)});
+    st->rel.poll(0);  // retry budget 0: trips link 0->1 deterministically
+
+    RunSpec spec;
+    spec.threads.push_back([st] {  // S: redeliver (the probe), drain the ACK
+      st->rel.redeliver(1);
+      net::Delivery d;
+      while (!st->rel.quiescent())
+        if (!st->rel.tryReceive(0, d)) verify::spinYield();
+      st->senderDone.store(true, std::memory_order_release);
+    });
+    spec.threads.push_back([st] {  // R: sees the stale frame, then the probe
+      net::Delivery d;
+      while (!st->senderDone.load(std::memory_order_acquire)) {
+        if (!st->rel.tryReceive(1, d)) {
+          verify::spinYield();
+          continue;
+        }
+        for (const rt::NetMessage& m : d.messages)
+          if (m.command() == rt::Command::kPut) {
+            ++st->applied;
+            verify::dataStore(&st->result);
+            st->result = m.value;
+          }
+        st->rel.markResolved(1, d);
+      }
+    });
+    spec.finalCheck = [st]() -> std::string {
+      if (st->applied != 1)
+        return "payload applied " + std::to_string(st->applied) +
+               " times (want exactly once through the probe)";
+      if (st->result != 7) return "payload corrupt";
+      if (!st->rel.quiescent()) return "cluster never quiesced";
+      const net::ReliabilityStats rs = st->rel.reliabilityStats();
+      if (rs.breaker_trips != 1)
+        return "expected exactly one breaker trip, saw " +
+               std::to_string(rs.breaker_trips);
+      if (rs.probes != 1)
+        return "expected exactly one half-open probe, saw " +
+               std::to_string(rs.probes);
+      if (rs.stale_data_drops != 1)
+        return "stale era-0 frame was not provably rejected (drops " +
+               std::to_string(rs.stale_data_drops) + ")";
+      const net::DeadLetterStats d = st->dlq.stats();
+      if (d.dead_lettered != 1 || d.redelivered != 1 || d.stored != 0)
+        return "dead-letter accounting wrong: lettered " +
+               std::to_string(d.dead_lettered) + ", redelivered " +
+               std::to_string(d.redelivered) + ", stored " +
+               std::to_string(d.stored);
+      if (st->members.health(1) != rt::NodeHealth::kAlive)
+        return "probe ACK did not clear the suspicion (health " +
+               std::string(rt::nodeHealthName(st->members.health(1))) + ")";
+      return "";
+    };
+    return spec;
+  });
+}
+
 }  // namespace gravel::vtests
