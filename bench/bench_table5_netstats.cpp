@@ -69,6 +69,12 @@ int main() {
       json.cell("lat_p99_ns_" + obs::transitionLabel(t),
                 run.report.stats.lat_stage_p99_ns[t]);
     }
+    // Serving-oriented time-series columns (schema v3): collection windows
+    // taken plus the sustained (median-window) and peak message rates —
+    // what the open-loop SLO harness will regress against.
+    json.cell("ts_windows", double(run.report.stats.ts_windows));
+    json.cell("ts_msgs_per_s_p50", run.report.stats.ts_msgs_per_s_p50);
+    json.cell("ts_msgs_per_s_peak", run.report.stats.ts_msgs_per_s_peak);
     json.cell("validated", run.report.validated ? 1.0 : 0.0);
     table.addRow({name,
                   TextTable::num(100.0 * run.report.stats.remoteFraction(), 1),

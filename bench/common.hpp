@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -94,6 +95,12 @@ inline rt::ClusterConfig benchCluster(std::uint32_t nodes,
     // the record sites inside the counters' noise floor.
     c.obs.enabled = true;
     c.obs.sample_interval = 16;
+    // Windowed time-series collection backs the serving-oriented ts_*
+    // columns (schema v3): sustained vs. peak per-window message rate. A
+    // 50 ms cadence resolves the short bench runs; collection rides the
+    // monitor thread, off every hot path.
+    c.timeseries.enabled = true;
+    c.timeseries.period = std::chrono::milliseconds(50);
   }
   return c;  // Table 3 defaults otherwise (256-lane WGs, 1 MB queue, ...)
 }

@@ -12,10 +12,10 @@ bench-specific invariants — including the slot-batched aggregator's
 lock-discipline guarantee (lock acquisitions per slot <= distinct
 destinations per slot; see DESIGN.md section 9).
 
-Summary schema (schema_version 2; version-1 files still validate):
+Summary schema (schema_version 3; version-1/2 files still validate):
 
   {
-    "schema_version": 2,
+    "schema_version": 3,
     "bench": "fig8",                  # harness name
     "source": "fig8_queue_tput",      # BenchJson name / binary suffix
     "generated_by": "bench/run_benches.py",
@@ -34,9 +34,11 @@ Schema v2 adds per-stage latency-attribution columns to table5 rows
 (sourced from the obs latency engine, nanoseconds): lat_samples,
 lat_e2e_p50_ns / lat_e2e_p99_ns, and a lat_p50_ns_<transition> /
 lat_p99_ns_<transition> pair for each pipeline transition
-(enqueue_to_aggregate ... deliver_to_resolve). The reader is
-backward-compatible: --check accepts v1 files and skips the v2-only
-requirements.
+(enqueue_to_aggregate ... deliver_to_resolve). Schema v3 adds the
+serving-oriented time-series columns (windowed collector, src/obs/
+timeseries.hpp): ts_windows, ts_msgs_per_s_p50, ts_msgs_per_s_peak. The
+reader is backward-compatible: --check accepts v1/v2 files and skips the
+newer-version requirements.
 
 Modes:
   (default)       full-size run, 3 repeats
@@ -55,9 +57,9 @@ import sys
 import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 # Versions --check still accepts; new summaries are always SCHEMA_VERSION.
-ACCEPTED_SCHEMA_VERSIONS = {1, 2}
+ACCEPTED_SCHEMA_VERSIONS = {1, 2, 3}
 
 # Pipeline transitions the latency-attribution engine reports, matching
 # obs::transitionLabel (src/obs/latency.hpp).
@@ -306,6 +308,8 @@ def validate_table5(doc):
             "agg_locks_per_slot", "agg_dests_per_slot")
         if doc["schema_version"] >= 2:
             validate_table5_latency(row, i)
+        if doc["schema_version"] >= 3:
+            validate_table5_timeseries(row, i)
 
 
 def validate_table5_latency(row, i):
@@ -322,6 +326,21 @@ def validate_table5_latency(row, i):
         require(p99 + FLOAT_TOL >= p50,
                 f"{where}: {p99_key} = {p99} < {p50_key} = {p50} "
                 "(quantiles out of order)")
+
+
+def validate_table5_timeseries(row, i):
+    """Schema-v3 serving columns: the windowed collector really collected,
+    and the rate roll-up is internally consistent (peak >= sustained >= 0)."""
+    where = f"table5 row {i} ({row.get('workload', '?')})"
+    require(cell_median(row, "ts_windows") >= 1,
+            f"{where}: time-series collector took no windows during a "
+            "traced bench run")
+    p50 = cell_median(row, "ts_msgs_per_s_p50")
+    peak = cell_median(row, "ts_msgs_per_s_peak")
+    require(p50 >= 0.0, f"{where}: ts_msgs_per_s_p50 = {p50} is negative")
+    require(peak + FLOAT_TOL >= p50,
+            f"{where}: ts_msgs_per_s_peak = {peak} < ts_msgs_per_s_p50 = "
+            f"{p50} (peak window slower than the median window)")
 
 
 VALIDATORS = {

@@ -11,11 +11,18 @@
 // dump next to the working directory. GRAVEL_TRACE_SAMPLE=N overrides the
 // sampling interval (1 traces every message); GRAVEL_FLIGHTREC_DUMP=1
 // additionally writes gravel_flightrec.json on exit.
+//
+// Live telemetry: GRAVEL_STATUS_PORT=9464 serves /metrics (Prometheus) and
+// /status (JSON) while the run is up and implies GRAVEL_TIMESERIES=1 (the
+// windowed collector, dumped as gravel_timeseries.json at exit);
+// GRAVEL_HOLD_MS=N parks the quiescent cluster for N ms after the workload
+// so the endpoints can be scraped.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string_view>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "runtime/cluster.hpp"
@@ -82,6 +89,22 @@ int main() {
     std::printf("metrics written      : gravel_metrics.json "
                 "(tools/latency_report.py names the bottleneck stage)\n");
     std::printf("watchdog written     : gravel_watchdog.json\n");
+  }
+
+  // GRAVEL_HOLD_MS=N keeps the (quiescent) cluster alive for N ms after
+  // the workload so a live scrape can reach the status server enabled by
+  // GRAVEL_STATUS_PORT — CI curls /metrics and /status inside this window;
+  // a human points tools/gravel_top.py at it (README "Watching a live
+  // run").
+  if (const char* hold = std::getenv("GRAVEL_HOLD_MS")) {
+    const long ms = std::atol(hold);
+    if (cluster.statusServer() != nullptr &&
+        cluster.statusServer()->running())
+      std::printf("status server        : http://127.0.0.1:%u/status "
+                  "(holding %ld ms)\n",
+                  unsigned(cluster.statusServer()->port()), ms);
+    std::fflush(stdout);
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
   }
   return total == 4ull * 64 * 1024 ? 0 : 1;
 }

@@ -109,6 +109,13 @@ class DeadLetterQueue {
     return storedPerDest_[dst];
   }
 
+  /// Every destination's stored depth under one lock acquisition — the
+  /// status endpoint's bulk view (storedFor() is the single-dest probe).
+  std::vector<std::uint64_t> storedPerDest() const {
+    std::scoped_lock lk(mutex_);
+    return storedPerDest_;
+  }
+
   void noteRejected(std::uint64_t n) {
     std::scoped_lock lk(mutex_);
     stats_.rejected += n;

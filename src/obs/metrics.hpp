@@ -117,7 +117,15 @@ class MetricsSnapshot {
 
   void toJson(std::ostream& os) const {
     JsonWriter w(os);
-    w.beginObject().key("metrics").beginArray();
+    w.beginObject().key("metrics");
+    writeMetricsArray(w);
+    w.endObject();
+  }
+
+  /// The metrics rows as a bare JSON array, for embedding into larger
+  /// documents (gravel_metrics.json, time-series windows, /status).
+  void writeMetricsArray(JsonWriter& w) const {
+    w.beginArray();
     for (const auto& [key, m] : metrics) {
       w.beginObject()
           .kv("name", key.first)
@@ -146,7 +154,7 @@ class MetricsSnapshot {
       }
       w.endObject();
     }
-    w.endArray().endObject();
+    w.endArray();
   }
 
   /// name,labels,kind,count,value,min,max — one row per metric.

@@ -133,14 +133,9 @@ class Aggregator {
   /// sampler-cadence only — takes each buffer's lock briefly).
   std::uint64_t bufferedMessages() { return router_.bufferedMessages(); }
 
-  /// Per-destination buffer fills, for depth histograms.
-  void sampleBufferFills(const std::function<void(std::uint32_t dst,
-                                                  std::uint64_t fill)>& fn) {
-    router_.sampleBufferFills(fn);
-  }
-
-  /// Nonempty per-destination buffers with fill and age, for the stall
-  /// watchdog's backpressure detector (sampler cadence only).
+  /// Nonempty per-destination buffers with fill and age — the monitor
+  /// thread's shared pipeline sample feeds depth histograms and the stall
+  /// watchdog's backpressure detector from one pass (sampler cadence only).
   void sampleBufferAges(
       const std::function<void(std::uint32_t dst, std::uint64_t fill,
                                std::uint64_t age_ns)>& fn) {

@@ -2,17 +2,37 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/backoff.hpp"
 #include "common/error.hpp"
 #include "obs/trace_export.hpp"
 
 namespace gravel::rt {
+
+namespace {
+
+std::uint64_t wallClockMs() {
+  return std::uint64_t(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+bool envTruthy(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+}  // namespace
 
 Cluster::Cluster(const ClusterConfig& config)
     : config_(config),
@@ -30,6 +50,22 @@ Cluster::Cluster(const ClusterConfig& config)
   // cluster whose compiled-in config is fault-free, so apply them before
   // choosing the wire.
   config_.fault.applyEnvOverrides();
+  // Live-telemetry overrides (README "Watching a live run"): the same
+  // binary becomes watchable without a recompile. GRAVEL_STATUS_PORT
+  // implies the collector — gravel-top's rate columns come from windows.
+  if (envTruthy("GRAVEL_TIMESERIES")) config_.timeseries.enabled = true;
+  if (const char* env = std::getenv("GRAVEL_TIMESERIES_PERIOD_MS")) {
+    const long ms = std::atol(env);
+    if (ms > 0) config_.timeseries.period = std::chrono::milliseconds(ms);
+  }
+  if (const char* env = std::getenv("GRAVEL_STATUS_PORT")) {
+    const long port = std::atol(env);
+    if (port >= 0 && port <= 65535) {
+      config_.status_server.enabled = true;
+      config_.status_server.port = std::uint16_t(port);
+      config_.timeseries.enabled = true;
+    }
+  }
   if (config_.fault.active())
     wire_ = std::make_unique<net::FaultyFabric>(config_.nodes, config_.fault);
   else
@@ -60,11 +96,34 @@ Cluster::Cluster(const ClusterConfig& config)
     if (membership_) nodes_.back()->attachAdmission(membership_.get(),
                                                     dlq_.get());
   }
+  if (config_.timeseries.enabled)
+    timeseries_ = std::make_unique<obs::TimeSeries>(config_.timeseries);
+  if (config_.status_server.enabled) {
+    statusServer_ = std::make_unique<obs::StatusServer>(
+        config_.status_server,
+        [this](const std::string& path) { return handleStatusRequest(path); });
+    // Telemetry must never take down the workload: a failed bind logs and
+    // the run continues without the endpoint.
+    if (!statusServer_->start())
+      std::fprintf(stderr,
+                   "gravel: status server could not bind %s:%u; running "
+                   "without the live endpoint\n",
+                   config_.status_server.bind_address.c_str(),
+                   unsigned(config_.status_server.port));
+  }
 }
 
 Cluster::~Cluster() {
+  // The status server's handlers read cluster state; stop serving first.
+  if (statusServer_) statusServer_->stop();
   monitorStop_.store(true, std::memory_order_release);
   if (monitor_.joinable()) monitor_.join();
+  // Close the time-series with one final window so the exit artifact covers
+  // the run's tail even when the last cadence tick never fired.
+  if (timeseries_) {
+    collectWindow();
+    dumpTimeSeries();
+  }
   for (auto& n : nodes_) n->stopThreads();
   // Opt-in exit dump: GRAVEL_FLIGHTREC_DUMP=1 writes the flight record even
   // on clean shutdown (CI smoke uses this to validate the artifact).
@@ -83,7 +142,7 @@ void Cluster::ensureThreadsStarted() {
   if (threadsStarted_) return;
   for (auto& n : nodes_) n->startThreads();
   const bool gauges = tracer_.enabled() && config_.obs.gauge_period.count() > 0;
-  if (gauges || watchdog_ || membership_)
+  if (gauges || watchdog_ || membership_ || timeseries_)
     monitor_ = std::thread([this] { monitorLoop(); });
   threadsStarted_ = true;
 }
@@ -366,6 +425,23 @@ ClusterRunStats Cluster::runStats() const {
     s.lat_e2e_p99_ns = ls.e2e_p99_ns;
     s.lat_samples = ls.e2e_count;
   }
+
+  // Time-series roll-up: sustained (median-window) vs. peak message rate
+  // over the retained ring. Like the quantiles above, these are ring-
+  // lifetime values rather than windowed by resetStats().
+  if (timeseries_) {
+    const std::vector<obs::TimeSeriesWindow> wins = timeseries_->windows();
+    std::vector<double> rates;
+    rates.reserve(wins.size());
+    for (const obs::TimeSeriesWindow& w : wins)
+      if (w.seconds() > 0) rates.push_back(w.ratePerSec("fabric.messages"));
+    s.ts_windows = wins.size();
+    if (!rates.empty()) {
+      std::sort(rates.begin(), rates.end());
+      s.ts_msgs_per_s_p50 = rates[rates.size() / 2];
+      s.ts_msgs_per_s_peak = rates.back();
+    }
+  }
   return s;
 }
 
@@ -388,11 +464,16 @@ void Cluster::resetStats() {
 
 // --- observability ---------------------------------------------------------
 
-// One thread, up to three duties on independent cadences: gauge sampling +
-// online latency ingest (tracer cadence, config.obs.gauge_period), watchdog
-// sampling (config.watchdog.period) and the membership failure detector
-// (config.membership.probe_period, degrade policy only). Sleeps are capped
-// so a stop request is honoured promptly even under long cadences.
+// The run's ONE sampling thread, with up to four duties on independent
+// cadences: gauge sampling + online latency ingest (tracer cadence,
+// config.obs.gauge_period), watchdog sampling (config.watchdog.period), the
+// membership failure detector (config.membership.probe_period, degrade
+// policy only) and the time-series collector (config.timeseries.period).
+// The first three consume the same runtime surface — queue progress, buffer
+// fills/ages, link send states — so duties due on the same tick share one
+// pipeline sample instead of each re-reading the runtime on its own timer
+// (ISSUE 7 satellite: one sampler per run). Sleeps are capped so a stop
+// request is honoured promptly even under long cadences.
 void Cluster::monitorLoop() {
   using clock = std::chrono::steady_clock;
   tracer_.nameThread("monitor");
@@ -400,52 +481,46 @@ void Cluster::monitorLoop() {
   auto nextGauge = clock::now();
   auto nextWatch = clock::now();
   auto nextProbe = clock::now();
+  auto nextWindow = clock::now();
   while (!monitorStop_.load(std::memory_order_acquire)) {
     const auto now = clock::now();
-    if (gauges && now >= nextGauge) {
-      sampleGauges();
-      ingestLatency();
-      nextGauge = now + config_.obs.gauge_period;
+    const bool gaugeDue = gauges && now >= nextGauge;
+    const bool watchDue = watchdog_ && now >= nextWatch;
+    const bool probeDue = membership_ && now >= nextProbe;
+    if (gaugeDue || watchDue || probeDue) {
+      const obs::WatchdogSample s = samplePipeline();
+      if (gaugeDue) {
+        sampleGauges(s);
+        ingestLatency();
+        nextGauge = now + config_.obs.gauge_period;
+      }
+      if (watchDue) {
+        watchdog_->observe(s);
+        nextWatch = now + config_.watchdog.period;
+      }
+      if (probeDue) {
+        sampleMembership(s);
+        nextProbe = now + config_.membership.probe_period;
+      }
     }
-    if (watchdog_ && now >= nextWatch) {
-      sampleWatchdog();
-      nextWatch = now + config_.watchdog.period;
-    }
-    if (membership_ && now >= nextProbe) {
-      sampleMembership();
-      nextProbe = now + config_.membership.probe_period;
+    if (timeseries_ && now >= nextWindow) {
+      collectWindow();
+      nextWindow = now + config_.timeseries.period;
     }
     auto wake = clock::time_point::max();
     if (gauges) wake = std::min(wake, nextGauge);
     if (watchdog_) wake = std::min(wake, nextWatch);
     if (membership_) wake = std::min(wake, nextProbe);
+    if (timeseries_) wake = std::min(wake, nextWindow);
     const auto cap = clock::now() + std::chrono::milliseconds(10);
     std::this_thread::sleep_until(std::min(wake, cap));
   }
 }
 
-// The stall-driven half of the failure detector: a link that has made no
-// cumulative-ACK progress for membership.suspect_after marks its
-// *destination* suspect. Suspicion alone never kills — the circuit breaker
-// corroborates it when the same link's retry budget exhausts (tripLink), and
-// ACK progress clears it (applyAck). A dead source's view does not vote.
-void Cluster::sampleMembership() {
-  const auto threshold =
-      std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        config_.membership.suspect_after)
-                        .count());
-  for (const auto& ls : reliable_->sendStates()) {
-    if (ls.stalled_ns < threshold) continue;
-    if (membership_->dead(ls.src) || membership_->dead(ls.dst)) continue;
-    membership_->suspect(ls.dst, "link " + std::to_string(ls.src) + "->" +
-                                     std::to_string(ls.dst) +
-                                     " made no ACK progress for " +
-                                     std::to_string(ls.stalled_ns / 1000000) +
-                                     " ms");
-  }
-}
-
-void Cluster::sampleWatchdog() {
+// One pass over the pipeline's sampling surface — GPU-queue progress,
+// nonempty aggregation buffers (fill + age), reliable-link send states —
+// shared by every monitor duty due on the same tick.
+obs::WatchdogSample Cluster::samplePipeline() {
   obs::WatchdogSample s;
   s.now_ns = tracer_.nowNs();
   s.queues.reserve(config_.nodes);
@@ -465,7 +540,28 @@ void Cluster::sampleWatchdog() {
                          std::uint8_t(ls.breaker),
                          membership_ ? membership_->epoch(ls.dst) : 0});
   }
-  watchdog_->observe(s);
+  return s;
+}
+
+// The stall-driven half of the failure detector: a link that has made no
+// cumulative-ACK progress for membership.suspect_after marks its
+// *destination* suspect. Suspicion alone never kills — the circuit breaker
+// corroborates it when the same link's retry budget exhausts (tripLink), and
+// ACK progress clears it (applyAck). A dead source's view does not vote.
+void Cluster::sampleMembership(const obs::WatchdogSample& s) {
+  const auto threshold =
+      std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        config_.membership.suspect_after)
+                        .count());
+  for (const obs::LinkSample& ls : s.links) {
+    if (ls.stalled_ns < threshold) continue;
+    if (membership_->dead(ls.src) || membership_->dead(ls.dst)) continue;
+    membership_->suspect(ls.dst, "link " + std::to_string(ls.src) + "->" +
+                                     std::to_string(ls.dst) +
+                                     " made no ACK progress for " +
+                                     std::to_string(ls.stalled_ns / 1000000) +
+                                     " ms");
+  }
 }
 
 void Cluster::ingestLatency() {
@@ -473,29 +569,29 @@ void Cluster::ingestLatency() {
   latency_.ingest(tracer_);
 }
 
-void Cluster::sampleGauges() {
-  for (std::uint32_t i = 0; i < config_.nodes; ++i) {
-    const std::string node = "node=" + std::to_string(i);
-    NodeRuntime& n = *nodes_[i];
+void Cluster::sampleGauges(const obs::WatchdogSample& s) {
+  // Per-destination aggregation buffer fills (the shared sample lists
+  // nonempty buffers only), rolled up per node for the fill gauge.
+  std::vector<std::uint64_t> buffered(config_.nodes, 0);
+  for (const obs::BufferSample& b : s.buffers) {
+    buffered[b.node] += b.fill;
+    metrics_.observeHistogram("agg.buffer_fill",
+                              "node=" + std::to_string(b.node), b.fill);
+  }
+  for (const obs::QueueSample& q : s.queues) {
     // Gravel-queue slots reserved by producers but not yet routed.
-    const std::uint64_t reserved = n.queue().reservedCount();
-    const std::uint64_t routed = n.aggregator().slotsProcessedStat();
-    const std::uint64_t depth = reserved > routed ? reserved - routed : 0;
-    tracer_.recordGauge(obs::Gauge::kGpuQueueDepth, std::uint16_t(i), depth);
-    metrics_.observeHistogram("gpu_queue.depth", node, depth);
-
-    // Per-destination aggregation buffer fill.
-    std::uint64_t buffered = 0;
-    n.aggregator().sampleBufferFills(
-        [&](std::uint32_t dst, std::uint64_t fill) {
-          (void)dst;
-          buffered += fill;
-          metrics_.observeHistogram("agg.buffer_fill", node, fill);
-        });
-    tracer_.recordGauge(obs::Gauge::kAggBufferFill, std::uint16_t(i), buffered);
+    const std::uint64_t depth =
+        q.reserved > q.routed ? q.reserved - q.routed : 0;
+    tracer_.recordGauge(obs::Gauge::kGpuQueueDepth, std::uint16_t(q.node),
+                        depth);
+    metrics_.observeHistogram("gpu_queue.depth",
+                              "node=" + std::to_string(q.node), depth);
+    tracer_.recordGauge(obs::Gauge::kAggBufferFill, std::uint16_t(q.node),
+                        buffered[q.node]);
   }
 
   // Fabric depth: unresolved batches (unacked, with a reliability layer).
+  // Two atomic loads — cheaper read directly than carried in the sample.
   const std::uint64_t pending = fabric_->pendingCount();
   tracer_.recordGauge(obs::Gauge::kFabricPending, 0, pending);
   metrics_.observeHistogram("fabric.pending", "", pending);
@@ -604,6 +700,15 @@ obs::MetricsSnapshot Cluster::collectMetrics() {
     metrics_.setGauge("dlq.stored", "", double(d.stored));
   }
 
+  // The collector watching itself: windows taken over the run's lifetime
+  // and how many fell off the bounded ring.
+  if (timeseries_) {
+    metrics_.setCounter("ts.windows_total",
+                        "", timeseries_->size() + timeseries_->droppedWindows());
+    metrics_.setCounter("ts.dropped_windows", "",
+                        timeseries_->droppedWindows());
+  }
+
   const net::FaultStats f = fabric_->faultStats();
   metrics_.setCounter("fault.drops", "", f.drops);
   metrics_.setCounter("fault.partition_drops", "", f.partition_drops);
@@ -697,6 +802,224 @@ void Cluster::writeWatchdog(std::ostream& os) const {
   os << "{\"overflow\": 0, \"diagnoses\": []}";
 }
 
+// Takes one time-series window: a full registry refresh, then the flattened
+// membership/breaker views the collector diffs into transition tags, plus
+// the watchdog diagnoses still open at window end.
+void Cluster::collectWindow() {
+  const obs::MetricsSnapshot snap = collectMetrics();
+  std::vector<obs::HealthSample> health;
+  if (membership_) {
+    health.reserve(config_.nodes);
+    for (std::uint32_t i = 0; i < config_.nodes; ++i)
+      health.push_back({i, std::uint8_t(membership_->health(i)),
+                        std::uint32_t(membership_->epoch(i))});
+  }
+  std::vector<obs::BreakerSample> breakers;
+  if (reliable_) {
+    for (const auto& b : reliable_->breakerStates())
+      breakers.push_back({b.src, b.dst, std::uint8_t(b.state), b.era});
+  }
+  std::vector<obs::Diagnosis> open;
+  if (watchdog_) {
+    for (const obs::Diagnosis& d : watchdog_->diagnoses())
+      if (d.open) open.push_back(d);
+  }
+  timeseries_->collect(snap, wallClockMs(), tracer_.nowNs(), health,
+                       breakers, std::move(open));
+}
+
+void Cluster::writeTimeSeries(std::ostream& os) const {
+  if (timeseries_) {
+    timeseries_->writeJson(os);
+    return;
+  }
+  os << "{\"schema_version\": " << obs::kTimeSeriesSchemaVersion
+     << ", \"kind\": \"gravel-timeseries\", \"period_ms\": 0, "
+        "\"capacity\": 0, \"dropped_windows\": 0, \"windows\": []}";
+}
+
+void Cluster::writeStatusJson(std::ostream& os) {
+  const obs::MetricsSnapshot snap = collectMetrics();
+  obs::JsonWriter w(os);
+  w.beginObject();
+  w.kv("schema_version", std::int64_t{1});
+  w.kv("kind", "gravel-status");
+  w.kv("now_ns", tracer_.nowNs());
+  w.kv("wall_ms", wallClockMs());
+  w.kv("nodes", std::uint64_t{config_.nodes});
+  w.kv("policy", membership_ ? "degrade" : "fail-fast");
+
+  // Per-node rows: membership + incarnation and the pipeline counters
+  // gravel-top turns into per-node rate columns.
+  w.key("membership").beginArray();
+  for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+    const std::string node = "node=" + std::to_string(i);
+    w.beginObject();
+    w.kv("node", std::uint64_t{i});
+    w.kv("state",
+         membership_ ? nodeHealthName(membership_->health(i)) : "alive");
+    w.kv("epoch",
+         std::uint64_t{membership_ ? membership_->epoch(i) : 0});
+    w.kv("slots_reserved",
+         std::uint64_t(snap.number("gpu_queue.slots_reserved", node)));
+    w.kv("slots_routed",
+         std::uint64_t(snap.number("agg.slots_processed", node)));
+    w.kv("resolved",
+         std::uint64_t(snap.number("net.messages_resolved", node)));
+    w.endObject();
+  }
+  w.endArray();
+
+  // Per-link rows: every link with unacked traffic plus every link whose
+  // breaker ever left closed, merged on (src, dst).
+  w.key("links").beginArray();
+  if (reliable_) {
+    struct LinkRow {
+      std::uint64_t unacked = 0;
+      std::uint32_t retries = 0;
+      std::uint64_t stalled_ns = 0;
+      std::uint8_t breaker = 0;
+      std::uint32_t era = 0;
+    };
+    std::map<std::pair<std::uint32_t, std::uint32_t>, LinkRow> rows;
+    for (const auto& ls : reliable_->sendStates()) {
+      LinkRow& r = rows[{ls.src, ls.dst}];
+      r.unacked = ls.unacked;
+      r.retries = ls.retries;
+      r.stalled_ns = ls.stalled_ns;
+      r.breaker = std::uint8_t(ls.breaker);
+    }
+    for (const auto& b : reliable_->breakerStates()) {
+      LinkRow& r = rows[{b.src, b.dst}];
+      r.breaker = std::uint8_t(b.state);
+      r.era = b.era;
+    }
+    for (const auto& [link, r] : rows) {
+      w.beginObject();
+      w.kv("src", std::uint64_t{link.first});
+      w.kv("dst", std::uint64_t{link.second});
+      w.kv("breaker", obs::linkBreakerName(r.breaker));
+      w.kv("era", std::uint64_t{r.era});
+      w.kv("unacked", r.unacked);
+      w.kv("retries", std::uint64_t{r.retries});
+      w.kv("stalled_ms", double(r.stalled_ns) / 1e6);
+      w.endObject();
+    }
+  }
+  w.endArray();
+
+  w.key("dead_letter").beginObject();
+  {
+    const net::DeadLetterStats d =
+        dlq_ ? dlq_->stats() : net::DeadLetterStats{};
+    w.kv("dead_lettered", d.dead_lettered);
+    w.kv("redelivered", d.redelivered);
+    w.kv("rejected", d.rejected);
+    w.kv("evicted", d.evicted);
+    w.kv("stored", d.stored);
+    w.key("stored_per_dest").beginArray();
+    if (dlq_)
+      for (std::uint64_t v : dlq_->storedPerDest()) w.value(v);
+    w.endArray();
+  }
+  w.endObject();
+
+  // Latency percentile gauges (absent until any sampled message pairs).
+  w.key("latency").beginObject();
+  if (const obs::MetricValue* m = snap.find("lat.e2e_p50_ns"))
+    w.kv("e2e_p50_ns", m->value);
+  if (const obs::MetricValue* m = snap.find("lat.e2e_p99_ns"))
+    w.kv("e2e_p99_ns", m->value);
+  if (const obs::MetricValue* m = snap.find("lat.bottleneck_stage"))
+    w.kv("bottleneck", obs::transitionLabel(int(m->value)));
+  w.key("stages").beginArray();
+  for (int t = 0; t < obs::LatencyAttribution::kTransitions; ++t) {
+    const std::string label = "stage=" + obs::transitionLabel(t);
+    const obs::MetricValue* p50 = snap.find("lat.stage_p50_ns", label);
+    const obs::MetricValue* p99 = snap.find("lat.stage_p99_ns", label);
+    if (p50 == nullptr && p99 == nullptr) continue;
+    w.beginObject();
+    w.kv("stage", obs::transitionLabel(t));
+    if (p50) w.kv("p50_ns", p50->value);
+    if (p99) w.kv("p99_ns", p99->value);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+
+  w.key("watchdog").beginObject();
+  w.kv("overflow", watchdog_ ? watchdog_->overflow() : 0);
+  w.key("diagnoses").beginArray();
+  if (watchdog_) {
+    for (const obs::Diagnosis& d : watchdog_->diagnoses()) {
+      w.beginObject();
+      w.kv("kind", obs::stallKindName(d.kind));
+      w.kv("node", std::uint64_t{d.node});
+      w.kv("dest", std::uint64_t{d.dest});
+      w.kv("depth", d.depth);
+      w.kv("duration_ms", double(d.duration_ns()) / 1e6);
+      w.kv("open", d.open);
+      w.endObject();
+    }
+  }
+  w.endArray();
+  w.endObject();
+
+  // Recent collector windows with precomputed rate columns (gravel-top's
+  // table; the full ring lives at /timeseries).
+  w.key("timeseries").beginObject();
+  w.kv("period_ms", std::int64_t(config_.timeseries.period.count()));
+  w.kv("windows",
+       std::uint64_t(timeseries_ ? timeseries_->size() : std::size_t{0}));
+  w.key("recent").beginArray();
+  if (timeseries_) {
+    for (const obs::TimeSeriesWindow& win : timeseries_->lastWindows(8)) {
+      w.beginObject();
+      w.kv("seq", win.seq);
+      w.kv("wall_ms", win.wall_ms);
+      w.kv("seconds", win.seconds());
+      w.kv("msgs_per_s", win.ratePerSec("fabric.messages"));
+      w.kv("bytes_per_s", win.ratePerSec("fabric.bytes"));
+      w.kv("retransmits_per_s", win.ratePerSec("fabric.retransmits"));
+      w.kv("dead_lettered_per_s", win.ratePerSec("dlq.dead_lettered"));
+      w.endObject();
+    }
+  }
+  w.endArray();
+  w.endObject();
+
+  w.endObject();
+}
+
+// Route table for the status server's service thread. Every handler reads
+// through thread-safe surfaces (registry mutex, lock-free membership reads,
+// the collector's ring mutex), so serving concurrently with a live run is
+// safe; any escape hatch becomes a 500 body instead of a crash.
+obs::StatusResponse Cluster::handleStatusRequest(const std::string& path) {
+  try {
+    std::ostringstream body;
+    if (path == "/metrics") {
+      obs::writePrometheusText(body, collectMetrics());
+      return {200, "text/plain; version=0.0.4; charset=utf-8", body.str()};
+    }
+    if (path == "/status") {
+      writeStatusJson(body);
+      return {200, "application/json", body.str()};
+    }
+    if (path == "/timeseries") {
+      writeTimeSeries(body);
+      return {200, "application/json", body.str()};
+    }
+    if (path == "/" || path == "/index.html")
+      return {200, "text/plain; charset=utf-8",
+              "gravel status endpoints: /metrics /status /timeseries\n"};
+    return {404, "text/plain; charset=utf-8", "unknown path: " + path + "\n"};
+  } catch (const std::exception& e) {
+    return {500, "text/plain; charset=utf-8",
+            std::string("telemetry error: ") + e.what() + "\n"};
+  }
+}
+
 // Best-effort post-mortem artifact; never throws (it runs on error paths
 // and in the destructor).
 void Cluster::dumpFlightRecorder(const char* reason) const noexcept {
@@ -710,6 +1033,22 @@ void Cluster::dumpFlightRecorder(const char* reason) const noexcept {
     writeFlightRecorder(os, reason);
   } catch (...) {
     // Swallow: a failed dump must not mask the error being reported.
+  }
+}
+
+// Exit artifact mirroring the flight recorder's pattern:
+// ${GRAVEL_TIMESERIES_DIR:-.}/gravel_timeseries.json. Best-effort — it runs
+// in the destructor.
+void Cluster::dumpTimeSeries() const noexcept {
+  try {
+    if (!timeseries_) return;
+    const char* dir = std::getenv("GRAVEL_TIMESERIES_DIR");
+    std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
+    path += "/gravel_timeseries.json";
+    std::ofstream os(path);
+    if (!os) return;
+    timeseries_->writeJson(os);
+  } catch (...) {
   }
 }
 

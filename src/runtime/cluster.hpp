@@ -20,6 +20,8 @@
 #include "net/reliable.hpp"
 #include "obs/latency.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status_server.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "runtime/active_message.hpp"
@@ -160,15 +162,41 @@ class Cluster {
   /// Watchdog diagnosis table as JSON (empty table when disabled).
   void writeWatchdog(std::ostream& os) const;
 
+  /// The windowed time-series collector (config.timeseries /
+  /// GRAVEL_TIMESERIES=1); null when disabled. The monitor thread feeds it
+  /// one MetricsSnapshot::delta() window per period, and the destructor
+  /// dumps ${GRAVEL_TIMESERIES_DIR:-.}/gravel_timeseries.json.
+  obs::TimeSeries* timeSeries() noexcept { return timeseries_.get(); }
+  const obs::TimeSeries* timeSeries() const noexcept {
+    return timeseries_.get();
+  }
+
+  /// The live HTTP endpoint (config.status_server / GRAVEL_STATUS_PORT);
+  /// null when disabled. port() reports the actually-bound port, so tests
+  /// and tools work with an ephemeral port 0.
+  obs::StatusServer* statusServer() noexcept { return statusServer_.get(); }
+
+  /// The time-series ring as schema-versioned JSON (an empty document when
+  /// the collector is disabled).
+  void writeTimeSeries(std::ostream& os) const;
+
+  /// The /status document: membership, link breakers, dead-letter depths,
+  /// latency percentile gauges, open watchdog diagnoses and recent
+  /// collector windows with rate columns. Safe while the run is live.
+  void writeStatusJson(std::ostream& os);
+
  private:
   void ensureThreadsStarted();
   [[noreturn]] void quietDeadlineExpired(const char* stage);
   void monitorLoop();
-  void sampleGauges();
-  void sampleWatchdog();
-  void sampleMembership();
+  obs::WatchdogSample samplePipeline();
+  void sampleGauges(const obs::WatchdogSample& s);
+  void sampleMembership(const obs::WatchdogSample& s);
+  void collectWindow();
   void ingestLatency();
+  obs::StatusResponse handleStatusRequest(const std::string& path);
   void dumpFlightRecorder(const char* reason) const noexcept;
+  void dumpTimeSeries() const noexcept;
 
   ClusterConfig config_;
   obs::Tracer tracer_;        ///< must outlive nodes_/fabric (they hold refs)
@@ -183,12 +211,16 @@ class Cluster {
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   bool threadsStarted_ = false;
 
-  /// Monitor thread: gauge sampling (tracer duty), watchdog sampling and
-  /// online latency ingest share one thread with independent cadences.
+  /// Monitor thread: the run's ONE sampling thread. Gauge sampling + online
+  /// latency ingest, watchdog sampling, the membership failure detector and
+  /// the time-series collector run as duties on independent cadences;
+  /// duties due on the same tick share a single pipeline sample.
   std::thread monitor_;
   atomic<bool> monitorStop_{false};
 
   std::unique_ptr<obs::Watchdog> watchdog_;
+  std::unique_ptr<obs::TimeSeries> timeseries_;
+  std::unique_ptr<obs::StatusServer> statusServer_;
 
   // Latency-attribution engine. Single-owner by design (no internal locks);
   // the mutex serializes the monitor thread's incremental ingest against

@@ -148,6 +148,13 @@ struct ClusterRunStats {
   double lat_e2e_p99_ns = 0;
   std::uint64_t lat_samples = 0;  ///< e2e-paired samples behind the quantiles
 
+  // Time-series collector roll-up (zero when config.timeseries is off):
+  // per-window fabric.messages rates over the retained ring, so serving
+  // benches report sustained vs. peak throughput rather than one mean.
+  std::uint64_t ts_windows = 0;      ///< collection windows retained
+  double ts_msgs_per_s_p50 = 0;      ///< median per-window message rate
+  double ts_msgs_per_s_peak = 0;     ///< fastest window's message rate
+
   /// Combines another window (or another cluster's shard) into this one.
   /// Field semantics differ and naive `+=` over the whole struct is wrong:
   /// peak-style fields (`reorder_peak`) are high-water marks and combine
@@ -214,6 +221,12 @@ struct ClusterRunStats {
     lat_e2e_p50_ns = std::max(lat_e2e_p50_ns, o.lat_e2e_p50_ns);
     lat_e2e_p99_ns = std::max(lat_e2e_p99_ns, o.lat_e2e_p99_ns);
     lat_samples += o.lat_samples;
+
+    // Rates follow the worst-shard (max) convention of the quantiles above;
+    // window counts are quantities and sum.
+    ts_windows += o.ts_windows;
+    ts_msgs_per_s_p50 = std::max(ts_msgs_per_s_p50, o.ts_msgs_per_s_p50);
+    ts_msgs_per_s_peak = std::max(ts_msgs_per_s_peak, o.ts_msgs_per_s_peak);
   }
 
   std::uint64_t opsTotal() const {

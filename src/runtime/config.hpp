@@ -9,6 +9,8 @@
 #include "common/units.hpp"
 #include "net/fault.hpp"
 #include "net/reliable.hpp"
+#include "obs/status_server.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "runtime/membership.hpp"
@@ -86,6 +88,18 @@ struct ClusterConfig {
   /// diagnoses that quiet()'s post-mortem and the metrics registry report.
   obs::WatchdogConfig watchdog{};
 
+  /// Windowed time-series collector (src/obs/timeseries.hpp): the monitor
+  /// thread takes MetricsSnapshot::delta() windows on `timeseries.period`
+  /// into a bounded ring, and the cluster dumps gravel_timeseries.json at
+  /// destruction. GRAVEL_TIMESERIES=1 enables it from the environment.
+  obs::TimeSeriesConfig timeseries{};
+
+  /// Live HTTP status endpoint (src/obs/status_server.hpp): /metrics in
+  /// Prometheus text exposition, /status + /timeseries as JSON.
+  /// GRAVEL_STATUS_PORT=<port> enables it (and the collector) from the
+  /// environment; port 0 binds an ephemeral port.
+  obs::StatusServerConfig status_server{};
+
   simt::DeviceConfig device{};
 
   /// Rejects degenerate configurations up front, with actionable messages.
@@ -132,6 +146,16 @@ struct ClusterConfig {
               watchdog.stalled_link_deadline.count() > 0,
           "watchdog deadlines must be positive when the watchdog is enabled");
     }
+    if (timeseries.enabled) {
+      GRAVEL_CHECK_MSG(timeseries.period.count() > 0,
+                       "timeseries.period must be positive when enabled");
+      GRAVEL_CHECK_MSG(timeseries.capacity > 0,
+                       "timeseries.capacity must be >= 1 window when enabled");
+    }
+    if (status_server.enabled)
+      GRAVEL_CHECK_MSG(!status_server.bind_address.empty(),
+                       "status_server.bind_address cannot be empty when "
+                       "the status server is enabled");
   }
 };
 

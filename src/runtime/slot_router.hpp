@@ -163,19 +163,6 @@ class SlotRouter {
     return total;
   }
 
-  /// Per-destination buffer fills, for depth histograms.
-  void sampleBufferFills(const std::function<void(std::uint32_t dst,
-                                                  std::uint64_t fill)>& fn) {
-    for (std::uint32_t dst = 0; dst < buffers_.size(); ++dst) {
-      std::uint64_t fill;
-      {
-        std::scoped_lock lk(buffers_[dst].mutex);
-        fill = buffers_[dst].messages.size();
-      }
-      fn(dst, fill);
-    }
-  }
-
   /// Nonempty buffers with how long they have held messages — the stall
   /// watchdog's backpressure signal. A healthy aggregator never lets a
   /// buffer sit past the flush timeout, so a large age means the flush path

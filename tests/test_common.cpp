@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -234,6 +237,72 @@ TEST(Stats, Pow2HistogramQuantileIsMonotonicAcrossBuckets) {
   EXPECT_LT(h.quantile(0.50), 16.0);
   EXPECT_GE(h.quantile(0.99), 512.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 131072.0);
+}
+
+TEST(Stats, Pow2HistogramQuantileWithAllMassInOverflowBucket) {
+  // Saturated samples all clamp into the top bucket; the quantile estimate
+  // must stay inside that bucket's [2^38, 2^39] span instead of walking off
+  // the table or dividing by an empty prefix.
+  Pow2Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(~std::uint64_t(0));
+  const double lo = double(std::uint64_t(1) << (Pow2Histogram::kBuckets - 2));
+  const double hi = double(std::uint64_t(1) << (Pow2Histogram::kBuckets - 1));
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), lo);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), (lo + hi) / 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), hi);
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.1) {
+    EXPECT_GE(h.quantile(q), prev) << "q=" << q;
+    prev = h.quantile(q);
+  }
+}
+
+TEST(Stats, Pow2HistogramQuantileMatchesPythonReplica) {
+  // tools/latency_report.py recomputes quantiles from exported bucket
+  // arrays with a hand-replicated copy of Pow2Histogram::quantile. Feed the
+  // Python side C++-computed expectations over distributions that cover
+  // every branch (bucket 0, interpolation, multi-bucket walk, overflow
+  // saturation) so the two implementations cannot drift silently.
+  if (std::system("python3 -c \"import sys\" > /dev/null 2>&1") != 0)
+    GTEST_SKIP() << "python3 not available";
+
+  Pow2Histogram bulk;  // the monotonic test's shape: bulk + tail
+  for (int i = 0; i < 90; ++i) bulk.add(10);
+  for (int i = 0; i < 9; ++i) bulk.add(1000);
+  bulk.add(100000);
+  Pow2Histogram zeros;  // mass split across bucket 0 and bucket 1
+  for (int i = 0; i < 5; ++i) zeros.add(0);
+  for (int i = 0; i < 5; ++i) zeros.add(1);
+  Pow2Histogram overflow;  // everything saturates into the top bucket
+  for (int i = 0; i < 7; ++i) overflow.add(~std::uint64_t(0));
+
+  const double qs[] = {0.0, 0.25, 0.5, 0.9, 0.99, 1.0};
+  const std::string path = ::testing::TempDir() + "pow2_parity_cases.json";
+  std::ofstream os(path);
+  ASSERT_TRUE(os.is_open());
+  os << "{\"cases\":[";
+  bool first = true;
+  for (const Pow2Histogram* h : {&bulk, &zeros, &overflow}) {
+    for (double q : qs) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"buckets\":[";
+      for (int b = 0; b < Pow2Histogram::kBuckets; ++b)
+        os << (b ? "," : "") << h->bucket(b);
+      char num[64];
+      std::snprintf(num, sizeof(num), "%.17g", h->quantile(q));
+      os << "],\"q\":" << q << ",\"expected\":" << num << "}";
+    }
+  }
+  os << "]}";
+  os.close();
+
+  const std::string cmd = std::string("python3 \"") + GRAVEL_REPO_ROOT +
+                          "/tools/latency_report.py\" --parity-check \"" +
+                          path + "\" > /dev/null";
+  EXPECT_EQ(std::system(cmd.c_str()), 0)
+      << "Python quantile replica diverged from Pow2Histogram::quantile";
+  std::remove(path.c_str());
 }
 
 TEST(Stats, MetricSetAccumulates) {

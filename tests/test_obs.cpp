@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -13,6 +14,8 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/latency.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status_server.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "obs/watchdog.hpp"
@@ -860,6 +863,419 @@ TEST(Trace, FlowEventsSurviveMultiThreadedAggregators) {
   const std::size_t finishes = countOccurrences(j, "\"ph\":\"f\"");
   EXPECT_GT(starts, 0u);
   EXPECT_EQ(starts, finishes);  // no dangling flow ends
+}
+
+// --- Windowed time-series collector ----------------------------------------
+
+obs::TimeSeriesConfig tsConfig() {
+  obs::TimeSeriesConfig c;
+  c.enabled = true;
+  return c;
+}
+
+TEST(TimeSeries, FirstCollectEmitsAbsolutesThenWindowedDeltas) {
+  MetricsRegistry reg;
+  reg.setCounter("sent", "", 100);
+  reg.setGauge("depth", "", 5.0);
+  obs::TimeSeries ts(tsConfig());
+
+  // First window: delta against an empty baseline == absolute values, so a
+  // run shorter than one period still dumps something useful.
+  ts.collect(reg.snapshot(), 1000, 1'000'000'000, {}, {}, {});
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts.windows()[0].delta.number("sent"), 100.0);
+
+  reg.setCounter("sent", "", 140);
+  reg.setGauge("depth", "", 2.0);
+  ts.collect(reg.snapshot(), 2000, 2'000'000'000, {}, {}, {});
+  const std::vector<obs::TimeSeriesWindow> ws = ts.windows();
+  ASSERT_EQ(ws.size(), 2u);
+  const obs::TimeSeriesWindow& w = ws[1];
+  EXPECT_EQ(w.delta.number("sent"), 40.0);   // counter: windowed
+  EXPECT_EQ(w.delta.number("depth"), 2.0);   // gauge: current level
+  EXPECT_DOUBLE_EQ(w.seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(w.ratePerSec("sent"), 40.0);
+  EXPECT_EQ(w.seq, 1u);
+  EXPECT_EQ(w.wall_ms, 2000u);
+}
+
+TEST(TimeSeries, PruneDropsZeroDeltaRowsButKeepsGauges) {
+  MetricsRegistry reg;
+  reg.setCounter("idle", "", 7);   // never changes after the baseline
+  reg.setCounter("busy", "", 1);
+  reg.setGauge("depth", "", 3.0);
+  obs::TimeSeries ts(tsConfig());
+  ts.collect(reg.snapshot(), 0, 0, {}, {}, {});
+  reg.setCounter("busy", "", 2);
+  ts.collect(reg.snapshot(), 250, 250'000'000, {}, {}, {});
+
+  const obs::TimeSeriesWindow w = ts.windows()[1];
+  EXPECT_FALSE(w.delta.contains("idle"));  // zero delta: no signal
+  EXPECT_TRUE(w.delta.contains("busy"));
+  EXPECT_TRUE(w.delta.contains("depth"));  // gauges always survive
+
+  // Disabling the prune keeps exhaustive windows.
+  obs::TimeSeriesConfig c = tsConfig();
+  c.prune_zero_deltas = false;
+  obs::TimeSeries full(c);
+  full.collect(reg.snapshot(), 0, 0, {}, {}, {});
+  full.collect(reg.snapshot(), 250, 250'000'000, {}, {}, {});
+  EXPECT_TRUE(full.windows()[1].delta.contains("idle"));
+}
+
+TEST(TimeSeries, RingIsBoundedAndCountsDroppedWindows) {
+  obs::TimeSeriesConfig c = tsConfig();
+  c.capacity = 4;
+  obs::TimeSeries ts(c);
+  MetricsRegistry reg;
+  for (int i = 0; i < 6; ++i)
+    ts.collect(reg.snapshot(), std::uint64_t(i), std::uint64_t(i) * 1000000,
+               {}, {}, {});
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.droppedWindows(), 2u);
+  const std::vector<obs::TimeSeriesWindow> ws = ts.windows();
+  EXPECT_EQ(ws.front().seq, 2u);  // oldest retained
+  EXPECT_EQ(ws.back().seq, 5u);
+  EXPECT_EQ(ts.lastWindows(2).front().seq, 4u);
+  EXPECT_EQ(ts.lastWindows(99).size(), 4u);  // clamped, not UB
+}
+
+TEST(TimeSeries, MembershipAndBreakerTransitionsTagTheWindow) {
+  obs::TimeSeries ts(tsConfig());
+  MetricsRegistry reg;
+  // Baseline: everything healthy. A normal first sight is silent.
+  ts.collect(reg.snapshot(), 0, 0, {{0, 0, 0}, {1, 0, 0}},
+             {{0, 1, 0, 0}}, {});
+  EXPECT_TRUE(ts.windows()[0].epoch_changes.empty());
+  EXPECT_TRUE(ts.windows()[0].breaker_changes.empty());
+
+  // Node 1 dies and link 0->1's breaker trips between ticks.
+  ts.collect(reg.snapshot(), 250, 250'000'000, {{0, 0, 0}, {1, 2, 0}},
+             {{0, 1, 1, 1}}, {});
+  const obs::TimeSeriesWindow w = ts.windows()[1];
+  ASSERT_EQ(w.epoch_changes.size(), 1u);
+  EXPECT_EQ(w.epoch_changes[0].node, 1u);
+  EXPECT_EQ(w.epoch_changes[0].from_health, 0);  // alive
+  EXPECT_EQ(w.epoch_changes[0].to_health, 2);    // dead
+  ASSERT_EQ(w.breaker_changes.size(), 1u);
+  EXPECT_EQ(w.breaker_changes[0].src, 0u);
+  EXPECT_EQ(w.breaker_changes[0].dst, 1u);
+  EXPECT_EQ(w.breaker_changes[0].to_state, 1);   // open
+  EXPECT_EQ(w.breaker_changes[0].era, 1u);
+
+  // Steady state afterwards: no re-announcement while nothing changes.
+  ts.collect(reg.snapshot(), 500, 500'000'000, {{0, 0, 0}, {1, 2, 0}},
+             {{0, 1, 1, 1}}, {});
+  EXPECT_TRUE(ts.windows()[2].epoch_changes.empty());
+  EXPECT_TRUE(ts.windows()[2].breaker_changes.empty());
+}
+
+TEST(TimeSeries, AbnormalFirstSightIsAnnounced) {
+  // A collector attached mid-incident (GRAVEL_STATUS_PORT added to a wedged
+  // run) must still report the incident, not wait for the next transition.
+  obs::TimeSeries ts(tsConfig());
+  MetricsRegistry reg;
+  ts.collect(reg.snapshot(), 0, 0, {{3, 2, 1}}, {{0, 3, 1, 2}}, {});
+  const obs::TimeSeriesWindow w = ts.windows()[0];
+  ASSERT_EQ(w.epoch_changes.size(), 1u);
+  EXPECT_EQ(w.epoch_changes[0].node, 3u);
+  EXPECT_EQ(w.epoch_changes[0].to_health, 2);
+  EXPECT_EQ(w.epoch_changes[0].epoch, 1u);
+  ASSERT_EQ(w.breaker_changes.size(), 1u);
+  EXPECT_EQ(w.breaker_changes[0].to_state, 1);
+}
+
+TEST(TimeSeries, JsonDumpIsSchemaVersionedAndBalanced) {
+  obs::TimeSeries ts(tsConfig());
+  MetricsRegistry reg;
+  reg.setCounter("fabric.messages", "", 10);
+  obs::Diagnosis diag;
+  diag.node = 1;
+  diag.depth = 42;
+  ts.collect(reg.snapshot(), 1000, 1'000'000'000, {{1, 2, 0}},
+             {{0, 1, 1, 1}}, {diag});
+  std::ostringstream os;
+  ts.writeJson(os);
+  const std::string j = os.str();
+  EXPECT_TRUE(jsonBalanced(j));
+  EXPECT_NE(j.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"kind\":\"gravel-timeseries\""), std::string::npos);
+  EXPECT_NE(j.find("\"epoch_changes\""), std::string::npos);
+  EXPECT_NE(j.find("\"to\":\"dead\""), std::string::npos);
+  EXPECT_NE(j.find("\"to\":\"open\""), std::string::npos);
+  EXPECT_NE(j.find("\"watchdog\""), std::string::npos);
+  EXPECT_NE(j.find("fabric.messages"), std::string::npos);
+}
+
+// --- Prometheus text exposition --------------------------------------------
+
+TEST(Prometheus, ExpositionMapsEveryKindAndManglesNames) {
+  MetricsRegistry reg;
+  reg.setCounter("fabric.messages", "node=0", 42);
+  reg.setGauge("dlq.stored", "", 3.5);
+  reg.observe("ack.rtt", "", 10.0);
+  reg.observe("ack.rtt", "", 30.0);
+  reg.observeHistogram("msg.size", "link=0->1", 0);
+  reg.observeHistogram("msg.size", "link=0->1", 8);
+
+  std::ostringstream os;
+  obs::writePrometheusText(os, reg.snapshot());
+  const std::string t = os.str();
+
+  // counter: dots mangle to underscores under the gravel_ namespace.
+  EXPECT_NE(t.find("# TYPE gravel_fabric_messages counter\n"),
+            std::string::npos);
+  EXPECT_NE(t.find("gravel_fabric_messages{node=\"0\"} 42\n"),
+            std::string::npos);
+  // gauge
+  EXPECT_NE(t.find("# TYPE gravel_dlq_stored gauge\n"), std::string::npos);
+  EXPECT_NE(t.find("gravel_dlq_stored 3.5\n"), std::string::npos);
+  // stat -> summary with _min/_max companions
+  EXPECT_NE(t.find("# TYPE gravel_ack_rtt summary\n"), std::string::npos);
+  EXPECT_NE(t.find("gravel_ack_rtt_count 2\n"), std::string::npos);
+  EXPECT_NE(t.find("gravel_ack_rtt_sum 40\n"), std::string::npos);
+  EXPECT_NE(t.find("gravel_ack_rtt_min 10\n"), std::string::npos);
+  EXPECT_NE(t.find("gravel_ack_rtt_max 30\n"), std::string::npos);
+  // histogram: cumulative le bounds per the Pow2 rule — bucket 0 is {0}
+  // (le="0"), 8 lands in [8,16) whose inclusive integer bound is 15.
+  EXPECT_NE(t.find("# TYPE gravel_msg_size histogram\n"), std::string::npos);
+  EXPECT_NE(t.find("gravel_msg_size_bucket{link=\"0->1\",le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(t.find("gravel_msg_size_bucket{link=\"0->1\",le=\"15\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(t.find("gravel_msg_size_bucket{link=\"0->1\",le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(t.find("gravel_msg_size_count{link=\"0->1\"} 2\n"),
+            std::string::npos);
+  // _sum is the midpoint estimate: 0 contributes 0, 8 contributes 12.
+  EXPECT_NE(t.find("gravel_msg_size_sum{link=\"0->1\"} 12\n"),
+            std::string::npos);
+
+  // Structural sweep: every line is a # TYPE comment or "name[{labels}] value"
+  // with the gravel_ namespace — the shape Prometheus' parser accepts.
+  std::istringstream lines(t);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) continue;
+    EXPECT_EQ(line.rfind("gravel_", 0), 0u) << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(Prometheus, LabelValuesEscapeAndBareFragmentsGetAKey) {
+  MetricsRegistry reg;
+  reg.setCounter("c", "path=a\"b\\c", 1);   // quote + backslash in the value
+  reg.setCounter("d", "orphan", 2);         // fragment without '='
+  std::ostringstream os;
+  obs::writePrometheusText(os, reg.snapshot());
+  const std::string t = os.str();
+  EXPECT_NE(t.find("gravel_c{path=\"a\\\"b\\\\c\"} 1"), std::string::npos);
+  EXPECT_NE(t.find("gravel_d{label=\"orphan\"} 2"), std::string::npos);
+}
+
+// --- Status server ----------------------------------------------------------
+
+#if GRAVEL_STATUS_SERVER_SUPPORTED
+/// Minimal raw-socket HTTP client: one GET, read to EOF. The server speaks
+/// HTTP/1.0 with Connection: close, so EOF terminates the response.
+std::string httpGet(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (n <= 0) break;
+    off += std::size_t(n);
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, std::size_t(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+/// Body after the blank line separating HTTP headers from content.
+std::string httpBody(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
+#endif
+
+TEST(StatusServer, ServesHandlerRoutesOnAnEphemeralPort) {
+  if (!obs::StatusServer::supported()) GTEST_SKIP() << "no POSIX sockets";
+#if GRAVEL_STATUS_SERVER_SUPPORTED
+  obs::StatusServerConfig cfg;
+  cfg.enabled = true;
+  cfg.port = 0;  // ephemeral: tests never fight over a fixed port
+  std::vector<std::string> seen;
+  std::mutex seenMu;
+  obs::StatusServer server(cfg, [&](const std::string& path) {
+    {
+      std::scoped_lock lk(seenMu);
+      seen.push_back(path);
+    }
+    if (path == "/ok")
+      return obs::StatusResponse{200, "text/plain", "payload\n"};
+    return obs::StatusResponse{404, "text/plain", "nope\n"};
+  });
+  ASSERT_TRUE(server.start());
+  ASSERT_NE(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const std::string ok = httpGet(server.port(), "/ok");
+  EXPECT_NE(ok.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("Content-Length: 8"), std::string::npos);
+  EXPECT_EQ(httpBody(ok), "payload\n");
+
+  // Query strings are stripped before routing.
+  const std::string query = httpGet(server.port(), "/ok?verbose=1");
+  EXPECT_NE(query.find("200 OK"), std::string::npos);
+
+  const std::string missing = httpGet(server.port(), "/absent");
+  EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+
+  EXPECT_GE(server.requestsServed(), 3u);
+  {
+    std::scoped_lock lk(seenMu);
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], "/ok");
+    EXPECT_EQ(seen[1], "/ok");  // ?verbose=1 stripped
+    EXPECT_EQ(seen[2], "/absent");
+  }
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // Idempotent stop; restart binds a fresh ephemeral port.
+  server.stop();
+  ASSERT_TRUE(server.start());
+  EXPECT_NE(httpGet(server.port(), "/ok").find("200 OK"), std::string::npos);
+  server.stop();
+#endif
+}
+
+// --- Live telemetry through a degraded cluster run (acceptance) -------------
+
+TEST(Telemetry, CrashIsVisibleInStatusAndTimeseriesWithinOneWindow) {
+  // The ISSUE 7 acceptance scenario, as a test rather than a hand-check:
+  // watch a degrade-policy run over the status server, crash a node, and
+  // require the flip to show up in /status, /metrics and the collector ring
+  // — with the breaker trip landing within one window of the epoch change.
+  rt::ClusterConfig c = tracedConfig();
+  c.nodes = 4;
+  c.reliability.enabled = true;
+  c.reliability.policy = net::FailurePolicy::kDegrade;
+  c.reliability.rto_base = std::chrono::microseconds(500);
+  c.reliability.rto_max = std::chrono::microseconds(8000);
+  c.timeseries.enabled = true;
+  c.timeseries.period = std::chrono::milliseconds(10);
+  c.status_server.enabled = obs::StatusServer::supported();
+  c.status_server.port = 0;
+  rt::Cluster cluster(c);
+  cluster.start();
+  ASSERT_NE(cluster.timeSeries(), nullptr);
+
+  auto slots = cluster.alloc<std::uint64_t>(8);
+  cluster.launchAll(64, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+    cluster.node(n).shmemInc(wi, (n + 1) % 4, slots.at(n % 8));
+  });
+
+#if GRAVEL_STATUS_SERVER_SUPPORTED
+  std::uint16_t port = 0;
+  if (cluster.statusServer() != nullptr && cluster.statusServer()->running()) {
+    port = cluster.statusServer()->port();
+    ASSERT_NE(port, 0);
+    const std::string metrics = httpBody(httpGet(port, "/metrics"));
+    EXPECT_NE(metrics.find("# TYPE gravel_fabric_messages counter"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("gravel_net_messages_resolved"),
+              std::string::npos);
+    const std::string healthy = httpBody(httpGet(port, "/status"));
+    EXPECT_TRUE(jsonBalanced(healthy));
+    EXPECT_NE(healthy.find("\"policy\":\"degrade\""), std::string::npos);
+    EXPECT_NE(healthy.find("\"state\":\"alive\""), std::string::npos);
+    EXPECT_EQ(healthy.find("\"state\":\"dead\""), std::string::npos);
+  }
+#endif
+
+  cluster.crashNode(3);
+  // Survivors keep sending into the dead node: the traffic dead-letters,
+  // and the windowed dlq.* delta is what the collector must surface.
+  cluster.launchAll(64, 32, [&](std::uint32_t n, simt::WorkItem& wi) {
+    const bool live = n != 3;
+    cluster.node(n).shmemInc(wi, 3, slots.at(0), live);
+    cluster.node(n).shmemInc(wi, (n + 1) % 3, slots.at(1 + n), live);
+  });
+
+  // The collector runs on the monitor thread at a 10 ms cadence; give it a
+  // bounded (generous) grace to take the windows, then assert.
+  bool sawDead = false, sawOpen = false, sawDlqDelta = false;
+  std::uint64_t deadSeq = 0, openSeq = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    sawDead = sawOpen = sawDlqDelta = false;
+    for (const obs::TimeSeriesWindow& w : cluster.timeSeries()->windows()) {
+      for (const obs::EpochChange& e : w.epoch_changes)
+        if (e.node == 3 && e.to_health == 2 && !sawDead) {
+          sawDead = true;
+          deadSeq = w.seq;
+        }
+      for (const obs::BreakerChange& b : w.breaker_changes)
+        if (b.dst == 3 && b.to_state == 1 && !sawOpen) {
+          sawOpen = true;
+          openSeq = w.seq;
+        }
+      if (w.delta.number("dlq.dead_lettered") > 0) sawDlqDelta = true;
+    }
+    if (sawDead && sawOpen && sawDlqDelta) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(sawDead) << "no window tagged node 3's death";
+  EXPECT_TRUE(sawOpen) << "no window tagged a breaker trip into node 3";
+  EXPECT_TRUE(sawDlqDelta) << "no window carried a dlq.dead_lettered delta";
+  // crashNode() excises links in the same act that declares the node dead,
+  // so the two tags must land within one collection window of each other.
+  if (sawDead && sawOpen) {
+    const std::uint64_t gap =
+        deadSeq > openSeq ? deadSeq - openSeq : openSeq - deadSeq;
+    EXPECT_LE(gap, 1u);
+  }
+
+#if GRAVEL_STATUS_SERVER_SUPPORTED
+  if (port != 0) {
+    const std::string degraded = httpBody(httpGet(port, "/status"));
+    EXPECT_TRUE(jsonBalanced(degraded));
+    EXPECT_NE(degraded.find("\"state\":\"dead\""), std::string::npos);
+    EXPECT_NE(degraded.find("\"breaker\":\"open\""), std::string::npos);
+    EXPECT_NE(degraded.find("\"dead_lettered\""), std::string::npos);
+    const std::string series = httpBody(httpGet(port, "/timeseries"));
+    EXPECT_TRUE(jsonBalanced(series));
+    EXPECT_NE(series.find("\"kind\":\"gravel-timeseries\""),
+              std::string::npos);
+    EXPECT_NE(httpGet(port, "/bogus").find("404"), std::string::npos);
+  }
+#endif
+
+  // The exit-artifact writer serves the same ring.
+  std::ostringstream os;
+  cluster.writeTimeSeries(os);
+  const std::string dump = os.str();
+  EXPECT_TRUE(jsonBalanced(dump));
+  EXPECT_NE(dump.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"to\":\"dead\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""gravel-top: live console over a running cluster's /status endpoint.
+
+Polls ``http://HOST:PORT/status`` (the status server enabled by
+``GRAVEL_STATUS_PORT``, see src/obs/status_server.hpp) and renders a
+refreshing per-node / per-link table: membership state and incarnation,
+pipeline progress with rate columns computed from successive polls, circuit
+breaker state, dead-letter depths, latency percentiles and open watchdog
+diagnoses. Throughput columns also show the server-side collector windows
+(``timeseries.recent``), which keep their cadence even when polling is slow.
+
+Usage:
+    gravel_top.py [host:port]          # default 127.0.0.1:9464
+    gravel_top.py --interval 0.5       # poll cadence in seconds
+    gravel_top.py --plain              # no curses, ANSI clear+redraw
+    gravel_top.py --once               # one snapshot to stdout (CI-friendly)
+
+Quit with q (curses) or Ctrl-C. Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch_status(url: str, timeout: float = 2.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def fmt_rate(v: float) -> str:
+    if v >= 1e6:
+        return f"{v / 1e6:7.2f}M"
+    if v >= 1e3:
+        return f"{v / 1e3:7.2f}k"
+    return f"{v:7.1f} "
+
+
+def fmt_ns(ns: float) -> str:
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+class Rates:
+    """Per-node rates from successive polls (resolved msgs/s etc.)."""
+
+    def __init__(self) -> None:
+        self.prev: dict | None = None
+        self.prev_t = 0.0
+
+    def update(self, status: dict) -> dict[int, float]:
+        now = time.monotonic()
+        rates: dict[int, float] = {}
+        if self.prev is not None and now > self.prev_t:
+            dt = now - self.prev_t
+            before = {m["node"]: m for m in self.prev.get("membership", [])}
+            for m in status.get("membership", []):
+                b = before.get(m["node"])
+                if b is None:
+                    continue
+                rates[m["node"]] = max(
+                    0.0, (m.get("resolved", 0) - b.get("resolved", 0)) / dt)
+        self.prev = status
+        self.prev_t = now
+        return rates
+
+
+def render(status: dict, rates: dict[int, float], url: str) -> list[str]:
+    lines: list[str] = []
+    ts = status.get("timeseries", {})
+    recent = ts.get("recent", [])
+    last = recent[-1] if recent else {}
+    lines.append(
+        f"gravel-top — {url}  nodes={status.get('nodes', '?')} "
+        f"policy={status.get('policy', '?')}  "
+        f"windows={ts.get('windows', 0)}@{ts.get('period_ms', 0)}ms")
+    lines.append(
+        f"cluster: {fmt_rate(last.get('msgs_per_s', 0.0)).strip()} msgs/s  "
+        f"{fmt_rate(last.get('bytes_per_s', 0.0)).strip()} B/s  "
+        f"retx/s {last.get('retransmits_per_s', 0.0):.1f}  "
+        f"dlq/s {last.get('dead_lettered_per_s', 0.0):.1f}")
+
+    lat = status.get("latency", {})
+    if lat.get("e2e_p50_ns") is not None:
+        bn = lat.get("bottleneck")
+        lines.append(
+            f"latency: e2e p50 {fmt_ns(lat['e2e_p50_ns'])} "
+            f"p99 {fmt_ns(lat.get('e2e_p99_ns', 0.0))}"
+            + (f"  bottleneck {bn}" if bn else ""))
+
+    lines.append("")
+    lines.append(f"{'node':>4} {'state':<10} {'epoch':>5} {'reserved':>12} "
+                 f"{'routed':>12} {'resolved':>12} {'resolved/s':>10}")
+    for m in status.get("membership", []):
+        node = m.get("node", 0)
+        lines.append(
+            f"{node:>4} {m.get('state', '?'):<10} {m.get('epoch', 0):>5} "
+            f"{m.get('slots_reserved', 0):>12} {m.get('slots_routed', 0):>12} "
+            f"{m.get('resolved', 0):>12} {fmt_rate(rates.get(node, 0.0)):>10}")
+
+    links = status.get("links", [])
+    if links:
+        lines.append("")
+        lines.append(f"{'link':>10} {'breaker':<10} {'era':>4} {'unacked':>9} "
+                     f"{'retries':>8} {'stalled':>10}")
+        for l in links:
+            lines.append(
+                f"{l.get('src', '?'):>4}->{l.get('dst', '?'):<4} "
+                f"{l.get('breaker', '?'):<10} {l.get('era', 0):>4} "
+                f"{l.get('unacked', 0):>9} {l.get('retries', 0):>8} "
+                f"{l.get('stalled_ms', 0.0):>8.1f}ms")
+
+    dlq = status.get("dead_letter", {})
+    if dlq.get("dead_lettered", 0) or dlq.get("stored", 0) or \
+            dlq.get("rejected", 0):
+        lines.append("")
+        lines.append(
+            f"dead-letter: stored {dlq.get('stored', 0)} "
+            f"dead_lettered {dlq.get('dead_lettered', 0)} "
+            f"redelivered {dlq.get('redelivered', 0)} "
+            f"rejected {dlq.get('rejected', 0)} "
+            f"evicted {dlq.get('evicted', 0)}")
+
+    diags = [d for d in status.get("watchdog", {}).get("diagnoses", [])
+             if d.get("open")]
+    if diags:
+        lines.append("")
+        lines.append("watchdog (open):")
+        for d in diags[:8]:
+            lines.append(
+                f"  [{d.get('kind', '?')}] node {d.get('node', '?')} "
+                f"dest {d.get('dest', '?')} depth {d.get('depth', 0)} "
+                f"for {d.get('duration_ms', 0.0):.0f}ms")
+    return lines
+
+
+def run_plain(url: str, interval: float, once: bool) -> int:
+    rates = Rates()
+    while True:
+        try:
+            status = fetch_status(url)
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as e:
+            print(f"gravel-top: cannot poll {url}: {e}", file=sys.stderr)
+            if once:
+                return 1
+            time.sleep(interval)
+            continue
+        lines = render(status, rates.update(status), url)
+        if once:
+            print("\n".join(lines))
+            return 0
+        sys.stdout.write("\x1b[2J\x1b[H" + "\n".join(lines) + "\n")
+        sys.stdout.flush()
+        time.sleep(interval)
+
+
+def run_curses(url: str, interval: float) -> int:
+    import curses
+
+    def loop(scr) -> int:
+        curses.curs_set(0)
+        scr.nodelay(True)
+        rates = Rates()
+        error: str | None = None
+        while True:
+            try:
+                status = fetch_status(url)
+                lines = render(status, rates.update(status), url)
+                error = None
+            except (urllib.error.URLError, OSError,
+                    json.JSONDecodeError) as e:
+                error = f"gravel-top: cannot poll {url}: {e}"
+                lines = [error, "", "(q to quit)"]
+            scr.erase()
+            maxy, maxx = scr.getmaxyx()
+            for y, line in enumerate(lines[:maxy - 1]):
+                try:
+                    scr.addnstr(y, 0, line, maxx - 1)
+                except curses.error:
+                    pass
+            scr.refresh()
+            deadline = time.monotonic() + interval
+            while time.monotonic() < deadline:
+                ch = scr.getch()
+                if ch in (ord("q"), ord("Q")):
+                    return 0
+                time.sleep(0.05)
+
+    return curses.wrapper(loop)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("endpoint", nargs="?", default="127.0.0.1:9464",
+                        help="host:port of the status server "
+                             "(default: 127.0.0.1:9464)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="poll cadence, seconds (default: 1.0)")
+    parser.add_argument("--plain", action="store_true",
+                        help="ANSI clear+redraw instead of curses")
+    parser.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit")
+    args = parser.parse_args(argv[1:])
+
+    endpoint = args.endpoint
+    if not endpoint.startswith("http"):
+        endpoint = f"http://{endpoint}"
+    url = endpoint.rstrip("/") + "/status"
+
+    try:
+        if args.once or args.plain:
+            return run_plain(url, args.interval, args.once)
+        try:
+            import curses  # noqa: F401
+        except ImportError:
+            return run_plain(url, args.interval, once=False)
+        return run_curses(url, args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,14 +12,22 @@ holds {0}, bucket i>=1 covers [2^(i-1), 2^i); the estimate interpolates
 linearly inside the bucket where the cumulative count crosses q*total.
 
 Usage:
-    latency_report.py [gravel_metrics.json]
+    latency_report.py [gravel_metrics.json] [--json]
+    latency_report.py --parity-check CASES.json
 
-Exit status: 0 report printed, 1 no latency metrics in the snapshot
-(tracing was off or nothing was sampled), 2 usage/parse error.
+``--json`` emits the same report as machine-readable JSON on stdout so CI
+can pipe it. ``--parity-check`` verifies this script's quantile() against
+C++-computed expectations (written by the Pow2Histogram parity test) and is
+not a user-facing mode.
+
+Exit status: 0 report printed (or parity held), 1 no latency metrics in the
+snapshot (tracing was off or nothing was sampled) or parity mismatch,
+2 usage/parse error.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -64,56 +72,142 @@ def fmt_ns(ns: float) -> str:
     return f"{ns:8.0f} ns"
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) > 2 or (len(argv) == 2 and argv[1].startswith("-")):
-        print(__doc__, file=sys.stderr)
+def extract_histograms(snapshot: object) -> tuple[dict, list[int] | None]:
+    """Pooled per-transition + e2e bucket arrays from a metrics document.
+
+    Tolerates structurally odd documents (missing keys, non-list buckets)
+    by skipping the offending rows — absence is reported by the caller, not
+    raised as KeyError.
+    """
+    stage_hists: dict[str, list[int]] = {}
+    e2e_hist: list[int] | None = None
+    if not isinstance(snapshot, dict):
+        return stage_hists, e2e_hist
+    rows = snapshot.get("metrics", [])
+    if not isinstance(rows, list):
+        return stage_hists, e2e_hist
+    for m in rows:
+        if not isinstance(m, dict) or m.get("kind") != "histogram":
+            continue
+        name, labels = m.get("name"), m.get("labels", "")
+        buckets = m.get("buckets", [])
+        if not isinstance(buckets, list) or not isinstance(labels, str):
+            continue
+        # Pooled histograms carry labels exactly "stage=<t>"; keyed variants
+        # ("dest=...,kind=...,stage=...") are skipped here.
+        if name == "lat.stage_ns" and labels.startswith("stage="):
+            stage_hists[labels[len("stage="):]] = buckets
+        elif name == "lat.e2e_ns" and labels == "":
+            e2e_hist = buckets
+    return stage_hists, e2e_hist
+
+
+def build_report(stage_hists: dict, e2e_hist: list[int] | None) -> dict:
+    report: dict = {"transitions": [], "e2e": None, "bottleneck": None}
+    worst_p99 = -1.0
+    for t in TRANSITIONS:
+        buckets = stage_hists.get(t)
+        samples = sum(buckets) if buckets else 0
+        row: dict = {"transition": t, "samples": samples}
+        if samples:
+            row["p50_ns"] = quantile(buckets, 0.50)
+            row["p99_ns"] = quantile(buckets, 0.99)
+            if row["p99_ns"] > worst_p99:
+                worst_p99 = row["p99_ns"]
+                report["bottleneck"] = t
+        report["transitions"].append(row)
+    if e2e_hist is not None and sum(e2e_hist) > 0:
+        report["e2e"] = {
+            "samples": sum(e2e_hist),
+            "p50_ns": quantile(e2e_hist, 0.50),
+            "p99_ns": quantile(e2e_hist, 0.99),
+        }
+    return report
+
+
+def print_report(report: dict) -> None:
+    print(f"{'transition':<24} {'samples':>9} {'p50':>11} {'p99':>11}")
+    for row in report["transitions"]:
+        if row["samples"] == 0:
+            print(f"{row['transition']:<24} {0:>9} {'-':>11} {'-':>11}")
+            continue
+        print(f"{row['transition']:<24} {row['samples']:>9} "
+              f"{fmt_ns(row['p50_ns']):>11} {fmt_ns(row['p99_ns']):>11}")
+    e2e = report["e2e"]
+    if e2e is not None:
+        print(f"{'end_to_end':<24} {e2e['samples']:>9} "
+              f"{fmt_ns(e2e['p50_ns']):>11} {fmt_ns(e2e['p99_ns']):>11}")
+    if report["bottleneck"] is not None:
+        p99 = next(r["p99_ns"] for r in report["transitions"]
+                   if r["transition"] == report["bottleneck"])
+        print(f"\nbottleneck: {report['bottleneck']} "
+              f"(p99 {fmt_ns(p99).strip()})")
+
+
+def parity_check(path: Path) -> int:
+    """Compares quantile() against C++-computed expectations.
+
+    The cases file (written by tests/test_common.cpp's parity test) holds
+    ``{"cases": [{"buckets": [...], "q": 0.5, "expected": 12.5}, ...]}``.
+    """
+    try:
+        doc = json.loads(path.read_text())
+        cases = doc["cases"]
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as e:
+        print(f"error: cannot read parity cases {path}: {e}", file=sys.stderr)
         return 2
-    path = Path(argv[1]) if len(argv) == 2 else Path("gravel_metrics.json")
+    failures = 0
+    for i, case in enumerate(cases):
+        got = quantile(list(case["buckets"]), float(case["q"]))
+        want = float(case["expected"])
+        tol = max(1e-9, 1e-9 * abs(want))
+        if abs(got - want) > tol:
+            print(f"parity mismatch, case {i}: q={case['q']} "
+                  f"python={got!r} c++={want!r}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures}/{len(cases)} case(s) diverged", file=sys.stderr)
+        return 1
+    print(f"parity ok: {len(cases)} case(s)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("snapshot", nargs="?", default="gravel_metrics.json",
+                        help="metrics snapshot (default: gravel_metrics.json)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON on stdout")
+    parser.add_argument("--parity-check", metavar="CASES",
+                        help="verify quantile() against C++ expectations")
+    try:
+        args = parser.parse_args(argv[1:])
+    except SystemExit as e:
+        return 0 if e.code == 0 else 2
+
+    if args.parity_check:
+        return parity_check(Path(args.parity_check))
+
+    path = Path(args.snapshot)
     try:
         snapshot = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         return 2
 
-    # Pooled per-transition histograms carry labels exactly "stage=<t>";
-    # keyed variants ("dest=...,kind=...,stage=...") are skipped here.
-    stage_hists: dict[str, list[int]] = {}
-    e2e_hist: list[int] | None = None
-    for m in snapshot.get("metrics", []):
-        if m.get("kind") != "histogram":
-            continue
-        name, labels = m.get("name"), m.get("labels", "")
-        if name == "lat.stage_ns" and labels.startswith("stage="):
-            stage_hists[labels[len("stage="):]] = m.get("buckets", [])
-        elif name == "lat.e2e_ns" and labels == "":
-            e2e_hist = m.get("buckets", [])
-
+    stage_hists, e2e_hist = extract_histograms(snapshot)
     if not stage_hists and e2e_hist is None:
         print("no latency metrics found (was the run traced? GRAVEL_TRACE=1)",
               file=sys.stderr)
         return 1
 
-    print(f"{'transition':<24} {'samples':>9} {'p50':>11} {'p99':>11}")
-    bottleneck = None
-    worst_p99 = -1.0
-    for t in TRANSITIONS:
-        buckets = stage_hists.get(t)
-        if not buckets or sum(buckets) == 0:
-            print(f"{t:<24} {0:>9} {'-':>11} {'-':>11}")
-            continue
-        p50 = quantile(buckets, 0.50)
-        p99 = quantile(buckets, 0.99)
-        print(f"{t:<24} {sum(buckets):>9} {fmt_ns(p50):>11} {fmt_ns(p99):>11}")
-        if p99 > worst_p99:
-            worst_p99 = p99
-            bottleneck = t
-    if e2e_hist is not None and sum(e2e_hist) > 0:
-        p50 = quantile(e2e_hist, 0.50)
-        p99 = quantile(e2e_hist, 0.99)
-        print(f"{'end_to_end':<24} {sum(e2e_hist):>9} "
-              f"{fmt_ns(p50):>11} {fmt_ns(p99):>11}")
-    if bottleneck is not None:
-        print(f"\nbottleneck: {bottleneck} (p99 {fmt_ns(worst_p99).strip()})")
+    report = build_report(stage_hists, e2e_hist)
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        print_report(report)
     return 0
 
 
