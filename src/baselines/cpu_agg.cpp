@@ -12,7 +12,7 @@ CpuCluster::CpuCluster(const CpuClusterConfig& config) : config_(config) {
                 std::vector<std::uint64_t>(config.heap_words, 0));
   heapMutex_.reserve(config.nodes);
   for (std::uint32_t i = 0; i < config.nodes; ++i)
-    heapMutex_.push_back(std::make_unique<std::mutex>());
+    heapMutex_.push_back(std::make_unique<gravel::mutex>());
 }
 
 std::uint64_t CpuCluster::loadWord(std::uint32_t node,
@@ -31,7 +31,7 @@ void CpuCluster::applyBatch(std::uint32_t src, std::uint32_t dest,
                             const std::vector<CpuOp>& ops) {
   if (ops.empty()) return;
   {
-    std::scoped_lock lk(*heapMutex_[dest]);
+    gravel::lock_guard lk(*heapMutex_[dest]);
     auto& heap = heaps_[dest];
     for (const CpuOp& op : ops) {
       // kCall carries an opaque arg0 in `addr`; only direct heap ops are
@@ -61,7 +61,7 @@ void CpuCluster::applyBatch(std::uint32_t src, std::uint32_t dest,
       }
     }
   }
-  std::scoped_lock lk(statsMutex_);
+  gravel::lock_guard lk(statsMutex_);
   if (src != dest) {
     ++stats_.batches;
     stats_.batch_bytes += ops.size() * sizeof(CpuOp) * 2;  // padded 32 B wire
@@ -78,7 +78,7 @@ CpuCluster::WorkerCtx::~WorkerCtx() { flushAll(); }
 
 void CpuCluster::WorkerCtx::push(std::uint32_t dest, const CpuOp& op) {
   {
-    std::scoped_lock lk(cluster_.statsMutex_);
+    gravel::lock_guard lk(cluster_.statsMutex_);
     if (dest == node_)
       ++cluster_.stats_.ops_local;
     else
@@ -153,12 +153,12 @@ void CpuCluster::parallelFor(
 }
 
 CpuRunStats CpuCluster::stats() const {
-  std::scoped_lock lk(statsMutex_);
+  gravel::lock_guard lk(statsMutex_);
   return stats_;
 }
 
 void CpuCluster::resetStats() {
-  std::scoped_lock lk(statsMutex_);
+  gravel::lock_guard lk(statsMutex_);
   stats_ = CpuRunStats{};
 }
 

@@ -8,13 +8,12 @@
 // timing comes from perf::cpuBaselineTime over those counts.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/atomic.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
@@ -110,11 +109,14 @@ class CpuCluster {
                   const std::vector<CpuOp>& ops);
 
   CpuClusterConfig config_;
+  // heaps_[n] is guarded by *heapMutex_[n]; TSA cannot express a
+  // per-element mutex array, so applyBatch() documents the pairing and
+  // the verify scenarios exercise it instead.
   std::vector<std::vector<std::uint64_t>> heaps_;
-  std::vector<std::unique_ptr<std::mutex>> heapMutex_;
+  std::vector<std::unique_ptr<gravel::mutex>> heapMutex_;
   std::vector<CpuHandler> handlers_;
-  mutable std::mutex statsMutex_;
-  CpuRunStats stats_;
+  mutable gravel::mutex statsMutex_;
+  CpuRunStats stats_ GRAVEL_GUARDED_BY(statsMutex_);
 };
 
 }  // namespace gravel::baselines

@@ -1,0 +1,77 @@
+// Clang Thread Safety Analysis annotations (DESIGN.md §13).
+//
+// These macros wrap clang's capability attributes so the whole tree's lock
+// discipline — which field is guarded by which gravel::mutex, which helper
+// requires which lock held, which guard releases what — is stated in the
+// type system and checked at compile time with -Wthread-safety. On GCC, on
+// pre-attribute clang, or under -DGRAVEL_NO_TSA they expand to nothing, so
+// annotated code compiles identically everywhere (the compile_no_tsa ctest
+// proves the vanish path; the static-analysis CI job proves the checked
+// path with -Wthread-safety -Werror).
+//
+// Conventions (see DESIGN.md §13 for the full contract):
+//   - gravel::mutex is the only GRAVEL_CAPABILITY type in product code;
+//     gravel::lock_guard is the only scoped guard. std::scoped_lock is
+//     invisible to the analysis and must not be used on a gravel::mutex.
+//   - Every non-atomic field written by more than one thread carries
+//     GRAVEL_GUARDED_BY(<its mutex>).
+//   - Private helpers that assume a caller-held lock say
+//     GRAVEL_REQUIRES(<mutex>); public entry points that take a lock the
+//     caller must not already hold say GRAVEL_EXCLUDES(<mutex>).
+//   - src/verify/ is the one place GRAVEL_NO_THREAD_SAFETY_ANALYSIS is
+//     permitted: the controller deliberately juggles locks across threads
+//     in ways the static analysis cannot type.
+#pragma once
+
+#if defined(__clang__) && !defined(GRAVEL_NO_TSA) && !defined(SWIG)
+#define GRAVEL_TSA_ATTR(x) __attribute__((x))
+#else
+#define GRAVEL_TSA_ATTR(x)  // no-op: GCC / -DGRAVEL_NO_TSA builds
+#endif
+
+/// Marks a type as a capability (a lock). `x` is the capability's
+/// diagnostic name, e.g. GRAVEL_CAPABILITY("mutex").
+#define GRAVEL_CAPABILITY(x) GRAVEL_TSA_ATTR(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define GRAVEL_SCOPED_CAPABILITY GRAVEL_TSA_ATTR(scoped_lockable)
+
+/// Data member may only be read/written while holding capability `x`.
+#define GRAVEL_GUARDED_BY(x) GRAVEL_TSA_ATTR(guarded_by(x))
+
+/// Pointer member: the *pointee* is guarded by `x` (the pointer itself may
+/// be read freely).
+#define GRAVEL_PT_GUARDED_BY(x) GRAVEL_TSA_ATTR(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does not
+/// release them).
+#define GRAVEL_REQUIRES(...) \
+  GRAVEL_TSA_ATTR(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on exit.
+#define GRAVEL_ACQUIRE(...) \
+  GRAVEL_TSA_ATTR(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define GRAVEL_RELEASE(...) \
+  GRAVEL_TSA_ATTR(release_capability(__VA_ARGS__))
+
+/// Function may not be called while holding the listed capabilities
+/// (anti-deadlock: documents "takes this lock internally").
+#define GRAVEL_EXCLUDES(...) GRAVEL_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to a capability (lock accessors).
+#define GRAVEL_RETURN_CAPABILITY(x) GRAVEL_TSA_ATTR(lock_returned(x))
+
+/// Declares that `x` must be acquired before the annotated mutex.
+#define GRAVEL_ACQUIRED_AFTER(...) \
+  GRAVEL_TSA_ATTR(acquired_after(__VA_ARGS__))
+
+/// Declares that `x` must be acquired after the annotated mutex.
+#define GRAVEL_ACQUIRED_BEFORE(...) \
+  GRAVEL_TSA_ATTR(acquired_before(__VA_ARGS__))
+
+/// Escape hatch — permitted only under src/verify/ (enforced by the
+/// static-analysis acceptance gate: zero suppressions outside src/verify/).
+#define GRAVEL_NO_THREAD_SAFETY_ANALYSIS \
+  GRAVEL_TSA_ATTR(no_thread_safety_analysis)

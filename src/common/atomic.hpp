@@ -22,8 +22,14 @@
 //   2. spin loops call gravel::verify::spinYield() when they back off, so
 //      the model checker can block them instead of replaying empty reads;
 //   3. code that hands raw payload memory across a synchronization edge
-//      announces the access via dataLoad/dataStore.
+//      announces the access via dataLoad/dataStore;
+//   4. gravel::mutex is capability-bearing (common/annotations.hpp): fields
+//      it guards say GRAVEL_GUARDED_BY, and critical sections use
+//      gravel::lock_guard — never std::scoped_lock, which clang's thread
+//      safety analysis cannot see through.
 #pragma once
+
+#include "common/annotations.hpp"
 
 #if defined(GRAVEL_VERIFY) && GRAVEL_VERIFY
 
@@ -41,7 +47,22 @@ namespace gravel {
 template <typename T>
 using atomic = std::atomic<T>;
 using atomic_flag = std::atomic_flag;
-using mutex = std::mutex;
+
+/// std::mutex with clang thread-safety capability attributes. lock/unlock
+/// are inline forwarders — same codegen as the bare std::mutex this
+/// replaced; the attributes exist purely for -Wthread-safety.
+class GRAVEL_CAPABILITY("mutex") mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() GRAVEL_ACQUIRE() { m_.lock(); }
+  void unlock() GRAVEL_RELEASE() { m_.unlock(); }
+
+ private:
+  std::mutex m_;
+};
 
 namespace verify {
 
@@ -57,3 +78,23 @@ inline void fail(const std::string& /*message*/) noexcept {}
 }  // namespace gravel
 
 #endif  // GRAVEL_VERIFY
+
+namespace gravel {
+
+/// RAII critical section over a gravel::mutex — the repo's only lock guard.
+/// A scoped capability, so clang's thread safety analysis knows the mutex
+/// is held for the guard's lifetime (std::scoped_lock is opaque to it).
+/// Works identically over the std-alias and verify-shim mutex.
+class GRAVEL_SCOPED_CAPABILITY lock_guard {
+ public:
+  explicit lock_guard(mutex& m) GRAVEL_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~lock_guard() GRAVEL_RELEASE() { m_.unlock(); }
+
+  lock_guard(const lock_guard&) = delete;
+  lock_guard& operator=(const lock_guard&) = delete;
+
+ private:
+  mutex& m_;
+};
+
+}  // namespace gravel

@@ -1,7 +1,5 @@
 #include "models/model.hpp"
 
-#include <mutex>
-
 #include "common/atomic.hpp"
 #include <thread>
 #include <vector>
@@ -40,7 +38,7 @@ class Repacker {
         buffers_(fabric.nodes()) {}
 
   void append(std::uint32_t dst, const NetMessage* msgs, std::size_t count) {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     auto& buf = buffers_[dst];
     for (std::size_t i = 0; i < count; ++i) {
       buf.push_back(msgs[i]);
@@ -53,7 +51,7 @@ class Repacker {
   }
 
   void flushAll() {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     for (std::uint32_t dst = 0; dst < buffers_.size(); ++dst) {
       if (buffers_[dst].empty()) continue;
       std::vector<NetMessage> batch;
@@ -66,8 +64,8 @@ class Repacker {
   std::uint32_t self_;
   net::Fabric& fabric_;
   std::size_t capacity_;
-  std::mutex mutex_;
-  std::vector<std::vector<NetMessage>> buffers_;
+  gravel::mutex mutex_;
+  std::vector<std::vector<NetMessage>> buffers_ GRAVEL_GUARDED_BY(mutex_);
 };
 
 /// Runs `kernel` on every node's device concurrently (the manual version of

@@ -21,7 +21,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "common/atomic.hpp"
@@ -68,7 +67,7 @@ class DeadLetterQueue {
             std::vector<rt::NetMessage>&& msgs) {
     if (msgs.empty()) return;
     GRAVEL_CHECK_MSG(src < nodes_ && dst < nodes_, "dead-letter: bad link");
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     const std::uint64_t n = msgs.size();
     stats_.dead_lettered += n;
     const std::uint64_t room = capacity_ > storedPerDest_[dst]
@@ -91,7 +90,7 @@ class DeadLetterQueue {
   /// storage-only, no dead_lettered recount (it was counted on first push).
   void restore(Entry&& e) {
     if (e.msgs.empty()) return;
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     storedPerDest_[e.dst] += e.msgs.size();
     stats_.stored += e.msgs.size();
     perDest_[e.dst].push_back(std::move(e));
@@ -100,36 +99,36 @@ class DeadLetterQueue {
   /// True when the destination's store is at its bound — the admission
   /// check's pushback condition.
   bool full(std::uint32_t dst) const {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     return storedPerDest_[dst] >= capacity_;
   }
 
   std::uint64_t storedFor(std::uint32_t dst) const {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     return storedPerDest_[dst];
   }
 
   /// Every destination's stored depth under one lock acquisition — the
   /// status endpoint's bulk view (storedFor() is the single-dest probe).
   std::vector<std::uint64_t> storedPerDest() const {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     return storedPerDest_;
   }
 
   void noteRejected(std::uint64_t n) {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     stats_.rejected += n;
   }
 
   void noteRedelivered(std::uint64_t n) {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     stats_.redelivered += n;
   }
 
   /// Removes every entry involving `node` (owed to it, or owed by it) for
   /// redelivery after a restart.
   std::vector<Entry> drainFor(std::uint32_t node) {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     std::vector<Entry> out;
     for (std::uint32_t dst = 0; dst < nodes_; ++dst) {
       std::deque<Entry>& q = perDest_[dst];
@@ -148,7 +147,7 @@ class DeadLetterQueue {
   }
 
   DeadLetterStats stats() const {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     return stats_;
   }
 
@@ -156,9 +155,10 @@ class DeadLetterQueue {
   std::uint32_t nodes_;
   std::uint64_t capacity_;
   mutable gravel::mutex mutex_;
-  std::vector<std::deque<Entry>> perDest_;  ///< indexed by destination
-  std::vector<std::uint64_t> storedPerDest_;
-  DeadLetterStats stats_;
+  /// Indexed by destination.
+  std::vector<std::deque<Entry>> perDest_ GRAVEL_GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> storedPerDest_ GRAVEL_GUARDED_BY(mutex_);
+  DeadLetterStats stats_ GRAVEL_GUARDED_BY(mutex_);
 };
 
 }  // namespace gravel::net

@@ -21,7 +21,6 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -203,7 +202,7 @@ class PerfectFabric : public Fabric {
 
   bool tryReceive(std::uint32_t dst, Delivery& out) override {
     Inbox& inbox = inboxes_[dst];
-    std::scoped_lock lk(inbox.mutex);
+    gravel::lock_guard lk(inbox.mutex);
     if (inbox.pending.empty()) return false;
     // Delayed parcels (FaultyFabric) are skipped until ready; everything the
     // perfect fabric enqueues is ready immediately.
@@ -236,7 +235,7 @@ class PerfectFabric : public Fabric {
     os << "wire: " << inFlight() << " message(s) in flight";
     for (std::uint32_t n = 0; n < nodes_; ++n) {
       Inbox& inbox = inboxes_[n];
-      std::scoped_lock lk(inbox.mutex);
+      gravel::lock_guard lk(inbox.mutex);
       if (inbox.pending.empty()) continue;
       std::uint64_t msgs = 0;
       for (const Parcel& p : inbox.pending) msgs += p.delivery.messages.size();
@@ -247,12 +246,12 @@ class PerfectFabric : public Fabric {
   }
 
   LinkStats link(std::uint32_t src, std::uint32_t dst) const override {
-    std::scoped_lock lk(linkMutex_);
+    gravel::lock_guard lk(linkMutex_);
     return links_[std::size_t{src} * nodes_ + dst];
   }
 
   LinkStats total() const override {
-    std::scoped_lock lk(linkMutex_);
+    gravel::lock_guard lk(linkMutex_);
     LinkStats t;
     for (const auto& l : links_) {
       t.batches += l.batches;
@@ -263,7 +262,7 @@ class PerfectFabric : public Fabric {
   }
 
   RunningStat batchSizeBytes() const override {
-    std::scoped_lock lk(linkMutex_);
+    gravel::lock_guard lk(linkMutex_);
     return batchBytes_;
   }
 
@@ -278,7 +277,7 @@ class PerfectFabric : public Fabric {
   void recordSend(std::uint32_t src, std::uint32_t dst,
                   const std::vector<rt::NetMessage>& batch) {
     traceWireSend(src, dst, batch);
-    std::scoped_lock lk(linkMutex_);
+    gravel::lock_guard lk(linkMutex_);
     LinkStats& link = links_[std::size_t{src} * nodes_ + dst];
     ++link.batches;
     link.messages += batch.size();
@@ -290,7 +289,7 @@ class PerfectFabric : public Fabric {
   /// (reorder injection; clamped to the current depth).
   void enqueue(std::uint32_t dst, Parcel&& parcel, std::size_t displace = 0) {
     Inbox& inbox = inboxes_[dst];
-    std::scoped_lock lk(inbox.mutex);
+    gravel::lock_guard lk(inbox.mutex);
     if (displace > inbox.pending.size()) displace = inbox.pending.size();
     inbox.pending.insert(inbox.pending.end() - std::ptrdiff_t(displace),
                          std::move(parcel));
@@ -303,14 +302,14 @@ class PerfectFabric : public Fabric {
  private:
   struct Inbox {
     gravel::mutex mutex;
-    std::deque<Parcel> pending;
+    std::deque<Parcel> pending GRAVEL_GUARDED_BY(mutex);
   };
 
   std::uint32_t nodes_;
   mutable std::vector<Inbox> inboxes_;
   mutable gravel::mutex linkMutex_;
-  std::vector<LinkStats> links_;
-  RunningStat batchBytes_;
+  std::vector<LinkStats> links_ GRAVEL_GUARDED_BY(linkMutex_);
+  RunningStat batchBytes_ GRAVEL_GUARDED_BY(linkMutex_);
   atomic<std::uint64_t> inFlight_{0};
 };
 

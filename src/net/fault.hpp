@@ -11,7 +11,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
-#include <mutex>
+#include "common/atomic.hpp"
 #include <vector>
 
 #include "common/rng.hpp"
@@ -110,11 +110,11 @@ class FaultyFabric : public PerfectFabric {
 
     Decision d;
     {
-      std::scoped_lock lk(rngMutex_);
+      gravel::lock_guard lk(rngMutex_);
       d = decide(src, dst);
     }
     if (d.drop) {
-      std::scoped_lock lk(rngMutex_);
+      gravel::lock_guard lk(rngMutex_);
       if (d.partitioned)
         ++stats_.partition_drops;
       else
@@ -132,7 +132,7 @@ class FaultyFabric : public PerfectFabric {
   }
 
   FaultStats faultStats() const override {
-    std::scoped_lock lk(rngMutex_);
+    gravel::lock_guard lk(rngMutex_);
     return stats_;
   }
 
@@ -155,8 +155,9 @@ class FaultyFabric : public PerfectFabric {
     std::chrono::steady_clock::time_point readyAt{};
   };
 
-  // Caller holds rngMutex_.
-  Decision decide(std::uint32_t src, std::uint32_t dst) {
+  // Caller holds rngMutex_ (compiler-enforced).
+  Decision decide(std::uint32_t src, std::uint32_t dst)
+      GRAVEL_REQUIRES(rngMutex_) {
     Decision d;
     const auto now = std::chrono::steady_clock::now();
     for (const auto& w : config_.partitions) {
@@ -192,9 +193,9 @@ class FaultyFabric : public PerfectFabric {
 
   FaultConfig config_;
   std::chrono::steady_clock::time_point start_;
-  mutable std::mutex rngMutex_;
-  std::vector<Xoshiro256> rngs_;
-  FaultStats stats_;
+  mutable gravel::mutex rngMutex_;
+  std::vector<Xoshiro256> rngs_ GRAVEL_GUARDED_BY(rngMutex_);
+  FaultStats stats_ GRAVEL_GUARDED_BY(rngMutex_);
 };
 
 }  // namespace gravel::net

@@ -54,7 +54,6 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -149,7 +148,7 @@ class ReliableFabric : public Fabric {
       // Counted before any breaker decision: `sent` includes dead-lettered
       // messages, which is what makes delivered + dead_lettered == sent the
       // conservation invariant of a degraded run.
-      std::scoped_lock lk(statsMutex_);
+      gravel::lock_guard lk(statsMutex_);
       LinkStats& link = links_[linkIndex(src, dst)];
       ++link.batches;
       link.messages += batch.size();
@@ -162,7 +161,7 @@ class ReliableFabric : public Fabric {
     bool toDeadLetter = false;
     bool probed = false;
     {
-      std::scoped_lock lk(L.mutex);
+      gravel::lock_guard lk(L.mutex);
       if (degrade() && L.breaker == BreakerState::kOpen) {
         const bool endpointDead =
             membership_->dead(src) || membership_->dead(dst);
@@ -197,10 +196,10 @@ class ReliableFabric : public Fabric {
       return;
     }
     if (probed) {
-      std::scoped_lock lk(statsMutex_);
+      gravel::lock_guard lk(statsMutex_);
       ++relStats_.probes;
     }
-    outstanding_.fetch_add(1, std::memory_order_release);
+    outstanding_.fetch_add(1, std::memory_order_release);  // pairs-with: reliable.outstanding
     ship(src, dst, seq, era, std::move(batch));
   }
 
@@ -222,7 +221,7 @@ class ReliableFabric : public Fabric {
     }
     ReadyQueue& rq = ready_[dst];
     {
-      std::scoped_lock lk(rq.mutex);
+      gravel::lock_guard lk(rq.mutex);
       if (rq.pending.empty()) return false;
       out = std::move(rq.pending.front());
       rq.pending.pop_front();
@@ -231,7 +230,7 @@ class ReliableFabric : public Fabric {
     // Ordering vs quiescent(): the count was incremented before the batch
     // became poppable, so this sub can never drive the count below the
     // number of still-pending batches.
-    readyCount_.fetch_sub(1, std::memory_order_release);
+    readyCount_.fetch_sub(1, std::memory_order_release);  // pairs-with: reliable.ready-count
     return true;
   }
 
@@ -245,18 +244,18 @@ class ReliableFabric : public Fabric {
     RecvLink& R = recvLinks_[linkIndex(d.src, self)];
     std::uint32_t ackEra = 0;
     {
-      std::scoped_lock lk(R.mutex);
+      gravel::lock_guard lk(R.mutex);
       const std::uint32_t era =
           eras_[linkIndex(d.src, self)].load(std::memory_order_relaxed) &
           kEraWireMask;
       if (era != (d.era & kEraWireMask)) return;
       // Per-link deliveries reach the (single) network thread in seq order,
       // so a plain store keeps `resolved` monotonic within an era.
-      R.resolved.store(d.seq, std::memory_order_release);
+      R.resolved.store(d.seq, std::memory_order_release);  // pairs-with: reliable.resolved
       ackEra = era;
     }
     {
-      std::scoped_lock lk(statsMutex_);
+      gravel::lock_guard lk(statsMutex_);
       ++relStats_.acks_sent;
     }
     wire_.send(self, d.src,
@@ -274,7 +273,7 @@ class ReliableFabric : public Fabric {
       std::uint64_t seq = 0;
       std::uint32_t era = 0;
       {
-        std::scoped_lock lk(L.mutex);
+        gravel::lock_guard lk(L.mutex);
         if (L.unacked.empty() || now < L.nextRetryAt) continue;
         const auto oldest = L.unacked.begin();
         if (L.retries >= config_.max_retries) {
@@ -295,7 +294,7 @@ class ReliableFabric : public Fabric {
         era = eras_[linkIndex(self, dst)].load(std::memory_order_relaxed);
       }
       {
-        std::scoped_lock lk(statsMutex_);
+        gravel::lock_guard lk(statsMutex_);
         ++links_[linkIndex(self, dst)].retransmits;
       }
       ship(self, dst, seq, era, std::move(frame));
@@ -311,12 +310,13 @@ class ReliableFabric : public Fabric {
   /// whatever still sits in wire inboxes can only be duplicates, stale
   /// retransmissions or ACKs, all idempotent (stale eras are rejected).
   bool quiescent() const override {
+    // pairs-with: reliable.outstanding, reliable.ready-count
     return outstanding_.load(std::memory_order_acquire) == 0 &&
            readyCount_.load(std::memory_order_acquire) == 0;
   }
 
   std::optional<LinkFailureInfo> failure() const override {
-    std::scoped_lock lk(failureMutex_);
+    gravel::lock_guard lk(failureMutex_);
     return failure_;
   }
 
@@ -327,7 +327,7 @@ class ReliableFabric : public Fabric {
     for (std::uint32_t s = 0; s < nodes_; ++s) {
       for (std::uint32_t d = 0; d < nodes_; ++d) {
         const SendLink& L = sendLinks_[linkIndex(s, d)];
-        std::scoped_lock lk(L.mutex);
+        gravel::lock_guard lk(L.mutex);
         if (L.unacked.empty()) continue;
         os << "; link " << s << "->" << d << ": " << L.unacked.size()
            << " unacked (oldest seq " << L.unacked.begin()->first
@@ -337,7 +337,7 @@ class ReliableFabric : public Fabric {
     for (std::uint32_t s = 0; s < nodes_; ++s) {
       for (std::uint32_t d = 0; d < nodes_; ++d) {
         const RecvLink& R = recvLinks_[linkIndex(s, d)];
-        std::scoped_lock lk(R.mutex);
+        gravel::lock_guard lk(R.mutex);
         if (R.reorder.empty()) continue;
         os << "; reorder " << s << "->" << d << ": " << R.reorder.size()
            << " parked (delivered " << R.delivered << ")";
@@ -345,7 +345,7 @@ class ReliableFabric : public Fabric {
     }
     for (std::uint32_t n = 0; n < nodes_; ++n) {
       const ReadyQueue& rq = ready_[n];
-      std::scoped_lock lk(rq.mutex);
+      gravel::lock_guard lk(rq.mutex);
       if (!rq.pending.empty())
         os << "; ready[" << n << "]: " << rq.pending.size()
            << " undelivered batch(es)";
@@ -367,12 +367,12 @@ class ReliableFabric : public Fabric {
   }
 
   LinkStats link(std::uint32_t src, std::uint32_t dst) const override {
-    std::scoped_lock lk(statsMutex_);
+    gravel::lock_guard lk(statsMutex_);
     return links_[linkIndex(src, dst)];
   }
 
   LinkStats total() const override {
-    std::scoped_lock lk(statsMutex_);
+    gravel::lock_guard lk(statsMutex_);
     LinkStats t;
     for (const auto& l : links_) {
       t.batches += l.batches;
@@ -386,14 +386,14 @@ class ReliableFabric : public Fabric {
   }
 
   RunningStat batchSizeBytes() const override {
-    std::scoped_lock lk(statsMutex_);
+    gravel::lock_guard lk(statsMutex_);
     return batchBytes_;
   }
 
   FaultStats faultStats() const override { return wire_.faultStats(); }
 
   ReliabilityStats reliabilityStats() const override {
-    std::scoped_lock lk(statsMutex_);
+    gravel::lock_guard lk(statsMutex_);
     return relStats_;
   }
 
@@ -406,7 +406,7 @@ class ReliableFabric : public Fabric {
 
   /// Unacked data batches — the ACK-based quiescence depth.
   std::uint64_t pendingCount() const override {
-    return outstanding_.load(std::memory_order_acquire);
+    return outstanding_.load(std::memory_order_acquire);  // pairs-with: reliable.outstanding
   }
 
   /// Snapshot of one directed link's sender-side protocol state, for the
@@ -431,7 +431,7 @@ class ReliableFabric : public Fabric {
     for (std::uint32_t s = 0; s < nodes_; ++s) {
       for (std::uint32_t d = 0; d < nodes_; ++d) {
         const SendLink& L = sendLinks_[linkIndex(s, d)];
-        std::scoped_lock lk(L.mutex);
+        gravel::lock_guard lk(L.mutex);
         if (L.unacked.empty()) continue;
         const auto stalled =
             std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -440,6 +440,7 @@ class ReliableFabric : public Fabric {
         out.push_back(LinkSendState{
             s, d, L.unacked.size(), L.unacked.begin()->first, L.nextSeq,
             L.retries, stalled > 0 ? std::uint64_t(stalled) : 0, L.breaker,
+            // pairs-with: reliable.era
             eras_[linkIndex(s, d)].load(std::memory_order_acquire)});
       }
     }
@@ -463,7 +464,7 @@ class ReliableFabric : public Fabric {
         const std::uint32_t era =
             eras_[linkIndex(s, d)].load(std::memory_order_acquire);
         const SendLink& L = sendLinks_[linkIndex(s, d)];
-        std::scoped_lock lk(L.mutex);
+        gravel::lock_guard lk(L.mutex);
         if (L.breaker == BreakerState::kClosed && era == 0) continue;
         out.push_back(LinkBreakerSnapshot{s, d, L.breaker, era});
       }
@@ -476,7 +477,7 @@ class ReliableFabric : public Fabric {
   std::uint64_t reorderDepth() const {
     std::uint64_t depth = 0;
     for (const RecvLink& R : recvLinks_) {
-      std::scoped_lock lk(R.mutex);
+      gravel::lock_guard lk(R.mutex);
       depth += R.reorder.size();
     }
     return depth;
@@ -541,29 +542,36 @@ class ReliableFabric : public Fabric {
 
   struct SendLink {
     mutable gravel::mutex mutex;
-    std::uint64_t nextSeq = 1;
-    std::map<std::uint64_t, std::vector<rt::NetMessage>> unacked;
-    std::chrono::steady_clock::time_point nextRetryAt{};
-    std::chrono::microseconds rto{0};
-    std::uint32_t retries = 0;
+    std::uint64_t nextSeq GRAVEL_GUARDED_BY(mutex) = 1;
+    std::map<std::uint64_t, std::vector<rt::NetMessage>> unacked
+        GRAVEL_GUARDED_BY(mutex);
+    std::chrono::steady_clock::time_point nextRetryAt
+        GRAVEL_GUARDED_BY(mutex){};
+    std::chrono::microseconds rto GRAVEL_GUARDED_BY(mutex){0};
+    std::uint32_t retries GRAVEL_GUARDED_BY(mutex) = 0;
     /// When the current oldest unacked seq became the oldest — reset on
     /// every cumulative-ACK advance, so (now - oldestSince) is how long the
     /// link has made zero forward progress. The stall watchdog's
     /// stalled-link signal.
-    std::chrono::steady_clock::time_point oldestSince{};
+    std::chrono::steady_clock::time_point oldestSince
+        GRAVEL_GUARDED_BY(mutex){};
     // Circuit breaker (degrade policy; untouched under fail_fast).
-    BreakerState breaker = BreakerState::kClosed;
-    std::chrono::steady_clock::time_point openedAt{};
+    BreakerState breaker GRAVEL_GUARDED_BY(mutex) = BreakerState::kClosed;
+    std::chrono::steady_clock::time_point openedAt GRAVEL_GUARDED_BY(mutex){};
   };
   struct RecvLink {
     mutable gravel::mutex mutex;
-    std::uint64_t delivered = 0;  ///< highest seq handed upward (contiguous)
-    std::map<std::uint64_t, std::vector<rt::NetMessage>> reorder;
-    atomic<std::uint64_t> resolved{0};  ///< cumulative ACK level
+    /// Highest seq handed upward (contiguous).
+    std::uint64_t delivered GRAVEL_GUARDED_BY(mutex) = 0;
+    std::map<std::uint64_t, std::vector<rt::NetMessage>> reorder
+        GRAVEL_GUARDED_BY(mutex);
+    /// Cumulative ACK level. Atomic, not guarded: written under mutex but
+    /// read lock-free by ship()'s piggyback path (era-fenced; see ship()).
+    atomic<std::uint64_t> resolved{0};
   };
   struct ReadyQueue {
     mutable gravel::mutex mutex;
-    std::deque<Delivery> pending;
+    std::deque<Delivery> pending GRAVEL_GUARDED_BY(mutex);
   };
 
   std::size_t linkIndex(std::uint32_t src, std::uint32_t dst) const noexcept {
@@ -607,7 +615,7 @@ class ReliableFabric : public Fabric {
     bool stale = false;
     bool probeClosed = false;
     {
-      std::scoped_lock lk(L.mutex);
+      gravel::lock_guard lk(L.mutex);
       if ((eras_[linkIndex(self, from)].load(std::memory_order_relaxed) &
            kEraWireMask) != (ackEra & kEraWireMask)) {
         // An ACK from before a re-sync: its seqs belong to the old
@@ -633,13 +641,14 @@ class ReliableFabric : public Fabric {
       }
     }
     if (stale) {
-      std::scoped_lock lk(statsMutex_);
+      gravel::lock_guard lk(statsMutex_);
       ++relStats_.stale_ack_drops;
       return;
     }
     if (erased > 0) {
+      // pairs-with: reliable.outstanding
       outstanding_.fetch_sub(erased, std::memory_order_release);
-      std::scoped_lock lk(statsMutex_);
+      gravel::lock_guard lk(statsMutex_);
       ++links_[linkIndex(self, from)].acks;
     }
     if (erased > 0 && membership_ != nullptr) {
@@ -665,7 +674,7 @@ class ReliableFabric : public Fabric {
     std::uint64_t level = 0;
     std::uint32_t ackEra = 0;
     {
-      std::scoped_lock lk(R.mutex);
+      gravel::lock_guard lk(R.mutex);
       const std::uint32_t current =
           eras_[linkIndex(src, self)].load(std::memory_order_relaxed) &
           kEraWireMask;
@@ -678,6 +687,7 @@ class ReliableFabric : public Fabric {
         // Duplicate (wire dup, or retransmit after a lost ACK). If already
         // resolved, the sender clearly missed the ACK: send it again.
         bumpDupDrop(src, self);
+        // pairs-with: reliable.resolved
         reack = seq <= R.resolved.load(std::memory_order_acquire);
         level = R.resolved.load(std::memory_order_acquire);
         ackEra = current;
@@ -695,18 +705,18 @@ class ReliableFabric : public Fabric {
         bumpDupDrop(src, self);
       } else if (R.reorder.size() >= config_.reorder_window) {
         // Out of window: drop; the sender's retransmit closes the gap first.
-        std::scoped_lock slk(statsMutex_);
+        gravel::lock_guard slk(statsMutex_);
         ++relStats_.reorder_drops;
       } else {
         R.reorder.emplace(seq, std::move(frame));
-        std::scoped_lock slk(statsMutex_);
+        gravel::lock_guard slk(statsMutex_);
         relStats_.reorder_peak =
             std::max(relStats_.reorder_peak,
                      std::uint64_t(R.reorder.size()));
       }
     }
     if (stale) {
-      std::scoped_lock lk(statsMutex_);
+      gravel::lock_guard lk(statsMutex_);
       ++relStats_.stale_data_drops;
       return;
     }
@@ -718,7 +728,7 @@ class ReliableFabric : public Fabric {
   }
 
   void bumpDupDrop(std::uint32_t src, std::uint32_t self) {
-    std::scoped_lock lk(statsMutex_);
+    gravel::lock_guard lk(statsMutex_);
     ++links_[linkIndex(src, self)].dup_drops;
   }
 
@@ -726,13 +736,13 @@ class ReliableFabric : public Fabric {
     ReadyQueue& rq = ready_[self];
     // Increment before the push becomes visible: quiescent() may over-count
     // briefly (conservative) but never under-counts a pending batch.
-    readyCount_.fetch_add(1, std::memory_order_release);
-    std::scoped_lock lk(rq.mutex);
+    readyCount_.fetch_add(1, std::memory_order_release);  // pairs-with: reliable.ready-count
+    gravel::lock_guard lk(rq.mutex);
     rq.pending.push_back(std::move(d));
   }
 
   void latchFailure(const LinkFailureInfo& info) {
-    std::scoped_lock lk(failureMutex_);
+    gravel::lock_guard lk(failureMutex_);
     if (!failure_) failure_ = info;
   }
 
@@ -773,8 +783,8 @@ class ReliableFabric : public Fabric {
       // Fixed L-then-R order (gravel::mutex has no try_lock, so no
       // std::lock deadlock-avoidance): safe because every other path in
       // this class holds at most one of the two link mutexes at a time.
-      std::scoped_lock lkL(L.mutex);
-      std::scoped_lock lkR(R.mutex);
+      gravel::lock_guard lkL(L.mutex);
+      gravel::lock_guard lkR(R.mutex);
       // Settlement: batches the receiver has resolved (stopped receiver) or
       // admitted in order (running receiver — its network thread will still
       // resolve everything already in the ready queue) count as delivered;
@@ -800,13 +810,15 @@ class ReliableFabric : public Fabric {
       R.reorder.clear();
       // `resolved` before the era bump: ship()'s lock-free piggyback reads
       // era (acquire) first, so a new era implies it sees this reset.
-      R.resolved.store(0, std::memory_order_release);
+      R.resolved.store(0, std::memory_order_release);  // pairs-with: reliable.resolved
+      // pairs-with: reliable.era
       eras_[linkIndex(s, d)].fetch_add(1, std::memory_order_release);
     }
     if (erased > 0)
+      // pairs-with: reliable.outstanding
       outstanding_.fetch_sub(erased, std::memory_order_release);
     if (tripped) {
-      std::scoped_lock lk(statsMutex_);
+      gravel::lock_guard lk(statsMutex_);
       ++relStats_.breaker_trips;
     }
     for (std::vector<rt::NetMessage>& batch : dead)
@@ -819,11 +831,12 @@ class ReliableFabric : public Fabric {
     ReadyQueue& rq = ready_[n];
     std::size_t dropped = 0;
     {
-      std::scoped_lock lk(rq.mutex);
+      gravel::lock_guard lk(rq.mutex);
       dropped = rq.pending.size();
       rq.pending.clear();
     }
     if (dropped > 0)
+      // pairs-with: reliable.ready-count
       readyCount_.fetch_sub(dropped, std::memory_order_release);
   }
 
@@ -845,12 +858,12 @@ class ReliableFabric : public Fabric {
   atomic<std::uint64_t> readyCount_{0};
 
   mutable gravel::mutex statsMutex_;
-  std::vector<LinkStats> links_;
-  RunningStat batchBytes_;
-  ReliabilityStats relStats_;
+  std::vector<LinkStats> links_ GRAVEL_GUARDED_BY(statsMutex_);
+  RunningStat batchBytes_ GRAVEL_GUARDED_BY(statsMutex_);
+  ReliabilityStats relStats_ GRAVEL_GUARDED_BY(statsMutex_);
 
   mutable gravel::mutex failureMutex_;
-  std::optional<LinkFailureInfo> failure_;
+  std::optional<LinkFailureInfo> failure_ GRAVEL_GUARDED_BY(failureMutex_);
 };
 
 }  // namespace gravel::net

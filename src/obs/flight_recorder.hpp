@@ -48,12 +48,12 @@ class FlightRing {
   void record(const TraceEvent& e) noexcept {
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
     events_[h & mask_] = e;
-    head_.store(h + 1, std::memory_order_release);
+    head_.store(h + 1, std::memory_order_release);  // pairs-with: flightrec.head
   }
 
   /// Events ever recorded (not clamped to capacity).
   std::uint64_t recorded() const noexcept {
-    return head_.load(std::memory_order_acquire);
+    return head_.load(std::memory_order_acquire);  // pairs-with: flightrec.head
   }
 
   std::size_t capacity() const noexcept { return std::size_t(mask_) + 1; }
@@ -62,7 +62,9 @@ class FlightRing {
   /// writer: slots strictly below the acquired head are fully published,
   /// and on a wrapped ring the single oldest slot — the one a live writer
   /// may be overwriting — is skipped (see the file comment).
+  // gravel-analyze: cold — quiescent/dump-time reader, not a record site.
   std::vector<TraceEvent> snapshot() const {
+    // pairs-with: flightrec.head
     const std::uint64_t h = head_.load(std::memory_order_acquire);
     std::uint64_t n = std::min<std::uint64_t>(h, mask_ + 1);
     if (h > mask_ + 1 && n > 0) --n;  // wrapped: oldest slot may be live
@@ -97,6 +99,7 @@ class FlightRecorder {
     ThreadRing* next = nullptr;  ///< immutable after publication
 
     const std::string& name() const noexcept {
+      // pairs-with: flightrec.named
       return named.load(std::memory_order_acquire) ? custom_name
                                                    : default_name;
     }
@@ -125,16 +128,18 @@ class FlightRecorder {
 
   /// Names the calling thread's ring. First name wins; renames are ignored
   /// so a dumper can never observe a string being rewritten.
+  // gravel-analyze: cold — once-per-thread registration.
   void nameThread(const std::string& name) {
     if (!enabled()) return;
     ThreadRing& t = threadRing();
     if (t.named.load(std::memory_order_relaxed)) return;
     t.custom_name = name;
-    t.named.store(true, std::memory_order_release);
+    t.named.store(true, std::memory_order_release);  // pairs-with: flightrec.named
   }
 
   /// All rings registered so far, registration order not guaranteed. Safe
   /// concurrent with writers (see FlightRing::snapshot for the caveat).
+  // gravel-analyze: cold — dump-time walker.
   std::vector<const ThreadRing*> threads() const {
     std::vector<const ThreadRing*> out;
     for (const ThreadRing* t = headPtr(); t != nullptr; t = t->next)
@@ -148,6 +153,8 @@ class FlightRecorder {
     return gen.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // gravel-analyze: cold — once-per-thread slow path; record() amortizes
+  // the one allocation + CAS over every later event.
   ThreadRing& threadRing() {
     // Generation (not pointer) keyed, like Tracer::threadBuffer: a new
     // recorder at a recycled address must not inherit a stale ring.
@@ -163,6 +170,7 @@ class FlightRecorder {
         t->next = reinterpret_cast<ThreadRing*>(expected);
       } while (!head_.compare_exchange_weak(
           expected, reinterpret_cast<std::uintptr_t>(t),
+          // pairs-with: flightrec.registry
           std::memory_order_release, std::memory_order_relaxed));
       tlsRing = t;
       tlsGen = gen_;
@@ -171,6 +179,7 @@ class FlightRecorder {
   }
 
   ThreadRing* headPtr() const noexcept {
+    // pairs-with: flightrec.registry
     return reinterpret_cast<ThreadRing*>(head_.load(std::memory_order_acquire));
   }
 
@@ -191,6 +200,7 @@ class FlightRecorder {
 /// invoked after the header keys to append caller-owned top-level keys
 /// (the Cluster injects its membership/degraded-mode block this way — this
 /// layer cannot see runtime types).
+// gravel-analyze: cold
 inline void writeFlightRecorderJson(
     std::ostream& os, const FlightRecorder& rec, const std::string& reason,
     std::uint64_t now_ns,

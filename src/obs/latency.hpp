@@ -68,6 +68,7 @@ class LatencyAttribution {
   /// Consumes every event appended to the tracer's buffers since the last
   /// ingest. Safe concurrent with recording threads (reads below the
   /// release-published counts); callers serialize ingest/read themselves.
+  // gravel-analyze: cold — monitor-thread cadence, not a record site.
   void ingest(const Tracer& tracer) {
     for (const TraceBuffer* b : tracer.buffers()) {
       std::size_t& cursor = cursors_[b];
@@ -139,6 +140,7 @@ class LatencyAttribution {
   ///   lat.e2e_ns / lat.e2e_p50_ns / lat.e2e_p99_ns
   ///   lat.stage_ns{dest=D,kind=K,stage=...}, lat.e2e_ns{dest=D,kind=K}
   ///   lat.bottleneck_stage               index of the worst transition
+  // gravel-analyze: cold — collector cadence.
   void publish(MetricsRegistry& metrics) const {
     for (int t = 0; t < kTransitions; ++t) {
       if (total_.stage[t].total() == 0) continue;

@@ -20,12 +20,12 @@
 #include <bit>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/atomic.hpp"
 #include "common/stats.hpp"
 #include "obs/json.hpp"
 
@@ -182,7 +182,7 @@ class MetricsRegistry {
   /// Publishes the absolute value of a monotonic counter.
   void setCounter(const std::string& name, const std::string& labels,
                   std::uint64_t value) {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     MetricValue& m = slot(name, labels, MetricKind::kCounter);
     m.count = value;
   }
@@ -190,7 +190,7 @@ class MetricsRegistry {
   /// Publishes an instantaneous level.
   void setGauge(const std::string& name, const std::string& labels,
                 double value) {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     MetricValue& m = slot(name, labels, MetricKind::kGauge);
     m.value = value;
   }
@@ -198,7 +198,7 @@ class MetricsRegistry {
   /// Adds one sample to a RunningStat-backed metric.
   void observe(const std::string& name, const std::string& labels,
                double sample) {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     MetricValue& m = slot(name, labels, MetricKind::kStat);
     if (m.count == 0) {
       m.min = m.max = sample;
@@ -213,7 +213,7 @@ class MetricsRegistry {
   /// Publishes a whole RunningStat (absolute; snapshot/delta windows it).
   void setStat(const std::string& name, const std::string& labels,
                const RunningStat& s) {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     MetricValue& m = slot(name, labels, MetricKind::kStat);
     m.count = s.count();
     m.value = s.sum();
@@ -224,7 +224,7 @@ class MetricsRegistry {
   /// Adds one sample to a Pow2Histogram-backed metric (also tracks extrema).
   void observeHistogram(const std::string& name, const std::string& labels,
                         std::uint64_t sample) {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     MetricValue& m = slot(name, labels, MetricKind::kHistogram);
     if (m.buckets.empty()) m.buckets.assign(Pow2Histogram::kBuckets, 0);
     int bucket = sample == 0 ? 0 : 64 - std::countl_zero(sample);
@@ -242,7 +242,7 @@ class MetricsRegistry {
   /// Publishes a whole Pow2Histogram.
   void setHistogram(const std::string& name, const std::string& labels,
                     const Pow2Histogram& h) {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     MetricValue& m = slot(name, labels, MetricKind::kHistogram);
     m.buckets.assign(Pow2Histogram::kBuckets, 0);
     for (int i = 0; i < Pow2Histogram::kBuckets; ++i)
@@ -251,27 +251,27 @@ class MetricsRegistry {
   }
 
   MetricsSnapshot snapshot() const {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     MetricsSnapshot s;
     s.metrics = metrics_;
     return s;
   }
 
   std::size_t size() const {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     return metrics_.size();
   }
 
   void clear() {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     metrics_.clear();
   }
 
  private:
-  // Caller holds mutex_. Re-registration with a different kind resets the
-  // slot rather than mixing semantics.
+  // Caller holds mutex_ (compiler-enforced). Re-registration with a
+  // different kind resets the slot rather than mixing semantics.
   MetricValue& slot(const std::string& name, const std::string& labels,
-                    MetricKind kind) {
+                    MetricKind kind) GRAVEL_REQUIRES(mutex_) {
     MetricValue& m = metrics_[{name, labels}];
     if (m.kind != kind && (m.count || m.value || !m.buckets.empty()))
       m = MetricValue{};
@@ -279,8 +279,8 @@ class MetricsRegistry {
     return m;
   }
 
-  mutable std::mutex mutex_;
-  std::map<MetricKey, MetricValue> metrics_;
+  mutable gravel::mutex mutex_;
+  std::map<MetricKey, MetricValue> metrics_ GRAVEL_GUARDED_BY(mutex_);
 };
 
 }  // namespace gravel::obs

@@ -17,6 +17,9 @@
 // poll()s the listening socket with a 50 ms timeout, so stop() latency is
 // bounded without signals. One request per connection, serviced serially —
 // a scrape every few seconds from one or two clients, not a web server.
+//
+// gravel-lint: cold-path — runs on the scrape thread at human cadence;
+// its atomics (stop/running flags) never touch a message path.
 #pragma once
 
 #include <cmath>
@@ -269,6 +272,7 @@ class StatusServer {
   /// down the workload.
   bool start() {
 #if GRAVEL_STATUS_SERVER_SUPPORTED
+    // pairs-with: status.running
     if (running_.load(std::memory_order_acquire)) return true;
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return false;
@@ -291,8 +295,8 @@ class StatusServer {
     socklen_t len = sizeof(bound);
     if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
       port_ = ntohs(bound.sin_port);
-    stop_.store(false, std::memory_order_release);
-    running_.store(true, std::memory_order_release);
+    stop_.store(false, std::memory_order_release);  // pairs-with: status.stop
+    running_.store(true, std::memory_order_release);  // pairs-with: status.running
     thread_ = std::thread([this] { serviceLoop(); });
     return true;
 #else
@@ -303,10 +307,10 @@ class StatusServer {
   void stop() {
 #if GRAVEL_STATUS_SERVER_SUPPORTED
     if (!running_.load(std::memory_order_acquire)) return;
-    stop_.store(true, std::memory_order_release);
+    stop_.store(true, std::memory_order_release);  // pairs-with: status.stop
     if (thread_.joinable()) thread_.join();
     closeListener();
-    running_.store(false, std::memory_order_release);
+    running_.store(false, std::memory_order_release);  // pairs-with: status.running
 #endif
   }
 
@@ -331,7 +335,7 @@ class StatusServer {
   }
 
   void serviceLoop() {
-    while (!stop_.load(std::memory_order_acquire)) {
+    while (!stop_.load(std::memory_order_acquire)) {  // pairs-with: status.stop
       pollfd pfd{fd_, POLLIN, 0};
       const int rc = ::poll(&pfd, 1, 50);  // bounded stop() latency
       if (rc <= 0 || !(pfd.revents & POLLIN)) continue;

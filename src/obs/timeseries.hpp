@@ -27,12 +27,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/atomic.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/watchdog.hpp"
@@ -164,7 +164,7 @@ class TimeSeries {
     baseline_ = snap;
     baselineNs_ = mono_ns;
 
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     w.seq = nextSeq_++;
     ring_.push_back(std::move(w));
     while (ring_.size() > config_.capacity) {
@@ -175,24 +175,24 @@ class TimeSeries {
 
   /// Copy of the retained windows, oldest first.
   std::vector<TimeSeriesWindow> windows() const {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     return {ring_.begin(), ring_.end()};
   }
 
   /// The most recent `n` windows, oldest first.
   std::vector<TimeSeriesWindow> lastWindows(std::size_t n) const {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     const std::size_t take = ring_.size() < n ? ring_.size() : n;
     return {ring_.end() - std::ptrdiff_t(take), ring_.end()};
   }
 
   std::uint64_t droppedWindows() const {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     return dropped_;
   }
 
   std::size_t size() const {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     return ring_.size();
   }
 
@@ -201,7 +201,7 @@ class TimeSeries {
     const std::vector<TimeSeriesWindow> all = windows();
     std::uint64_t dropped;
     {
-      std::scoped_lock lk(mutex_);
+      gravel::lock_guard lk(mutex_);
       dropped = dropped_;
     }
     JsonWriter w(os);
@@ -312,10 +312,10 @@ class TimeSeries {
   std::map<std::uint32_t, HealthSample> lastHealth_;
   std::map<std::uint64_t, BreakerSample> lastBreaker_;
 
-  mutable std::mutex mutex_;
-  std::deque<TimeSeriesWindow> ring_;
-  std::uint64_t nextSeq_ = 0;
-  std::uint64_t dropped_ = 0;
+  mutable gravel::mutex mutex_;
+  std::deque<TimeSeriesWindow> ring_ GRAVEL_GUARDED_BY(mutex_);
+  std::uint64_t nextSeq_ GRAVEL_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ GRAVEL_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gravel::obs

@@ -25,6 +25,10 @@
 // The Perfetto/Chrome-trace exporter over these buffers lives in
 // trace_export.hpp; depth-gauge samples recorded here render as counter
 // tracks there.
+//
+// gravel-lint: hot-path — record()/recordStage() run on every traced
+// message; the two lock sites below are once-per-thread registration and
+// quiescent readers and carry individual allow() suppressions.
 #pragma once
 
 #include <algorithm>
@@ -32,7 +36,6 @@
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -57,11 +60,11 @@ class TraceBuffer {
       return;
     }
     events_[n] = e;
-    count_.store(n + 1, std::memory_order_release);
+    count_.store(n + 1, std::memory_order_release);  // pairs-with: trace.buffer-count
   }
 
   std::size_t size() const noexcept {
-    return count_.load(std::memory_order_acquire);
+    return count_.load(std::memory_order_acquire);  // pairs-with: trace.buffer-count
   }
   const TraceEvent& operator[](std::size_t i) const noexcept {
     return events_[i];
@@ -194,8 +197,10 @@ class Tracer {
 
   /// All buffers created so far. Safe to iterate at quiescent points; each
   /// buffer's size() is release-published by its writer.
+  // gravel-analyze: cold — quiescent-point reader, not a record site.
   std::vector<const TraceBuffer*> buffers() const {
-    std::scoped_lock lk(mutex_);
+    // Quiescent-point reader, never on a record path.
+    gravel::lock_guard lk(mutex_);  // gravel-lint: allow(hot-path-blocking)
     std::vector<const TraceBuffer*> out;
     out.reserve(buffers_.size());
     for (const auto& b : buffers_) out.push_back(b.get());
@@ -204,6 +209,7 @@ class Tracer {
 
   /// Every event from every buffer, sorted by timestamp. Convenience for
   /// tests and latency analysis.
+  // gravel-analyze: cold — quiescent/dump-time reader, not a record site.
   std::vector<TraceEvent> allEvents() const {
     std::vector<TraceEvent> out;
     for (const TraceBuffer* b : buffers()) {
@@ -233,13 +239,17 @@ class Tracer {
     return gen.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // gravel-analyze: cold — once-per-thread slow path; the lock and the
+  // allocation are amortized over every later record on this thread.
   TraceBuffer& threadBuffer() {
     // Generation (not pointer) keyed: a new Tracer at a recycled address
     // must not inherit a stale buffer pointer.
     thread_local std::uint64_t tlsGen = 0;
     thread_local TraceBuffer* tlsBuf = nullptr;
     if (tlsGen != gen_) {
-      std::scoped_lock lk(mutex_);
+      // Taken once per (thread, tracer generation); every later record on
+      // this thread goes straight to the cached tlsBuf pointer.
+      gravel::lock_guard lk(mutex_);  // gravel-lint: allow(hot-path-blocking)
       buffers_.push_back(std::make_unique<TraceBuffer>(config_.buffer_events));
       buffers_.back()->setName("thread-" + std::to_string(buffers_.size()));
       tlsBuf = buffers_.back().get();
@@ -257,8 +267,8 @@ class Tracer {
   atomic<std::uint64_t> candidates_{0};
   atomic<std::uint32_t> nextId_{1};
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  mutable gravel::mutex mutex_;  // gravel-lint: allow(hot-path-blocking)
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_ GRAVEL_GUARDED_BY(mutex_);
 };
 
 }  // namespace gravel::obs

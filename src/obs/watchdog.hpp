@@ -174,7 +174,9 @@ class Watchdog {
 
   /// All diagnoses so far (open and resolved), oldest first. Safe from any
   /// thread while observe() runs.
+  // gravel-analyze: cold — post-mortem/collector reader.
   std::vector<Diagnosis> diagnoses() const {
+    // pairs-with: watchdog.count
     const std::size_t n = count_.load(std::memory_order_acquire);
     std::vector<Diagnosis> out;
     out.reserve(n);
@@ -188,6 +190,7 @@ class Watchdog {
   }
 
   /// One-line post-mortem, appended to the quiet-deadline error message.
+  // gravel-analyze: cold — post-mortem formatter.
   std::string describe() const {
     const std::vector<Diagnosis> all = diagnoses();
     std::ostringstream os;
@@ -223,6 +226,7 @@ class Watchdog {
   }
 
   /// Publishes diagnosis counters/gauges into the registry.
+  // gravel-analyze: cold — collector cadence.
   void publish(MetricsRegistry& metrics) const {
     const std::vector<Diagnosis> all = diagnoses();
     metrics.setCounter("watchdog.diagnoses", "", all.size() + overflow());
@@ -374,7 +378,7 @@ class Watchdog {
     slot.dest = dest;
     slot.first_ns = first_ns;
     slot.open.store(true, std::memory_order_relaxed);
-    count_.store(n + 1, std::memory_order_release);
+    count_.store(n + 1, std::memory_order_release);  // pairs-with: watchdog.count
     return int(n);
   }
 
@@ -418,6 +422,7 @@ class Watchdog {
 };
 
 /// Serializes the diagnosis table (gravel_watchdog.json / CI artifact).
+// gravel-analyze: cold
 inline void writeWatchdogJson(std::ostream& os, const Watchdog& wd) {
   JsonWriter w(os);
   w.beginObject();

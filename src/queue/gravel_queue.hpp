@@ -105,8 +105,8 @@ class GravelQueue {
     // producer's payload writes after the previous round's consumer reads.
     spinUntil(
         [&] {
-          return s.round.load(std::memory_order_acquire) == ticket &&
-                 !s.full.load(std::memory_order_acquire);
+          return s.round.load(std::memory_order_acquire) == ticket &&  // pairs-with: gq.slot-round
+                 !s.full.load(std::memory_order_acquire);  // pairs-with: gq.slot-full
         },
         yield);
     return SlotRef{static_cast<std::uint32_t>(idx % slotCount_), ticket, count};
@@ -143,8 +143,10 @@ class GravelQueue {
     s.count.store(ref.count, std::memory_order_relaxed);
     // Release: the payload and count written above become visible to the
     // consumer whose acquire load sees F set.
-    s.full.store(true, std::memory_order_release);
-    publishCount_.fetch_add(1, std::memory_order_release);
+    s.full.store(true, std::memory_order_release);  // pairs-with: gq.slot-full
+    // Pure stats counter with no acquire-side reader anywhere (the slot's
+    // `full` flag above is the publication edge), so relaxed is correct.
+    publishCount_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Consumer side, step 1: claim the next slot if any message will ever be
@@ -195,8 +197,8 @@ class GravelQueue {
     // producer's payload writes visible before getWord reads them.
     spinUntil(
         [&] {
-          return s.round.load(std::memory_order_acquire) == ticket &&
-                 s.full.load(std::memory_order_acquire);
+          return s.round.load(std::memory_order_acquire) == ticket &&  // pairs-with: gq.slot-round
+                 s.full.load(std::memory_order_acquire);  // pairs-with: gq.slot-full
         },
         yield);
     out.slot = static_cast<std::uint32_t>(claimed % slotCount_);
@@ -218,7 +220,7 @@ class GravelQueue {
     s.full.store(false, std::memory_order_relaxed);
     // Release: the consumer's payload reads complete before the next-round
     // producer (acquire on round in acquireWrite) may overwrite the slot.
-    s.round.store(ref.round + 1, std::memory_order_release);
+    s.round.store(ref.round + 1, std::memory_order_release);  // pairs-with: gq.slot-round
   }
 
   /// Consumer bulk decode: copies the slot's `ref.count` messages into

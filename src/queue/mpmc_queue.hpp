@@ -47,6 +47,7 @@ class MpmcQueue {
     const std::uint64_t round = idx / capacity_;
     // Acquire on round pairs with pop's round release: the previous round's
     // consumer finished reading the cell before we overwrite it.
+    // pairs-with: mpmc.slot-round, mpmc.slot-full
     while (s.round.load(std::memory_order_acquire) != round ||
            s.full.load(std::memory_order_acquire)) {
       verify::spinYield();
@@ -55,7 +56,7 @@ class MpmcQueue {
     verify::dataStore(c);
     std::memcpy(c, msg, messageBytes_);
     // Release pairs with pop's full acquire: payload visible before F.
-    s.full.store(true, std::memory_order_release);
+    s.full.store(true, std::memory_order_release);  // pairs-with: mpmc.slot-full
   }
 
   /// Blocking pop; returns false only when drained AND `stopped`.
@@ -73,7 +74,7 @@ class MpmcQueue {
       }
       // Same stopped-drain shape as GravelQueue::acquireRead; see the
       // comment there and the StoppedDrain model test.
-      if (stopped.load(std::memory_order_acquire) &&
+      if (stopped.load(std::memory_order_acquire) &&  // pairs-with: aggregator.stopped
           readIdx_.value.load(std::memory_order_relaxed) >=
               writeIdx_.value.load(std::memory_order_acquire)) {
         return false;
@@ -92,7 +93,7 @@ class MpmcQueue {
     s.full.store(false, std::memory_order_relaxed);
     // Release pairs with push's round acquire: our cell read completes
     // before the next-round producer reuses the cell.
-    s.round.store(round + 1, std::memory_order_release);
+    s.round.store(round + 1, std::memory_order_release);  // pairs-with: mpmc.slot-round
     return true;
   }
 

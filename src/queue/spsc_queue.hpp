@@ -45,6 +45,7 @@ class SpscQueue {
     const std::uint64_t wr = writeIdx_.value.load(std::memory_order_relaxed);
     // Acquire pairs with tryPop's readIdx release: the consumer's reads of
     // the cell we are about to overwrite happened-before this overwrite.
+    // pairs-with: spsc.read-idx
     while (wr - readIdx_.value.load(std::memory_order_acquire) >= capacity_) {
       verify::spinYield();
     }
@@ -53,26 +54,27 @@ class SpscQueue {
     std::memcpy(c, msg, messageBytes_);
     // Release pairs with tryPop's writeIdx acquire: the payload copy above
     // is visible to the consumer that observes wr + 1.
-    writeIdx_.value.store(wr + 1, std::memory_order_release);
+    writeIdx_.value.store(wr + 1, std::memory_order_release);  // pairs-with: spsc.write-idx
   }
 
   /// Non-blocking pop; returns false when empty.
   bool tryPop(void* msg) {
     const std::uint64_t rd = readIdx_.value.load(std::memory_order_relaxed);
+    // pairs-with: spsc.write-idx
     if (rd >= writeIdx_.value.load(std::memory_order_acquire)) return false;
     const std::byte* c = cell(rd);
     verify::dataLoad(c);
     std::memcpy(msg, c, messageBytes_);
     // Release pairs with push's readIdx acquire: our cell read completes
     // before the producer may reuse the cell.
-    readIdx_.value.store(rd + 1, std::memory_order_release);
+    readIdx_.value.store(rd + 1, std::memory_order_release);  // pairs-with: spsc.read-idx
     return true;
   }
 
   /// Blocking pop; returns false only when empty AND `stopped`.
   bool pop(void* msg, const atomic<bool>& stopped) {
     while (!tryPop(msg)) {
-      if (stopped.load(std::memory_order_acquire)) {
+      if (stopped.load(std::memory_order_acquire)) {  // pairs-with: aggregator.stopped
         // Re-check after observing stop so no published message is lost.
         return tryPop(msg);
       }

@@ -74,7 +74,7 @@ class AmRegistry {
     const std::size_t id = count_.load(std::memory_order_relaxed);
     GRAVEL_CHECK_MSG(id < kMaxHandlers, "active-message registry full");
     handlers_[id] = std::move(handler);
-    count_.store(id + 1, std::memory_order_release);
+    count_.store(id + 1, std::memory_order_release);  // pairs-with: am.count
     return static_cast<std::uint32_t>(id);
   }
 
@@ -86,7 +86,7 @@ class AmRegistry {
   }
 
   std::size_t size() const noexcept {
-    return count_.load(std::memory_order_acquire);
+    return count_.load(std::memory_order_acquire);  // pairs-with: am.count
   }
 
  private:

@@ -69,7 +69,7 @@ class Aggregator {
   void stop() {
     // Release pairs with acquireRead's acquire load of `stopped` — the
     // stopped-drain exit path depends on this edge (see gravel_queue.hpp).
-    stopped_.store(true, std::memory_order_release);
+    stopped_.store(true, std::memory_order_release);  // pairs-with: aggregator.stopped
     for (auto& w : workers_)
       if (w.joinable()) w.join();
     workers_.clear();
@@ -82,6 +82,7 @@ class Aggregator {
   /// that observes the count. Stats/ratio readers should use
   /// slotsProcessedStat() instead.
   std::uint64_t slotsProcessed() const noexcept {
+    // pairs-with: aggregator.slots-processed
     return slotsProcessed_.get(std::memory_order_acquire);
   }
 
@@ -184,7 +185,7 @@ class Aggregator {
       // Release-ordered AFTER the buffer appends: quiet() observing this
       // count may flushAll() immediately, so the slot's messages must
       // already be in the shared buffers.
-      slotsProcessed_.add(1, std::memory_order_release);
+      slotsProcessed_.add(1, std::memory_order_release);  // pairs-with: aggregator.slots-processed
       // Busy-path timeout cadence: under sustained load the idle YieldFn
       // above never runs, so without this a single buffered message to a
       // quiet destination would sit until the queue drains (timeout

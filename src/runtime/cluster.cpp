@@ -116,7 +116,7 @@ Cluster::Cluster(const ClusterConfig& config)
 Cluster::~Cluster() {
   // The status server's handlers read cluster state; stop serving first.
   if (statusServer_) statusServer_->stop();
-  monitorStop_.store(true, std::memory_order_release);
+  monitorStop_.store(true, std::memory_order_release);  // pairs-with: cluster.monitor-stop
   if (monitor_.joinable()) monitor_.join();
   // Close the time-series with one final window so the exit artifact covers
   // the run's tail even when the last cadence tick never fired.
@@ -414,7 +414,7 @@ ClusterRunStats Cluster::runStats() const {
   // the way the counters above are); benches that want per-workload numbers
   // build a fresh cluster per workload.
   {
-    std::scoped_lock lk(latencyMutex_);
+    gravel::lock_guard lk(latencyMutex_);
     latency_.ingest(tracer_);
     const obs::LatencyAttribution::Summary ls = latency_.summary();
     for (int t = 0; t < ClusterRunStats::kLatTransitions; ++t) {
@@ -482,6 +482,7 @@ void Cluster::monitorLoop() {
   auto nextWatch = clock::now();
   auto nextProbe = clock::now();
   auto nextWindow = clock::now();
+  // pairs-with: cluster.monitor-stop
   while (!monitorStop_.load(std::memory_order_acquire)) {
     const auto now = clock::now();
     const bool gaugeDue = gauges && now >= nextGauge;
@@ -565,7 +566,7 @@ void Cluster::sampleMembership(const obs::WatchdogSample& s) {
 }
 
 void Cluster::ingestLatency() {
-  std::scoped_lock lk(latencyMutex_);
+  gravel::lock_guard lk(latencyMutex_);
   latency_.ingest(tracer_);
 }
 
@@ -734,7 +735,7 @@ obs::MetricsSnapshot Cluster::collectMetrics() {
 
   // Per-stage latency attribution (lat.*) and watchdog diagnoses.
   {
-    std::scoped_lock lk(latencyMutex_);
+    gravel::lock_guard lk(latencyMutex_);
     latency_.ingest(tracer_);
     latency_.publish(metrics_);
   }

@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -226,8 +225,8 @@ class Cluster {
   // the mutex serializes the monitor thread's incremental ingest against
   // collectMetrics()/runStats() readers. Mutable because runStats() is
   // const but wants a fresh ingest.
-  mutable obs::LatencyAttribution latency_;
-  mutable std::mutex latencyMutex_;
+  mutable gravel::mutex latencyMutex_;
+  mutable obs::LatencyAttribution latency_ GRAVEL_GUARDED_BY(latencyMutex_);
 
   // Snapshot baselines so runStats() reports per-window deltas.
   net::LinkStats fabricBase_{};

@@ -28,7 +28,6 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -84,10 +83,11 @@ class Membership {
   std::uint32_t nodes() const noexcept { return nodes_; }
 
   NodeHealth health(std::uint32_t n) const noexcept {
+    // pairs-with: membership.health
     return NodeHealth(states_[n].health.load(std::memory_order_acquire));
   }
   std::uint32_t epoch(std::uint32_t n) const noexcept {
-    return states_[n].epoch.load(std::memory_order_acquire);
+    return states_[n].epoch.load(std::memory_order_acquire);  // pairs-with: membership.epoch
   }
   bool dead(std::uint32_t n) const noexcept {
     return health(n) == NodeHealth::kDead;
@@ -95,7 +95,7 @@ class Membership {
 
   /// Bumped on every transition; cheap "did anything change" poll.
   std::uint64_t version() const noexcept {
-    return version_.load(std::memory_order_acquire);
+    return version_.load(std::memory_order_acquire);  // pairs-with: membership.version
   }
 
   std::uint32_t liveCount() const noexcept {
@@ -139,17 +139,17 @@ class Membership {
 
   /// dead -> recovered, under the next epoch. Driven by restartNode().
   bool restart(std::uint32_t n, const std::string& reason) {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     if (NodeHealth(states_[n].health.load(std::memory_order_relaxed)) !=
         NodeHealth::kDead)
       return false;
-    states_[n].epoch.fetch_add(1, std::memory_order_acq_rel);
+    states_[n].epoch.fetch_add(1, std::memory_order_acq_rel);  // pairs-with: membership.epoch
     commit(n, NodeHealth::kDead, NodeHealth::kRecovered, reason);
     return true;
   }
 
   std::vector<MembershipTransition> transitions() const {
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     return log_;
   }
 
@@ -162,7 +162,7 @@ class Membership {
   template <typename Next>
   bool transition(std::uint32_t n, const std::string& reason, Next next) {
     GRAVEL_CHECK_MSG(n < nodes_, "membership: bad node id");
-    std::scoped_lock lk(mutex_);
+    gravel::lock_guard lk(mutex_);
     const NodeHealth from =
         NodeHealth(states_[n].health.load(std::memory_order_relaxed));
     const NodeHealth to = next(from);
@@ -171,9 +171,10 @@ class Membership {
     return true;
   }
 
-  // Caller holds mutex_.
+  // Caller holds mutex_ (compiler-enforced).
   void commit(std::uint32_t n, NodeHealth from, NodeHealth to,
-              const std::string& reason) {
+              const std::string& reason) GRAVEL_REQUIRES(mutex_) {
+    // pairs-with: membership.health
     states_[n].health.store(std::uint8_t(to), std::memory_order_release);
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now().time_since_epoch())
@@ -181,13 +182,13 @@ class Membership {
     log_.push_back(MembershipTransition{
         n, from, to, states_[n].epoch.load(std::memory_order_relaxed),
         std::uint64_t(ns), reason});
-    version_.fetch_add(1, std::memory_order_acq_rel);
+    version_.fetch_add(1, std::memory_order_acq_rel);  // pairs-with: membership.version
   }
 
   std::uint32_t nodes_;
   mutable std::vector<NodeState> states_;
   mutable gravel::mutex mutex_;  ///< serializes transitions + the log
-  std::vector<MembershipTransition> log_;
+  std::vector<MembershipTransition> log_ GRAVEL_GUARDED_BY(mutex_);
   atomic<std::uint64_t> version_{0};
 };
 

@@ -46,7 +46,7 @@ class NetworkThread {
   void stop() {
     // Release pairs with the worker's acquire: everything published before
     // the stop request is visible to the worker's final drain.
-    stopped_.store(true, std::memory_order_release);
+    stopped_.store(true, std::memory_order_release);  // pairs-with: netthread.stopped
     if (worker_.joinable()) worker_.join();
   }
 
@@ -58,7 +58,7 @@ class NetworkThread {
   /// stop(), and after crashNode() stopped it. restartNode() uses this to
   /// avoid double-starting a thread the failure detector never killed.
   bool running() const noexcept {
-    return !stopped_.load(std::memory_order_acquire);
+    return !stopped_.load(std::memory_order_acquire);  // pairs-with: netthread.stopped
   }
 
  private:
@@ -87,6 +87,7 @@ class NetworkThread {
         fabric_.markResolved(self_, d);
         resolved_.fetch_add(d.messages.size(), std::memory_order_relaxed);
         backoff.reset();
+      // pairs-with: netthread.stopped
       } else if (stopped_.load(std::memory_order_acquire)) {
         // Drain once more after observing stop; quiet() guarantees no new
         // sends race this.

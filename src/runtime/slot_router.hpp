@@ -31,7 +31,6 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -132,7 +131,7 @@ class SlotRouter {
     const auto now = std::chrono::steady_clock::now();
     for (std::uint32_t dst = 0; dst < buffers_.size(); ++dst) {
       Buffer& b = buffers_[dst];
-      std::scoped_lock lk(b.mutex);
+      gravel::lock_guard lk(b.mutex);
       if (!b.messages.empty() && now - b.openedAt >= timeout)
         flushLocked(b, dst);
     }
@@ -142,7 +141,7 @@ class SlotRouter {
   void flushAll() {
     for (std::uint32_t dst = 0; dst < buffers_.size(); ++dst) {
       Buffer& b = buffers_[dst];
-      std::scoped_lock lk(b.mutex);
+      gravel::lock_guard lk(b.mutex);
       flushLocked(b, dst);
     }
   }
@@ -157,7 +156,7 @@ class SlotRouter {
   std::uint64_t bufferedMessages() {
     std::uint64_t total = 0;
     for (Buffer& b : buffers_) {
-      std::scoped_lock lk(b.mutex);
+      gravel::lock_guard lk(b.mutex);
       total += b.messages.size();
     }
     return total;
@@ -175,7 +174,7 @@ class SlotRouter {
       std::uint64_t fill;
       std::uint64_t age_ns;
       {
-        std::scoped_lock lk(buffers_[dst].mutex);
+        gravel::lock_guard lk(buffers_[dst].mutex);
         fill = buffers_[dst].messages.size();
         age_ns = fill == 0
                      ? 0
@@ -197,7 +196,7 @@ class SlotRouter {
   std::uint64_t routeLockAcquisitions() {
     std::uint64_t total = 0;
     for (Buffer& b : buffers_) {
-      std::scoped_lock lk(b.mutex);
+      gravel::lock_guard lk(b.mutex);
       total += b.routeLocks;
     }
     return total;
@@ -208,16 +207,17 @@ class SlotRouter {
   /// threads only contend when a slot routes to the same destination.
   struct Buffer {
     gravel::mutex mutex;
-    std::vector<NetMessage> messages;
-    std::chrono::steady_clock::time_point openedAt{};
-    std::uint64_t routeLocks = 0;  ///< guarded by mutex (plain, not atomic)
+    std::vector<NetMessage> messages GRAVEL_GUARDED_BY(mutex);
+    std::chrono::steady_clock::time_point openedAt GRAVEL_GUARDED_BY(mutex){};
+    /// Plain (not atomic) on purpose: only ever touched under mutex.
+    std::uint64_t routeLocks GRAVEL_GUARDED_BY(mutex) = 0;
   };
 
   /// Append one slot's run for `dst` under a single lock acquisition,
   /// flushing whenever the buffer reaches capacity mid-run.
   void appendRun(std::uint32_t dst, std::vector<NetMessage>& run) {
     Buffer& b = buffers_[dst];
-    std::scoped_lock lk(b.mutex);
+    gravel::lock_guard lk(b.mutex);
     ++b.routeLocks;
     std::size_t consumed = 0;
     while (consumed < run.size()) {
@@ -232,8 +232,8 @@ class SlotRouter {
     }
   }
 
-  // Caller holds b.mutex.
-  void flushLocked(Buffer& b, std::uint32_t dst) {
+  // Caller holds b.mutex (compiler-enforced).
+  void flushLocked(Buffer& b, std::uint32_t dst) GRAVEL_REQUIRES(b.mutex) {
     if (b.messages.empty()) return;
     std::vector<NetMessage> batch;
     batch.reserve(capacityMsgs_);

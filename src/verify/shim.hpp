@@ -30,6 +30,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "common/annotations.hpp"
 #include "verify/controller.hpp"
 
 namespace gravel {
@@ -262,22 +263,24 @@ class atomic_flag {
 /// schedule point and release->acquire edges enter the vector clocks); the
 /// real std::mutex is still taken — uncontended during exploration because
 /// execution is serialized, and load-bearing in passthrough mode after an
-/// abort, where it alone preserves mutual exclusion.
-class mutex {
+/// abort, where it alone preserves mutual exclusion. Capability-bearing
+/// like the std-alias mutex, so GRAVEL_VERIFY=1 TUs get the same
+/// -Wthread-safety checking as normal builds.
+class GRAVEL_CAPABILITY("mutex") mutex {
  public:
   mutex() = default;
   mutex(const mutex&) = delete;
   mutex& operator=(const mutex&) = delete;
 
   void lock(const std::source_location& loc =
-                std::source_location::current()) {
+                std::source_location::current()) GRAVEL_ACQUIRE() {
     if (verify::Controller* c = verify::Controller::current())
       c->modelLock(this, loc);
     m_.lock();
   }
 
   void unlock(const std::source_location& loc =
-                  std::source_location::current()) {
+                  std::source_location::current()) GRAVEL_RELEASE() {
     m_.unlock();
     if (verify::Controller* c = verify::Controller::current())
       c->modelUnlock(this, loc);

@@ -1,0 +1,80 @@
+// Compile-time proof that the TSA macros vanish when the analysis is off
+// (GCC, pre-attribute clang, or -DGRAVEL_NO_TSA — this TU forces the last,
+// so the proof holds even when CI compiles it with clang).
+//
+// The trick: stringify each macro's expansion. On the vanish path every
+// macro expands to nothing, so the stringified literal is "" and its sizeof
+// is 1. If a refactor ever leaks an __attribute__ through the no-TSA path,
+// these static_asserts fail before any test runs — the compile IS the test;
+// the runtime body below just re-states the proof where ctest can see it.
+#ifndef GRAVEL_NO_TSA
+#define GRAVEL_NO_TSA 1
+#endif
+
+#include "common/annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/atomic.hpp"
+
+#define GRAVEL_TSA_STR2(...) #__VA_ARGS__
+#define GRAVEL_TSA_STR(...) GRAVEL_TSA_STR2(__VA_ARGS__)
+#define GRAVEL_TSA_EXPANDS_EMPTY(...) \
+  (sizeof(GRAVEL_TSA_STR(__VA_ARGS__)) == sizeof(""))
+
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_CAPABILITY("mutex")));
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_SCOPED_CAPABILITY));
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_GUARDED_BY(m)));
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_PT_GUARDED_BY(m)));
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_REQUIRES(m)));
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_ACQUIRE(m)));
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_RELEASE(m)));
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_EXCLUDES(m)));
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_RETURN_CAPABILITY(m)));
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_ACQUIRED_AFTER(m)));
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_ACQUIRED_BEFORE(m)));
+static_assert(GRAVEL_TSA_EXPANDS_EMPTY(GRAVEL_NO_THREAD_SAFETY_ANALYSIS));
+
+namespace {
+
+// The macros must also be valid in their real grammatical positions with
+// the attributes stripped: class heads, member declarations, function
+// declarations. A stray token would make this struct ill-formed.
+class GRAVEL_CAPABILITY("mutex") ProbeMutex {
+ public:
+  void lock() GRAVEL_ACQUIRE() {}
+  void unlock() GRAVEL_RELEASE() {}
+};
+
+struct Probe {
+  ProbeMutex m;
+  int counter GRAVEL_GUARDED_BY(m) = 0;
+  int* slot GRAVEL_PT_GUARDED_BY(m) = nullptr;
+
+  void bumpLocked() GRAVEL_REQUIRES(m) { ++counter; }
+  void bump() GRAVEL_EXCLUDES(m) {
+    m.lock();
+    bumpLocked();
+    m.unlock();
+  }
+  ProbeMutex& mu() GRAVEL_RETURN_CAPABILITY(m) { return m; }
+  int racyPeek() const GRAVEL_NO_THREAD_SAFETY_ANALYSIS { return counter; }
+};
+
+TEST(CompileNoTsa, MacrosVanishAndRealGuardStillWorks) {
+  Probe p;
+  p.bump();
+  EXPECT_EQ(p.racyPeek(), 1);
+
+  // gravel::mutex / gravel::lock_guard keep their runtime behavior with the
+  // capability attributes stripped.
+  gravel::mutex mu;
+  int guarded = 0;
+  {
+    gravel::lock_guard lk(mu);
+    guarded = 42;
+  }
+  EXPECT_EQ(guarded, 42);
+}
+
+}  // namespace

@@ -49,28 +49,28 @@ const MutationRow kMatrix[] = {
     // SPSC queue: both index publications and both index acquisitions, plus
     // the stop flag. Weakening any one lets the consumer read a cell before
     // the payload write is visible (or recycle one the producer still owns).
-    {"spscRoundTrip", &spscRoundTrip, 2, "spsc_queue.hpp",  48, "acquire"},
-    {"spscRoundTrip", &spscRoundTrip, 2, "spsc_queue.hpp",  56, "release"},
-    {"spscRoundTrip", &spscRoundTrip, 2, "spsc_queue.hpp",  62, "acquire"},
-    {"spscRoundTrip", &spscRoundTrip, 2, "spsc_queue.hpp",  68, "release"},
-    {"spscRoundTrip", &spscRoundTrip, 2, "spsc_queue.hpp",  75, "acquire"},
+    {"spscRoundTrip", &spscRoundTrip, 2, "spsc_queue.hpp",  49, "acquire"},
+    {"spscRoundTrip", &spscRoundTrip, 2, "spsc_queue.hpp",  57, "release"},
+    {"spscRoundTrip", &spscRoundTrip, 2, "spsc_queue.hpp",  64, "acquire"},
+    {"spscRoundTrip", &spscRoundTrip, 2, "spsc_queue.hpp",  70, "release"},
+    {"spscRoundTrip", &spscRoundTrip, 2, "spsc_queue.hpp",  77, "acquire"},
     // MPMC queue: slot full-flag publication/consumption and the round
     // counter that hands a drained slot back to producers on wraparound.
-    {"mpmcRoundTrip", &mpmcRoundTrip, 1, "mpmc_queue.hpp",  50, "acquire"},
-    {"mpmcRoundTrip", &mpmcRoundTrip, 1, "mpmc_queue.hpp",  58, "release"},
-    {"mpmcRoundTrip", &mpmcRoundTrip, 1, "mpmc_queue.hpp",  86, "acquire"},
-    {"mpmcRoundTrip", &mpmcRoundTrip, 1, "mpmc_queue.hpp",  95, "release"},
+    {"mpmcRoundTrip", &mpmcRoundTrip, 1, "mpmc_queue.hpp",  51, "acquire"},
+    {"mpmcRoundTrip", &mpmcRoundTrip, 1, "mpmc_queue.hpp",  59, "release"},
+    {"mpmcRoundTrip", &mpmcRoundTrip, 1, "mpmc_queue.hpp",  87, "acquire"},
+    {"mpmcRoundTrip", &mpmcRoundTrip, 1, "mpmc_queue.hpp",  96, "release"},
     // Gravel queue: producer round/full spin, publish, consumer full spin,
     // slot release on wraparound, and the stopped flag read in acquireRead.
     {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 108, "acquire"},
     {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 146, "release"},
-    {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 183, "acquire"},
-    {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 199, "acquire"},
-    {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 221, "release"},
+    {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 185, "acquire"},
+    {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 201, "acquire"},
+    {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 223, "release"},
     // Reliable layer: the ACK path's outstanding-counter decrement and the
     // quiescent() read that consumers use as a "all settled" barrier.
     {"reliableQuiescentVisibility", &reliableQuiescentVisibility, 1,
-     "reliable.hpp", 641, "release"},
+     "reliable.hpp", 650, "release"},
     {"reliableQuiescentVisibility", &reliableQuiescentVisibility, 1,
      "reliable.hpp", 314, "acquire"},
 };

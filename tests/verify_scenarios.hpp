@@ -321,14 +321,14 @@ class ScriptedWire : public net::Fabric {
     }
     if (action == 1) return;  // lost on the wire
     Inbox& ib = inboxes_[dst];
-    std::scoped_lock lk(ib.m);
+    gravel::lock_guard lk(ib.m);
     ib.q.push_back(net::Delivery{src, 0, batch});
     if (action == 2) ib.q.push_back(net::Delivery{src, 0, std::move(batch)});
   }
 
   bool tryReceive(std::uint32_t dst, net::Delivery& out) override {
     Inbox& ib = inboxes_[dst];
-    std::scoped_lock lk(ib.m);
+    gravel::lock_guard lk(ib.m);
     if (ib.q.empty()) return false;
     out = std::move(ib.q.front());
     ib.q.pop_front();

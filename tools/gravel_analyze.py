@@ -1,0 +1,1058 @@
+#!/usr/bin/env python3
+"""gravel_analyze: whole-tree concurrency-discipline analysis for Gravel.
+
+Three checks over src/ (src/verify/ excluded — the model-checker shim is
+the one place allowed to bend the rules, and it is checked by its own
+model-checking tests instead):
+
+  lock-order   Extract every lock acquisition (gravel::lock_guard
+               declarations), build the "A held while acquiring B" digraph
+               intra- and inter-procedurally, and reject cycles. The graph
+               is emitted as DOT (--dot) so the lock hierarchy is a
+               reviewable artifact.
+
+  pairing      Every memory_order_release / memory_order_acq_rel store
+               site must carry a ``// pairs-with: <tag>`` comment (same
+               line or one of the two preceding lines) naming its acquire
+               partner(s); every such tag must also appear next to at
+               least one acquire-side load. Cross-checked both directions
+               so a renamed or deleted partner is caught. Comments are
+               not in the AST, so this check is textual in both engines.
+
+  hot-path     Functions defined in files marked ``// gravel-lint:
+               hot-path`` must not allocate, lock, or issue blocking
+               syscalls — directly or through callees modeled in the same
+               tree. Constructors/destructors are exempt (setup happens
+               before concurrency starts), and a function annotated with
+               ``// gravel-analyze: cold`` immediately above its
+               definition is an audited slow path: it is skipped and
+               calls into it do not taint callers (e.g. once-per-thread
+               registration that allocates a ring).
+
+Engines:
+  internal   dependency-free lexical model (always available; the one the
+             repo's own tests run);
+  libclang   AST-backed model via the python clang bindings over
+             compile_commands.json (CI installs them);
+  auto       libclang when importable and working, else internal. Any
+             libclang failure falls back rather than failing the build.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/environment error.
+
+Usage:
+  tools/gravel_analyze.py --root . --dot build/lock_order.dot \
+      --pairing-report build/pairing_report.txt
+  tools/gravel_analyze.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# --------------------------------------------------------------------------
+# Shared lexical helpers
+# --------------------------------------------------------------------------
+
+HOT_PATH_MARKER = "gravel-lint: hot-path"
+COLD_MARKER = "gravel-analyze: cold"
+PAIRS_RE = re.compile(r"//\s*pairs-with:\s*([A-Za-z0-9_.,\- ]+)")
+RELEASE_RE = re.compile(r"memory_order_(?:release|acq_rel)\b")
+ACQUIRE_RE = re.compile(r"memory_order_(?:acquire|acq_rel)\b")
+DEFAULT_ARG_RE = re.compile(r"=\s*std::memory_order_")
+
+# Tokens that mean "this function is not hot-path pure".
+ALLOC_RE = re.compile(
+    r"\bnew\b(?!\s*\()"  # placement new is still new; `new (` caught too
+    r"|\bnew\s*\("
+    r"|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\("
+    r"|make_unique\s*<|make_shared\s*<"
+    r"|\.push_back\s*\(|\.emplace_back\s*\(|\.emplace\s*\("
+    r"|\.resize\s*\(|\.reserve\s*\(|\.assign\s*\("
+    r"|std::to_string\s*\(|\bstosd\b"
+)
+LOCKING_RE = re.compile(
+    r"\block_guard\b|\bscoped_lock\b|\bunique_lock\b|\.lock\s*\(\)"
+    r"|condition_variable"
+)
+SYSCALL_RE = re.compile(
+    r"\bfopen\s*\(|\bfclose\s*\(|\bfread\s*\(|\bfwrite\s*\("
+    r"|\bprintf\s*\(|\bfprintf\s*\(|std::cout|std::cerr"
+    r"|\bgetenv\s*\(|\bsystem\s*\(|\bsleep_for\b|\bsleep_until\b"
+    r"|\busleep\s*\(|\bofstream\b|\bifstream\b"
+)
+
+# Call names too generic to unify against the model by bare name.
+CALL_STOPLIST = frozenset(
+    """size empty begin end clear data load store exchange fetch_add fetch_sub
+    compare_exchange_weak compare_exchange_strong count find insert erase
+    push_back emplace_back pop_front front back reserve resize assign swap
+    get reset release lock unlock min max at value name str c_str append
+    wait notify_one notify_all join detach joinable now if while for switch
+    return sizeof alignof decltype static_cast dynamic_cast const_cast
+    reinterpret_cast uint32_t uint64_t int64_t size_t memcpy memset move
+    forward make_pair make_tuple to_string abs duration_cast defined assert
+    GRAVEL_CHECK GRAVEL_CHECK_MSG""".split()
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines and
+    column positions so line/offset bookkeeping stays valid."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join("\n" if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            q = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == q:
+                    j += 1
+                    break
+                if text[j] == "\n":  # unterminated (macro line); stop at EOL
+                    break
+                j += 1
+            out.append(q + " " * (j - i - 2) + (q if j <= n and j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    s = "".join(out)
+    assert len(s) == len(text)
+    return s
+
+
+class Finding:
+    def __init__(self, check: str, path: str, line: int, message: str):
+        self.check = check
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Internal engine: lexical function model
+# --------------------------------------------------------------------------
+
+# A function definition header: optional qualifiers, a name (possibly
+# Class::name), an argument list, then (after optional specifiers) '{'.
+FUNC_HEAD_RE = re.compile(
+    r"(~?[A-Za-z_][A-Za-z0-9_]*(?:\s*::\s*~?[A-Za-z_][A-Za-z0-9_]*)*)\s*\("
+)
+CLASS_RE = re.compile(r"\b(?:class|struct)\s+(?:GRAVEL_\w+(?:\([^)]*\))?\s+)*([A-Za-z_]\w*)")
+LOCK_DECL_RE = re.compile(
+    r"\b(?:gravel::)?lock_guard\s+\w+\s*[({]\s*([^;]+?)\s*[)}]\s*;"
+)
+REF_DECL_RE = re.compile(
+    r"\b(?:const\s+)?([A-Za-z_][\w:]*)\s*&\s*([A-Za-z_]\w*)\s*=")
+RANGE_FOR_RE = re.compile(
+    r"for\s*\(\s*(?:const\s+)?([A-Za-z_][\w:]*)\s*&\s*([A-Za-z_]\w*)\s*:"
+    r"\s*([A-Za-z_]\w*)")
+PARAM_REF_RE = re.compile(
+    r"(?:const\s+)?([A-Za-z_][\w:]*)\s*&\s*([A-Za-z_]\w*)\s*(?:,|$|\))")
+MEMBER_VEC_RE = re.compile(
+    r"\bstd::(?:vector|deque|array)\s*<\s*([A-Za-z_][\w:]*)\s*(?:,[^>]*)?>\s+"
+    r"([A-Za-z_]\w*)\s*(?:;|\{|=|GRAVEL_)")
+CALL_RE = re.compile(r"(?:([A-Za-z_]\w*)\s*(?:\.|->)\s*)?([A-Za-z_]\w*)\s*\(")
+
+
+class FuncModel:
+    def __init__(self, qualname, cls, path, line, cold, is_ctor):
+        self.qualname = qualname      # Class::name or name
+        self.name = qualname.split("::")[-1]
+        self.cls = cls                # enclosing/owning class or None
+        self.path = path
+        self.line = line
+        self.cold = cold
+        self.is_ctor = is_ctor
+        self.locks = []               # [(lock_id, order_index, line)]
+        self.calls = []               # [(receiver_cls|None, name, held_ids, line)]
+        self.impure = []              # [(kind, token, line)]
+        self.acquires_all = set()     # transitive lock ids (filled later)
+
+
+def parse_functions(path: str, text: str):
+    """Build FuncModels for one file with a brace-depth scanner."""
+    code = strip_comments_and_strings(text)
+    raw_lines = text.splitlines()
+    lines = code.splitlines()
+    funcs = []
+
+    # Class context by brace depth: depth -> class name entered at that depth.
+    class_stack = []  # (name, depth_at_open)
+    depth = 0
+    i = 0  # line index
+    member_vecs = {}  # container member -> element class (file-global approx)
+    for m in MEMBER_VEC_RE.finditer(code):
+        member_vecs[m.group(2)] = m.group(1).split("::")[-1]
+
+    pending_class = None
+    current_func = None  # (FuncModel, open_depth, body_lines, lock_scopes)
+
+    def line_of(offset):
+        return code.count("\n", 0, offset) + 1
+
+    # Scan token-ish by lines to keep it simple and robust.
+    n_lines = len(lines)
+    while i < n_lines:
+        line = lines[i]
+        stripped = line.strip()
+
+        if current_func is None:
+            cm = CLASS_RE.search(line)
+            if cm and "{" in line[cm.end():] + (lines[i + 1] if i + 1 < n_lines else ""):
+                pending_class = cm.group(1)
+            # Function definition heuristic: header with '(' and an opening
+            # '{' on this or a continuation line, at class or namespace scope.
+            fm = FUNC_HEAD_RE.search(line)
+            if fm and not stripped.startswith("#"):
+                name = re.sub(r"\s+", "", fm.group(1))
+                # Look ahead for '{' before ';' to distinguish definition
+                # from declaration/call. Cap the lookahead.
+                j = i
+                seen = ""
+                found_body = False
+                while j < n_lines and j < i + 8:
+                    seen += lines[j] + "\n"
+                    body_at = _body_open(seen, fm.start() if j == i else 0)
+                    if body_at is not None:
+                        found_body = True
+                        break
+                    if ";" in lines[j][fm.end():] if j == i else ";" in lines[j]:
+                        break
+                    j += 1
+                if found_body and _looks_like_definition(line, stripped, name):
+                    cls = class_stack[-1][0] if class_stack else None
+                    qual = name if "::" in name else (
+                        f"{cls}::{name}" if cls else name)
+                    base = qual.split("::")[-1]
+                    owner = qual.split("::")[0] if "::" in qual else None
+                    is_ctor = base.lstrip("~") == (owner or "")
+                    cold = _marked_cold(raw_lines, i)
+                    f = FuncModel(qual, owner, path, i + 1, cold, is_ctor)
+                    current_func = [f, depth, [], []]
+        # Track braces & collect body lines.
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                if pending_class:
+                    class_stack.append((pending_class, depth))
+                    pending_class = None
+            elif ch == "}":
+                if class_stack and class_stack[-1][1] == depth:
+                    class_stack.pop()
+                depth -= 1
+                if current_func and depth <= current_func[1]:
+                    _finish_func(current_func, member_vecs)
+                    funcs.append(current_func[0])
+                    current_func = None
+        if current_func is not None:
+            current_func[2].append((i + 1, line))
+        i += 1
+    return funcs
+
+
+def _body_open(seen: str, start: int):
+    """Offset of the '{' opening the function body, or None."""
+    # Skip the argument list: find the matching ')' for the first '(' after
+    # start, then accept a '{' that follows (possibly after const/noexcept/
+    # attributes/initializer list).
+    p = seen.find("(", start)
+    if p < 0:
+        return None
+    bal = 0
+    q = p
+    while q < len(seen):
+        if seen[q] == "(":
+            bal += 1
+        elif seen[q] == ")":
+            bal -= 1
+            if bal == 0:
+                break
+        q += 1
+    else:
+        return None
+    tail = seen[q + 1:]
+    b = tail.find("{")
+    s = tail.find(";")
+    if b >= 0 and (s < 0 or b < s):
+        return q + 1 + b
+    return None
+
+
+def _looks_like_definition(line: str, stripped: str, name: str) -> bool:
+    if name.split("::")[-1] in ("if", "for", "while", "switch", "catch",
+                                "return", "sizeof", "defined"):
+        return False
+    if name.split("::")[-1].endswith("_"):
+        return False  # members end with '_' here: a ctor init-list entry
+    # Calls are statements: `foo(...);` with no leading type tokens. A
+    # definition line either starts with the name (ctor) or has preceding
+    # type tokens / qualifiers. Heuristic: reject lines that end with ');'
+    # on the same line AND start with the call itself.
+    if stripped.startswith((name + "(", name + " (")):
+        # Could be a constructor definition (Name(...) : init {) — keep if
+        # the line has no trailing ';'.
+        return ";" not in stripped
+    return True
+
+
+def _marked_cold(raw_lines, idx) -> bool:
+    for k in range(max(0, idx - 3), idx):
+        if COLD_MARKER in raw_lines[k]:
+            return True
+    return False
+
+
+def _finish_func(entry, member_vecs):
+    f, _, body, _ = entry
+    text = "\n".join(t for _, t in body)
+    # Local reference declarations + range-for refs + reference parameters
+    # -> var type map. `auto&` resolves through the member-container map.
+    var_types = {}
+    for m in REF_DECL_RE.finditer(text):
+        ty = m.group(1).split("::")[-1]
+        if ty == "auto":
+            rhs = text[m.end():].lstrip()
+            rm = re.match(r"([A-Za-z_]\w*)\s*\[", rhs)
+            if rm and rm.group(1) in member_vecs:
+                ty = member_vecs[rm.group(1)]
+            else:
+                continue
+        var_types[m.group(2)] = ty
+    for m in RANGE_FOR_RE.finditer(text):
+        ty = m.group(1).split("::")[-1]
+        if ty == "auto":
+            ty = member_vecs.get(m.group(3))
+            if ty is None:
+                continue
+        var_types[m.group(2)] = ty
+    header = body[0][1] if body else ""
+    for m in PARAM_REF_RE.finditer(header):
+        var_types.setdefault(m.group(2), m.group(1).split("::")[-1])
+
+    def lock_id(expr: str) -> str:
+        e = expr.strip().lstrip("*&").strip()
+        e = re.sub(r"\[[^\]]*\]", "", e)  # drop subscripts
+        parts = re.split(r"\.|->", e)
+        parts = [p.strip() for p in parts if p.strip()]
+        if not parts:
+            return "?"
+        member = parts[-1]
+        if len(parts) == 1:
+            owner = f.cls or "?"
+            return f"{owner}::{member}"
+        first = parts[0]
+        owner = var_types.get(first)
+        if owner is None and first in member_vecs:
+            owner = member_vecs[first]
+        if owner is None and (f.cls is not None) and len(parts) == 2:
+            # member-of-member: resolve through the container map if the
+            # first component is a known container member of this class.
+            owner = member_vecs.get(first)
+        return f"{owner or '?'}::{member}"
+
+    # Lock scopes: (lock_id, brace_depth_at_decl). A guard dies when the
+    # brace depth drops below the depth it was declared at. Brace events
+    # and declarations/calls on one line are processed in column order so
+    # `if (x) { guard lk(m); ... }` scopes correctly.
+    active = []
+    order = 0
+    depth = 0
+    for lineno, line in body:
+        events = []  # (column, kind, payload)
+        for m in LOCK_DECL_RE.finditer(line):
+            events.append((m.start(), "lock", m.group(1)))
+        for m in CALL_RE.finditer(line):
+            recv, name = m.group(1), m.group(2)
+            if name in CALL_STOPLIST or len(name) < 3:
+                continue
+            events.append((m.start(), "call", (recv, name)))
+        for col, ch in enumerate(line):
+            if ch in "{}":
+                events.append((col, ch, None))
+        events.sort(key=lambda e: e[0])
+        for _col, kind, payload in events:
+            if kind == "{":
+                depth += 1
+            elif kind == "}":
+                depth -= 1
+                active = [(lid, d) for lid, d in active if d <= depth]
+            elif kind == "lock":
+                lid = lock_id(payload)
+                f.locks.append((lid, order, lineno,
+                                tuple(a for a, _ in active)))
+                active.append((lid, depth))
+                order += 1
+            else:  # call
+                recv, name = payload
+                recv_cls = var_types.get(recv) if recv else None
+                f.calls.append((recv_cls, name,
+                                tuple(a for a, _ in active), lineno))
+        for kind, rex in (("alloc", ALLOC_RE), ("lock", LOCKING_RE),
+                          ("syscall", SYSCALL_RE)):
+            for m in rex.finditer(line):
+                f.impure.append((kind, m.group(0).strip(), lineno))
+
+
+# --------------------------------------------------------------------------
+# libclang engine (CI): same model, AST-backed
+# --------------------------------------------------------------------------
+
+def parse_functions_libclang(root: str, compdb_dir: str):
+    """AST-backed FuncModel extraction. Raises on any environment problem;
+    callers under --engine auto fall back to the internal engine."""
+    from clang import cindex  # noqa: PLC0415  (optional dependency)
+
+    index = cindex.Index.create()
+    compdb = cindex.CompilationDatabase.fromDirectory(compdb_dir)
+    funcs = []
+    seen_files = set()
+
+    def lock_type(t) -> bool:
+        return "lock_guard" in t.spelling or "scoped_lock" in t.spelling
+
+    for cmd in compdb.getAllCompileCommands():
+        src = os.path.normpath(os.path.join(cmd.directory, cmd.filename))
+        if not src.startswith(os.path.join(root, "src")) or "verify" in src:
+            continue
+        if src in seen_files:
+            continue
+        seen_files.add(src)
+        args = [a for a in list(cmd.arguments)[1:-1] if a != "-c"]
+        tu = index.parse(src, args=args)
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind not in (cindex.CursorKind.CXX_METHOD,
+                                cindex.CursorKind.FUNCTION_DECL,
+                                cindex.CursorKind.CONSTRUCTOR,
+                                cindex.CursorKind.DESTRUCTOR):
+                continue
+            if not cur.is_definition() or cur.location.file is None:
+                continue
+            fpath = os.path.normpath(cur.location.file.name)
+            if not fpath.startswith(os.path.join(root, "src")):
+                continue
+            cls = (cur.semantic_parent.spelling
+                   if cur.semantic_parent and cur.semantic_parent.kind in (
+                       cindex.CursorKind.CLASS_DECL,
+                       cindex.CursorKind.STRUCT_DECL) else None)
+            qual = f"{cls}::{cur.spelling}" if cls else cur.spelling
+            raw = open(fpath, encoding="utf-8", errors="replace").read()
+            raw_lines = raw.splitlines()
+            f = FuncModel(qual, cls, os.path.relpath(fpath, root),
+                          cur.extent.start.line,
+                          _marked_cold(raw_lines, cur.extent.start.line - 1),
+                          cur.kind in (cindex.CursorKind.CONSTRUCTOR,
+                                       cindex.CursorKind.DESTRUCTOR))
+            held = []
+            for node in cur.walk_preorder():
+                if (node.kind == cindex.CursorKind.VAR_DECL
+                        and lock_type(node.type)):
+                    lid = _clang_lock_id(node, cls)
+                    f.locks.append((lid, len(f.locks), node.location.line,
+                                    tuple(held)))
+                    held.append(lid)
+                elif node.kind == cindex.CursorKind.CALL_EXPR:
+                    ref = node.referenced
+                    if ref is None or not ref.spelling:
+                        continue
+                    rcls = (ref.semantic_parent.spelling
+                            if ref.semantic_parent and ref.semantic_parent.kind
+                            in (cindex.CursorKind.CLASS_DECL,
+                                cindex.CursorKind.STRUCT_DECL) else None)
+                    f.calls.append((rcls, ref.spelling, tuple(held),
+                                    node.location.line))
+                    if ref.spelling in ("operator new", "malloc", "calloc"):
+                        f.impure.append(("alloc", ref.spelling,
+                                         node.location.line))
+                elif node.kind == cindex.CursorKind.CXX_NEW_EXPR:
+                    f.impure.append(("alloc", "new", node.location.line))
+            # Token-level impurity sweep over the function extent keeps the
+            # two engines' verdicts aligned.
+            ext = raw_lines[cur.extent.start.line - 1:cur.extent.end.line]
+            for off, line in enumerate(ext):
+                for kind, rex in (("alloc", ALLOC_RE), ("lock", LOCKING_RE),
+                                  ("syscall", SYSCALL_RE)):
+                    for m in rex.finditer(line):
+                        f.impure.append((kind, m.group(0).strip(),
+                                         cur.extent.start.line + off))
+            funcs.append(f)
+    if not funcs:
+        raise RuntimeError("libclang produced an empty model")
+    return funcs
+
+
+def _clang_lock_id(node, cls):
+    # Best effort: last member reference inside the initializer.
+    member = None
+    owner = None
+    for ch in node.walk_preorder():
+        if ch.kind.name == "MEMBER_REF_EXPR":
+            member = ch.spelling
+            if ch.referenced is not None and ch.referenced.semantic_parent:
+                owner = ch.referenced.semantic_parent.spelling
+        elif ch.kind.name == "DECL_REF_EXPR" and member is None:
+            member = ch.spelling
+    return f"{owner or cls or '?'}::{member or '?'}"
+
+
+# --------------------------------------------------------------------------
+# Check (a): lock-order DAG
+# --------------------------------------------------------------------------
+
+def build_lock_graph(funcs):
+    """Edges (A, B, site) meaning: lock B acquired while A is held."""
+    by_name = {}
+    for f in funcs:
+        by_name.setdefault(f.name, []).append(f)
+    by_qual = {f.qualname: f for f in funcs}
+
+    # Pass 1: direct acquisition summaries.
+    for f in funcs:
+        f.acquires_all = {lid for lid, *_ in f.locks}
+    # Fixpoint: propagate callee acquisitions (receiver-resolved, else
+    # unified only when the bare name is unambiguous across the model).
+    for _ in range(10):
+        changed = False
+        for f in funcs:
+            for recv_cls, name, _held, _line in f.calls:
+                targets = []
+                if recv_cls is not None:
+                    t = by_qual.get(f"{recv_cls}::{name}")
+                    if t is not None:
+                        targets = [t]
+                else:
+                    t = by_qual.get(f"{f.cls}::{name}") if f.cls else None
+                    if t is not None:
+                        targets = [t]
+                    else:
+                        cands = by_name.get(name, [])
+                        if len(cands) == 1:
+                            targets = cands
+                for t in targets:
+                    if not t.acquires_all <= f.acquires_all:
+                        f.acquires_all |= t.acquires_all
+                        changed = True
+        if not changed:
+            break
+
+    edges = {}
+    by_qual_get = by_qual.get
+
+    def add_edge(a, b, site):
+        if a == b:
+            return  # self edges (same member on two objects) carry no order
+        edges.setdefault((a, b), site)
+
+    for f in funcs:
+        for lid, _order, line, held in f.locks:
+            for h in held:
+                add_edge(h, lid, f"{f.path}:{line} ({f.qualname})")
+        for recv_cls, name, held, line in f.calls:
+            if not held:
+                continue
+            targets = []
+            if recv_cls is not None:
+                t = by_qual_get(f"{recv_cls}::{name}")
+                if t is not None:
+                    targets = [t]
+            else:
+                t = by_qual_get(f"{f.cls}::{name}") if f.cls else None
+                if t is not None:
+                    targets = [t]
+                else:
+                    cands = by_name.get(name, [])
+                    if len(cands) == 1:
+                        targets = cands
+            for t in targets:
+                for lid in t.acquires_all:
+                    for h in held:
+                        add_edge(h, lid,
+                                 f"{f.path}:{line} ({f.qualname} -> "
+                                 f"{t.qualname})")
+    return edges
+
+
+def find_cycles(edges):
+    graph = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {}
+    stack = []
+    cycles = []
+
+    def dfs(u):
+        color[u] = GRAY
+        stack.append(u)
+        for v in sorted(graph.get(u, ())):
+            if color.get(v, WHITE) == GRAY:
+                k = stack.index(v)
+                cycles.append(stack[k:] + [v])
+            elif color.get(v, WHITE) == WHITE:
+                dfs(v)
+        stack.pop()
+        color[u] = BLACK
+
+    for node in sorted(graph):
+        if color.get(node, WHITE) == WHITE:
+            dfs(node)
+    return cycles
+
+
+def emit_dot(edges, out):
+    nodes = sorted({n for e in edges for n in e})
+    out.write("// Lock-order DAG extracted by tools/gravel_analyze.py\n")
+    out.write("// Edge A -> B: lock B is acquired while A is held.\n")
+    out.write("digraph lock_order {\n  rankdir=LR;\n")
+    for n in nodes:
+        out.write(f'  "{n}";\n')
+    for (a, b), site in sorted(edges.items()):
+        out.write(f'  "{a}" -> "{b}" [label="{site}"];\n')
+    out.write("}\n")
+
+
+def check_lock_order(funcs, dot_path=None):
+    edges = build_lock_graph(funcs)
+    if dot_path:
+        with open(dot_path, "w", encoding="utf-8") as fh:
+            emit_dot(edges, fh)
+    findings = []
+    for cyc in find_cycles(edges):
+        chain = " -> ".join(cyc)
+        site = edges.get((cyc[0], cyc[1]))
+        path, line = "(graph)", 0
+        if site:
+            loc = site.split(" ")[0]
+            if ":" in loc:
+                path, _, lno = loc.rpartition(":")
+                line = int(lno) if lno.isdigit() else 0
+        findings.append(Finding(
+            "lock-order", path, line,
+            f"lock-order cycle: {chain} (first edge at {site})"))
+    return findings, edges
+
+
+# --------------------------------------------------------------------------
+# Check (b): release/acquire pairing audit (textual)
+# --------------------------------------------------------------------------
+
+def _tags_near(lines, idx, span=2):
+    tags = []
+    for k in range(max(0, idx - span), idx + 1):
+        m = PAIRS_RE.search(lines[k])
+        if m:
+            tags += [t.strip() for t in m.group(1).split(",") if t.strip()]
+    return tags
+
+
+def check_pairing(files, report_path=None):
+    findings = []
+    release_tags = {}  # tag -> [site]
+    acquire_tags = {}
+    for path, text in files:
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            code = line.split("//")[0]
+            if DEFAULT_ARG_RE.search(code):
+                continue  # defaulted memory-order parameter, not a site
+            is_rel = RELEASE_RE.search(code)
+            is_acq = ACQUIRE_RE.search(code)
+            if not (is_rel or is_acq):
+                continue
+            tags = _tags_near(lines, i)
+            site = f"{path}:{i + 1}"
+            if is_rel:
+                if not tags:
+                    findings.append(Finding(
+                        "pairing", path, i + 1,
+                        "release store without a '// pairs-with: <tag>' "
+                        "annotation naming its acquire partner"))
+                for t in tags:
+                    release_tags.setdefault(t, []).append(site)
+            if is_acq and tags:
+                for t in tags:
+                    acquire_tags.setdefault(t, []).append(site)
+    for tag, sites in sorted(release_tags.items()):
+        if tag not in acquire_tags:
+            findings.append(Finding(
+                "pairing", sites[0].rsplit(":", 1)[0],
+                int(sites[0].rsplit(":", 1)[1]),
+                f"tag '{tag}' has release site(s) but no annotated acquire "
+                f"partner ({', '.join(sites)})"))
+    for tag, sites in sorted(acquire_tags.items()):
+        if tag not in release_tags:
+            findings.append(Finding(
+                "pairing", sites[0].rsplit(":", 1)[0],
+                int(sites[0].rsplit(":", 1)[1]),
+                f"tag '{tag}' has acquire site(s) but no release partner "
+                f"({', '.join(sites)})"))
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as fh:
+            fh.write("release/acquire pairing report "
+                     "(tools/gravel_analyze.py)\n\n")
+            for tag in sorted(set(release_tags) | set(acquire_tags)):
+                fh.write(f"{tag}\n")
+                for s in release_tags.get(tag, []):
+                    fh.write(f"  release {s}\n")
+                for s in acquire_tags.get(tag, []):
+                    fh.write(f"  acquire {s}\n")
+            if findings:
+                fh.write("\nFINDINGS\n")
+                for f in findings:
+                    fh.write(f"  {f}\n")
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Check (c): hot-path purity
+# --------------------------------------------------------------------------
+
+def check_hot_path(funcs, files):
+    hot_files = {path for path, text in files if HOT_PATH_MARKER in text}
+    findings = []
+    by_name = {}
+    for f in funcs:
+        by_name.setdefault(f.name, []).append(f)
+    by_qual = {f.qualname: f for f in funcs}
+
+    def resolve(f, recv_cls, name):
+        if recv_cls is not None:
+            return by_qual.get(f"{recv_cls}::{name}")
+        t = by_qual.get(f"{f.cls}::{name}") if f.cls else None
+        if t is not None:
+            return t
+        cands = by_name.get(name, [])
+        return cands[0] if len(cands) == 1 else None
+
+    def first_impurity(f, seen):
+        """(kind, token, path, line) or None; cold callees cut the search."""
+        if f.qualname in seen:
+            return None
+        seen.add(f.qualname)
+        if f.impure:
+            kind, token, line = f.impure[0]
+            return kind, token, f.path, line
+        for recv_cls, name, _held, line in f.calls:
+            t = resolve(f, recv_cls, name)
+            if t is None or t.cold or t.is_ctor:
+                continue
+            hit = first_impurity(t, seen)
+            if hit:
+                kind, token, _p, _l = hit
+                return kind, f"{name}() -> {token}", f.path, line
+        return None
+
+    for f in funcs:
+        if f.path not in hot_files or f.cold or f.is_ctor:
+            continue
+        hit = first_impurity(f, set())
+        if hit:
+            kind, token, path, line = hit
+            findings.append(Finding(
+                "hot-path", f.path, f.line,
+                f"{f.qualname} is in a hot-path file but reaches "
+                f"{kind} ('{token}' at {path}:{line}); mark the function "
+                f"'// {COLD_MARKER}' if it is an audited slow path"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def collect_files(root):
+    out = []
+    src = os.path.join(root, "src")
+    for dirpath, _dirs, names in os.walk(src):
+        if os.path.basename(dirpath) == "verify":
+            continue
+        for name in sorted(names):
+            if not name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                out.append((rel, fh.read()))
+    return out
+
+
+def build_model(root, engine, compdb_dir):
+    if engine in ("libclang", "auto"):
+        try:
+            return parse_functions_libclang(root, compdb_dir), "libclang"
+        except Exception as exc:  # noqa: BLE001 — fall back on anything
+            if engine == "libclang":
+                print(f"gravel_analyze: libclang engine failed: {exc}",
+                      file=sys.stderr)
+                sys.exit(2)
+            print(f"gravel_analyze: libclang unavailable ({exc.__class__.__name__}); "
+                  "using internal engine", file=sys.stderr)
+    funcs = []
+    for rel, text in collect_files(root):
+        funcs.extend(parse_functions(rel, text))
+    return funcs, "internal"
+
+
+def run_checks(root, checks, engine, compdb_dir, dot_path, report_path):
+    files = collect_files(root)
+    findings = []
+    if "pairing" in checks:
+        findings += check_pairing(files, report_path)
+    if "lock-order" in checks or "hot-path" in checks:
+        funcs, used = build_model(root, engine, compdb_dir)
+        if "lock-order" in checks:
+            fs, _edges = check_lock_order(funcs, dot_path)
+            findings += fs
+        if "hot-path" in checks:
+            findings += check_hot_path(funcs, files)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: each check must fire on a seeded violation and stay quiet on
+# the clean twin.
+# --------------------------------------------------------------------------
+
+SELFTEST_CYCLE = """
+#include "common/atomic.hpp"
+struct Pair {
+  gravel::mutex a;
+  gravel::mutex b;
+  int x = 0;
+  void ab() {
+    gravel::lock_guard la(a);
+    gravel::lock_guard lb(b);
+    ++x;
+  }
+  void ba() {
+    gravel::lock_guard lb(b);
+    gravel::lock_guard la(a);
+    --x;
+  }
+};
+"""
+
+SELFTEST_CYCLE_CLEAN = """
+#include "common/atomic.hpp"
+struct Pair {
+  gravel::mutex a;
+  gravel::mutex b;
+  int x = 0;
+  void ab() {
+    gravel::lock_guard la(a);
+    gravel::lock_guard lb(b);
+    ++x;
+  }
+  void abAgain() {
+    gravel::lock_guard la(a);
+    gravel::lock_guard lb(b);
+    --x;
+  }
+};
+"""
+
+SELFTEST_CYCLE_INTERPROC = """
+#include "common/atomic.hpp"
+struct Deep {
+  gravel::mutex outer;
+  gravel::mutex inner;
+  void takeInner() {
+    gravel::lock_guard li(inner);
+  }
+  void holdOuterCallInner() {
+    gravel::lock_guard lo(outer);
+    takeInner();
+  }
+  void holdInnerTakeOuter() {
+    gravel::lock_guard li(inner);
+    gravel::lock_guard lo(outer);
+  }
+};
+"""
+
+SELFTEST_PAIRING = """
+#include "common/atomic.hpp"
+struct Flag {
+  gravel::atomic<bool> ready{false};
+  gravel::atomic<int> data{0};
+  void publishBad() {
+    ready.store(true, std::memory_order_release);
+  }
+  void publishGood() {
+    ready.store(true, std::memory_order_release);  // pairs-with: st.ready
+  }
+  bool consumeGood() {
+    return ready.load(std::memory_order_acquire);  // pairs-with: st.ready
+  }
+  int orphanAcquire() {
+    return data.load(std::memory_order_acquire);  // pairs-with: st.orphan
+  }
+};
+"""
+
+SELFTEST_HOT = """
+// gravel-lint: hot-path
+#include "common/atomic.hpp"
+struct Ring {
+  int* slots = nullptr;
+  gravel::atomic<int> head{0};
+  Ring() { slots = new int[64]; }
+  void hotButAllocates() {
+    int* p = new int(7);
+    head.store(*p, std::memory_order_relaxed);
+  }
+  void hotClean(int v) {
+    head.store(v, std::memory_order_relaxed);
+  }
+  // gravel-analyze: cold
+  void coldDump() {
+    int* copy = new int[64];
+    delete[] copy;
+  }
+  void hotViaHelper() {
+    helperThatAllocates();
+  }
+  void helperThatAllocates() {
+    int* p = new int(9);
+    head.store(*p, std::memory_order_relaxed);
+  }
+  void hotViaColdHelper() {
+    coldDump();
+  }
+};
+"""
+
+
+def self_test():
+    failures = []
+
+    def expect(cond, what):
+        print(("  ok   " if cond else "  FAIL ") + what)
+        if not cond:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory(prefix="gravel_analyze_st") as tmp:
+        srcdir = os.path.join(tmp, "src", "st")
+        os.makedirs(srcdir)
+
+        def write(name, content):
+            with open(os.path.join(srcdir, name), "w",
+                      encoding="utf-8") as fh:
+                fh.write(content)
+
+        write("cycle.hpp", SELFTEST_CYCLE)
+        write("cycle_clean.hpp", SELFTEST_CYCLE_CLEAN)
+        write("cycle_interproc.hpp", SELFTEST_CYCLE_INTERPROC)
+        write("pairing.hpp", SELFTEST_PAIRING)
+        write("hot.hpp", SELFTEST_HOT)
+
+        files = collect_files(tmp)
+        funcs = []
+        for rel, text in files:
+            funcs.extend(parse_functions(rel, text))
+
+        print("lock-order:")
+        cyc_funcs = [f for f in funcs if "cycle.hpp" in f.path]
+        fs, edges = check_lock_order(cyc_funcs)
+        expect(any("cycle" in f.message for f in fs),
+               "direct a/b vs b/a inversion is reported")
+        clean = [f for f in funcs if "cycle_clean" in f.path]
+        fs, edges = check_lock_order(clean)
+        expect(not fs, "consistent ordering stays quiet")
+        inter = [f for f in funcs if "interproc" in f.path]
+        fs, edges = check_lock_order(inter)
+        expect(any("cycle" in f.message for f in fs),
+               "inversion through a callee is reported (interprocedural)")
+        expect(("Deep::outer", "Deep::inner") in edges,
+               "call-graph propagation records outer->inner edge")
+
+        print("pairing:")
+        fs = check_pairing([(p, t) for p, t in files if "pairing" in p])
+        expect(any("without a" in f.message for f in fs),
+               "unannotated release store is reported")
+        expect(any("st.orphan" in f.message for f in fs),
+               "acquire tag without a release partner is reported")
+        expect(not any("st.ready" in f.message for f in fs),
+               "properly paired tag stays quiet")
+
+        print("hot-path:")
+        hot_files = [(p, t) for p, t in files if "hot.hpp" in p]
+        hot_funcs = [f for f in funcs if "hot.hpp" in f.path]
+        fs = check_hot_path(hot_funcs, hot_files)
+        msgs = "\n".join(f.message for f in fs)
+        expect("hotButAllocates" in msgs, "direct allocation is reported")
+        expect("hotViaHelper" in msgs,
+               "allocation through a helper is reported (interprocedural)")
+        expect("hotClean" not in msgs, "clean hot function stays quiet")
+        expect("coldDump" not in msgs.split("hotViaColdHelper")[0]
+               or "Ring::coldDump is" not in msgs,
+               "cold-marked function itself is exempt")
+        expect("hotViaColdHelper" not in msgs,
+               "calls into cold-marked slow paths do not taint callers")
+        expect("Ring::Ring" not in msgs, "constructors are exempt")
+
+    if failures:
+        print(f"self-test: {len(failures)} FAILED")
+        return 1
+    print("self-test: all checks fire on seeded violations and stay quiet "
+          "on clean twins")
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repository root (contains src/)")
+    ap.add_argument("--engine", choices=("auto", "libclang", "internal"),
+                    default="auto")
+    ap.add_argument("--compdb", default="build",
+                    help="directory containing compile_commands.json "
+                         "(libclang engine)")
+    ap.add_argument("--check", action="append",
+                    choices=("lock-order", "pairing", "hot-path"),
+                    help="run only the named check (repeatable; default all)")
+    ap.add_argument("--dot", help="write the lock-order DAG here")
+    ap.add_argument("--pairing-report", help="write the pairing report here")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"gravel_analyze: no src/ under {root}", file=sys.stderr)
+        return 2
+    checks = args.check or ["lock-order", "pairing", "hot-path"]
+    findings = run_checks(root, checks, args.engine, args.compdb,
+                          args.dot, args.pairing_report)
+    for f in findings:
+        print(f)
+    print(f"gravel_analyze: {len(findings)} finding(s) "
+          f"[checks: {', '.join(checks)}]")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,14 @@ hot-path-blocking
     through ``gravel::spinYield()`` so the model checker can intercept
     them.
 
+unclassified-hot-path
+    Drift gate: every header under src/queue/ or src/obs/ that uses
+    atomics must either carry the ``gravel-lint: hot-path`` marker (or be
+    pinned in HOT_PATH_FILES) or be explicitly classified with
+    ``// gravel-lint: cold-path`` (sampler/collector cadence, audited by
+    hand). A new atomics-bearing header cannot silently dodge the
+    hot-path rules and tools/gravel_analyze.py's purity check.
+
 Suppress a finding with ``// gravel-lint: allow(<rule>)`` on the same line.
 
 Usage:
@@ -41,14 +49,23 @@ import tempfile
 from pathlib import Path
 
 HOT_PATH_MARKER = "gravel-lint: hot-path"
+COLD_PATH_MARKER = "gravel-lint: cold-path"
 # Files (relative to the scanned root) that are hot-path REGARDLESS of the
-# marker. The observability record path runs on every message of every
-# runtime thread, so a dropped marker comment must not silently exempt it.
+# marker. The queue dequeue/enqueue paths and the observability record path
+# run on every message of every runtime thread, so a dropped marker comment
+# must not silently exempt them.
 HOT_PATH_FILES = (
+    "queue/gravel_queue.hpp",
+    "queue/mpmc_queue.hpp",
+    "queue/spsc_queue.hpp",
     "obs/flight_recorder.hpp",
     "obs/latency.hpp",
     "obs/watchdog.hpp",
 )
+# Directories whose headers are covered by the classification drift gate:
+# an atomics-bearing header here must be hot-path or explicitly cold-path.
+CLASSIFIED_DIRS = ("queue/", "obs/")
+ATOMIC_USE_RE = re.compile(r"\batomic\s*<|\batomic_flag\b|\batomic_ref\b")
 ALLOW_RE = re.compile(r"gravel-lint:\s*allow\(([a-z-]+)\)")
 
 NAKED_ATOMIC_RE = re.compile(r"std::atomic\s*<|std::atomic_flag\b")
@@ -166,6 +183,26 @@ def lint_file(path: Path, rel: str) -> list[Finding]:
                     "locks/sleeps are banned in hot-path files; spin via "
                     "gravel::spinYield()"))
 
+    # Drift gate: a header in a classified directory that uses atomics must
+    # either be hot-path (marker or pin) or carry an explicit cold-path
+    # classification. Checked after the line loop so the per-line rules
+    # above still run on whatever classification the file claims.
+    if (path.suffix in (".hpp", ".h")
+            and any(rel.startswith(d) for d in CLASSIFIED_DIRS)
+            and not hot_path
+            and COLD_PATH_MARKER not in raw
+            and not atomic_exempt):
+        for i, line in enumerate(lines):
+            if ATOMIC_USE_RE.search(line):
+                raw_line = raw_lines[i] if i < len(raw_lines) else ""
+                if not allowed(raw_line, "unclassified-hot-path"):
+                    findings.append(Finding(
+                        path, i + 1, "unclassified-hot-path",
+                        "atomics-bearing header under src/queue|src/obs is "
+                        "neither 'gravel-lint: hot-path' (or pinned in "
+                        "HOT_PATH_FILES) nor 'gravel-lint: cold-path'"))
+                break
+
     return findings
 
 
@@ -222,10 +259,10 @@ SELFTEST_CASES = [
      "// std::atomic<int> in a comment is fine; so is std::mutex here\n"
      "/* std::atomic_flag too */\n",
      None),
-    ("queue/good_allow.hpp",
+    ("runtime/good_allow.hpp",
      "std::atomic<int> migrating;  // gravel-lint: allow(naked-atomic)\n",
      None),
-    ("queue/good_fwd_order.hpp",
+    ("runtime/good_fwd_order.hpp",
      "template <class T>\n"
      "T get(gravel::atomic<T>& a, std::memory_order order) {\n"
      "  return a.load(order);\n"
@@ -248,6 +285,25 @@ SELFTEST_CASES = [
     ("obs/flight_recorder.hpp",
      "struct S { gravel::mutex m; };\n",
      "hot-path-blocking"),  # listed hot-path file, marker absent
+    ("queue/gravel_queue.hpp",
+     "struct S { gravel::mutex m; };\n",
+     "hot-path-blocking"),  # pinned queue header, marker absent
+    ("obs/bad_unclassified.hpp",
+     "struct S { gravel::atomic<int> pending{0}; };\n",
+     "unclassified-hot-path"),  # atomics, no classification
+    ("obs/good_cold.hpp",
+     "// gravel-lint: cold-path — sampler cadence only, audited by hand\n"
+     "struct S {\n"
+     "  gravel::atomic<int> pending{0};\n"
+     "  int peek() { return pending.load(std::memory_order_relaxed); }\n"
+     "};\n",
+     None),  # explicit cold-path classification satisfies the drift gate
+    ("queue/bad_unclassified_ref.hpp",
+     "inline void bump(unsigned long& x) {\n"
+     "  std::atomic_ref<unsigned long> r(x);\n"
+     "  r.fetch_add(1, std::memory_order_relaxed);\n"
+     "}\n",
+     "unclassified-hot-path"),  # atomic_ref counts as atomics use
 ]
 
 
