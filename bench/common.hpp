@@ -84,6 +84,47 @@ inline const std::vector<std::string>& workloadNames() {
   return names;
 }
 
+/// Node counts for the fig12 large-N scale sweep (DESIGN.md §14).
+/// GRAVEL_FIG12_SCALE_NODES is a comma-separated list ("1024,4096"); empty
+/// or "0" disables the sweep. The default exercises the first four-digit
+/// point so a plain bench run still produces scale evidence.
+inline std::vector<std::uint32_t> fig12ScaleNodes() {
+  std::vector<std::uint32_t> out;
+  const char* env = std::getenv("GRAVEL_FIG12_SCALE_NODES");
+  const std::string spec = env ? env : "1024";
+  std::string token;
+  for (const char* p = spec.c_str();; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) {
+        const long v = std::atol(token.c_str());
+        if (v > 0) out.push_back(std::uint32_t(v));
+        token.clear();
+      }
+      if (*p == '\0') break;
+    } else {
+      token.push_back(*p);
+    }
+  }
+  return out;
+}
+
+/// Config-tweak hook for the scale sweep: thousands of simulated nodes on
+/// one host need tiny per-node heaps/queues and the cooperative runtime
+/// pool instead of 2N dedicated threads (DESIGN.md §14). Mirrors
+/// tests/test_scale.cpp so the bench measures the configuration the tests
+/// prove correct.
+inline rt::ClusterConfig scaleBenchCluster(std::uint32_t nodes) {
+  rt::ClusterConfig c;
+  c.nodes = nodes;
+  c.heap_bytes = 16u << 10;
+  c.gpu_queue_bytes = 8u << 10;
+  c.pernode_queue_bytes = 512;
+  c.runtime_threads = 2;
+  c.device.wavefront_width = 8;
+  c.device.max_wg_size = 32;
+  return c;
+}
+
 inline rt::ClusterConfig benchCluster(std::uint32_t nodes,
                                       bool traced = false) {
   rt::ClusterConfig c;

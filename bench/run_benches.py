@@ -85,11 +85,17 @@ BENCHES = {
 MODE_ENV = {
     "full": {
         "GRAVEL_BENCH_SCALE": "1.0",
+        # fig12's large-N sweep (DESIGN.md 14): both four-digit points.
+        "GRAVEL_FIG12_SCALE_NODES": "1024,4096",
     },
     "smoke": {
         "GRAVEL_BENCH_SCALE": "0.05",
         "GRAVEL_BENCH_RUN_SECONDS": "0.02",
         "GRAVEL_BENCH_WORKLOADS": "GUPS,kmeans",
+        # Both four-digit points even in smoke: the per-node scale work is
+        # fixed and tiny, and the resident-bytes flatness validator needs
+        # two points per workload to have anything to compare.
+        "GRAVEL_FIG12_SCALE_NODES": "1024,4096",
     },
 }
 
@@ -270,12 +276,65 @@ def validate_agg_lock_discipline(row, where, locks_key, dests_key):
             "destination per slot)")
 
 
+def validate_fig12_scale_row(row, i):
+    """Large-N sweep rows (marker cell `scale_nodes`): absolute points, not
+    self-relative speedups — validated for the DESIGN.md-14 honesty claims
+    instead: lock discipline, conservation-validated runs, and sane
+    footprint/timeout evidence (flatness across points is checked after all
+    rows are seen)."""
+    where = f"fig12 scale row {i} ({row.get('workload', '?')})"
+    nodes = cell_median(row, "scale_nodes")
+    require(nodes >= 2, f"{where}: scale_nodes = {nodes} is not a sweep point")
+    require(cell_median(row, "validated") == 1.0,
+            f"{where}: functional run failed validation/conservation")
+    validate_agg_lock_discipline(
+        row, where, "agg_locks_per_slot", "agg_dests_per_slot")
+    per_node = cell_median(row, "agg_resident_bytes_per_node")
+    require(per_node >= 0.0,
+            f"{where}: agg_resident_bytes_per_node = {per_node} is negative")
+    # Timer-wheel honesty: entries examined track traffic, never the old
+    # nodes-x-ticks full scan. 8 messages + 4N constant mirrors
+    # tests/test_scale.cpp's bound.
+    scanned = cell_median(row, "agg_timeout_scanned")
+    msgs = cell_median(row, "net_messages")
+    require(scanned <= 8 * msgs + 4 * nodes,
+            f"{where}: agg_timeout_scanned = {scanned} exceeds the "
+            f"O(expired) bound for {msgs} messages at {nodes} nodes "
+            "(timeout maintenance is scanning like O(N) again)")
+
+
+def validate_fig12_scale_flatness(scale_rows):
+    """The tentpole claim across points: per-node resident buffer bytes must
+    not grow with the node count. Compare each workload's points pairwise
+    with generous (4x + 256 B) slack for allocator rounding — the eager
+    design differed by orders of magnitude."""
+    by_workload = {}
+    for i, row in scale_rows:
+        by_workload.setdefault(row["workload"], []).append(
+            (cell_median(row, "scale_nodes"),
+             cell_median(row, "agg_resident_bytes_per_node")))
+    for workload, points in by_workload.items():
+        points.sort()
+        base_nodes, base = points[0]
+        for nodes, per_node in points[1:]:
+            require(per_node <= 4.0 * base + 256.0,
+                    f"fig12 scale ({workload}): resident bytes/node grew "
+                    f"from {base} at {base_nodes:.0f} nodes to {per_node} "
+                    f"at {nodes:.0f} nodes — per-destination buffers are "
+                    "not demand-paged anymore")
+
+
 def validate_fig12(doc):
     saw_workload = saw_geomean = False
+    scale_rows = []
     for i, row in enumerate(doc["rows"]):
         require("workload" in row, f"fig12 row {i} missing 'workload'")
         if row["workload"] == "geomean":
             saw_geomean = True
+            continue
+        if "scale_nodes" in row:
+            scale_rows.append((i, row))
+            validate_fig12_scale_row(row, i)
             continue
         saw_workload = True
         sp1 = cell_median(row, "speedup_1")
@@ -294,6 +353,8 @@ def validate_fig12(doc):
                 "lock statistics")
     require(saw_workload, "fig12 has no workload rows")
     require(saw_geomean, "fig12 has no geomean row")
+    if scale_rows:
+        validate_fig12_scale_flatness(scale_rows)
 
 
 def validate_table5(doc):

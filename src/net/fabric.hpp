@@ -21,9 +21,11 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/atomic.hpp"
@@ -142,6 +144,25 @@ class Fabric {
   /// Snapshot of one directed link (src -> dst).
   virtual LinkStats link(std::uint32_t src, std::uint32_t dst) const = 0;
 
+  /// Visits every link that has carried (or retransmitted/acked) traffic.
+  /// The default walks the full src x dst matrix via link() — O(N^2), fine
+  /// for the dense fault/reliability fabrics that keep per-link state
+  /// anyway. Sparse fabrics override it so stats collection at 4096+ nodes
+  /// is O(links touched), not O(N^2) (DESIGN.md §14).
+  virtual void forEachLink(
+      const std::function<void(std::uint32_t src, std::uint32_t dst,
+                               const LinkStats&)>& fn) const {
+    const std::uint32_t n = nodes();
+    for (std::uint32_t src = 0; src < n; ++src)
+      for (std::uint32_t dst = 0; dst < n; ++dst) {
+        const LinkStats l = link(src, dst);
+        if (l.batches == 0 && l.messages == 0 && l.retransmits == 0 &&
+            l.dup_drops == 0 && l.acks == 0)
+          continue;
+        fn(src, dst, l);
+      }
+  }
+
   /// Aggregate over all links.
   virtual LinkStats total() const = 0;
 
@@ -187,7 +208,7 @@ class Fabric {
 class PerfectFabric : public Fabric {
  public:
   explicit PerfectFabric(std::uint32_t nodes)
-      : nodes_(nodes), inboxes_(nodes), links_(std::size_t{nodes} * nodes) {}
+      : nodes_(nodes), inboxes_(nodes) {}
 
   std::uint32_t nodes() const noexcept override { return nodes_; }
 
@@ -247,16 +268,32 @@ class PerfectFabric : public Fabric {
 
   LinkStats link(std::uint32_t src, std::uint32_t dst) const override {
     gravel::lock_guard lk(linkMutex_);
-    return links_[std::size_t{src} * nodes_ + dst];
+    const auto it = links_.find(linkKey(src, dst));
+    return it == links_.end() ? LinkStats{} : it->second;
+  }
+
+  /// Sparse: visits only links traffic actually crossed. Snapshots under
+  /// the link mutex, then invokes `fn` outside it, so callbacks may call
+  /// back into the fabric freely.
+  void forEachLink(
+      const std::function<void(std::uint32_t src, std::uint32_t dst,
+                               const LinkStats&)>& fn) const override {
+    std::vector<std::pair<std::uint64_t, LinkStats>> snapshot;
+    {
+      gravel::lock_guard lk(linkMutex_);
+      snapshot.assign(links_.begin(), links_.end());
+    }
+    for (const auto& [key, l] : snapshot)
+      fn(std::uint32_t(key >> 32), std::uint32_t(key & 0xffffffffu), l);
   }
 
   LinkStats total() const override {
     gravel::lock_guard lk(linkMutex_);
     LinkStats t;
-    for (const auto& l : links_) {
-      t.batches += l.batches;
-      t.messages += l.messages;
-      t.bytes += l.bytes;
+    for (const auto& kv : links_) {
+      t.batches += kv.second.batches;
+      t.messages += kv.second.messages;
+      t.bytes += kv.second.bytes;
     }
     return t;
   }
@@ -278,7 +315,7 @@ class PerfectFabric : public Fabric {
                   const std::vector<rt::NetMessage>& batch) {
     traceWireSend(src, dst, batch);
     gravel::lock_guard lk(linkMutex_);
-    LinkStats& link = links_[std::size_t{src} * nodes_ + dst];
+    LinkStats& link = links_[linkKey(src, dst)];
     ++link.batches;
     link.messages += batch.size();
     link.bytes += batch.size() * sizeof(rt::NetMessage);
@@ -305,10 +342,17 @@ class PerfectFabric : public Fabric {
     std::deque<Parcel> pending GRAVEL_GUARDED_BY(mutex);
   };
 
+  static std::uint64_t linkKey(std::uint32_t src, std::uint32_t dst) noexcept {
+    return (std::uint64_t{src} << 32) | dst;
+  }
+
   std::uint32_t nodes_;
   mutable std::vector<Inbox> inboxes_;
   mutable gravel::mutex linkMutex_;
-  std::vector<LinkStats> links_ GRAVEL_GUARDED_BY(linkMutex_);
+  /// Sparse on purpose: a dense N^2 LinkStats matrix is ~400 MiB at 65536
+  /// nodes even when the traffic pattern touches a handful of links.
+  std::unordered_map<std::uint64_t, LinkStats> links_
+      GRAVEL_GUARDED_BY(linkMutex_);
   RunningStat batchBytes_ GRAVEL_GUARDED_BY(linkMutex_);
   atomic<std::uint64_t> inFlight_{0};
 };

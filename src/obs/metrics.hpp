@@ -14,6 +14,13 @@
 //   gauge      instantaneous level; delta() keeps the current value
 //   stat       RunningStat moments (count/sum/min/max/mean)
 //   histogram  Pow2Histogram buckets; delta() subtracts per bucket
+//
+// Collection cost must scale with traffic, not topology: publishers that
+// walk per-destination or per-link state (the aggregator's lazy-buffer
+// gauges `agg.lazy_buffers`/`agg.resident_bytes`, the fabric's link
+// counters via Fabric::forEachLink) enumerate only resident entries, so
+// collectMetrics() at 4096 simulated nodes stays proportional to what the
+// run actually touched (DESIGN.md §14), not nodes^2 name/label pairs.
 #pragma once
 
 #include <algorithm>

@@ -92,7 +92,12 @@ struct QueueSample {
   std::uint64_t routed = 0;
 };
 
-/// One nonempty per-destination aggregation buffer.
+/// One nonempty per-destination aggregation buffer. The feed
+/// (SlotRouter::sampleBufferAges via Cluster::samplePipeline) enumerates
+/// only resident, nonempty buffers and skips whole shards via the relaxed
+/// non-empty hint, so a monitor tick costs O(open buffers) — flat in the
+/// node count even at 4096+ simulated nodes (DESIGN.md §14), never an
+/// O(N) sweep over destinations that were never messaged.
 struct BufferSample {
   std::uint32_t node = 0;  ///< aggregator's node
   std::uint32_t dest = 0;

@@ -207,6 +207,40 @@ class GravelQueue {
     return true;
   }
 
+  /// Non-blocking variant of acquireRead for cooperative (pooled) drivers:
+  /// returns false immediately when no slot has been claimed-and-unread,
+  /// instead of spinning for new work. A true return still waits for the
+  /// claimed slot's publish (bounded: the producer already claimed this
+  /// round, so it publishes in finite time — same liveness argument as
+  /// acquireRead), so the caller gets the identical post-condition.
+  bool tryAcquireRead(SlotRef& out) {
+    std::uint64_t claimed;
+    for (;;) {
+      claimed = readIdx_.load(std::memory_order_relaxed);
+      const std::uint64_t written = writeIdx_.load(std::memory_order_acquire);
+      if (claimed >= written) return false;
+      if (readIdx_.compare_exchange_weak(claimed, claimed + 1,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+        bumpAtomics();
+        break;
+      }
+      // lost the race; retry
+    }
+    Slot& s = slots_[claimed % slotCount_];
+    const std::uint64_t ticket = claimed / slotCount_;
+    spinUntil(
+        [&] {
+          return s.round.load(std::memory_order_acquire) == ticket &&  // pairs-with: gq.slot-round
+                 s.full.load(std::memory_order_acquire);  // pairs-with: gq.slot-full
+        },
+        {});
+    out.slot = static_cast<std::uint32_t>(claimed % slotCount_);
+    out.round = ticket;
+    out.count = s.count.load(std::memory_order_relaxed);
+    return true;
+  }
+
   /// Consumer side, step 2 is wordAt()/getWord() on the claimed columns.
   const std::uint64_t& wordAt(const SlotRef& ref, std::uint32_t row,
                               std::uint32_t lane) const noexcept {

@@ -41,13 +41,14 @@ class Aggregator {
         fabric_(fabric),
         tracer_(tracer),
         capacityMsgs_(config.pernode_queue_bytes / sizeof(NetMessage)),
-        timeout_(config.flush_timeout),
         timeoutCheckSlots_(config.aggregator_timeout_check_slots),
         stagingReserve_(config.aggregator_staging_reserve),
-        router_(fabric.nodes(), capacityMsgs_,
-                [this](std::uint32_t dst, std::vector<NetMessage>&& batch) {
-                  onFlush(dst, std::move(batch));
-                }) {}
+        router_(
+            fabric.nodes(), capacityMsgs_, config.flush_timeout,
+            [this](std::uint32_t dst, std::vector<NetMessage>&& batch) {
+              onFlush(dst, std::move(batch));
+            },
+            config.aggregator_shards) {}
 
   ~Aggregator() { stop(); }
 
@@ -145,58 +146,135 @@ class Aggregator {
 
   std::size_t capacityMsgs() const noexcept { return capacityMsgs_; }
 
+  /// Shards backing the per-destination buffers (fixed, <= nodes).
+  std::uint32_t shardCount() const noexcept { return router_.shardCount(); }
+
+  /// Timer-wheel entries examined so far — proportional to buffer-open
+  /// events, NOT to nodes x cadence ticks (the old full-array scan).
+  std::uint64_t timeoutScanned() { return router_.timeoutScanned(); }
+
+  /// Per-destination buffers demand-paged in so far (cold dests cost 0).
+  std::uint64_t lazyBuffers() { return router_.lazyBuffers(); }
+
+  /// Bytes resident in per-destination buffers right now.
+  std::size_t residentBufferBytes() { return router_.residentBufferBytes(); }
+
+  /// High-water mark of one routing thread's staging scratch, sampled on
+  /// the timeout cadence. The scale tests assert this does not grow with
+  /// the node count (it is O(lanes) by construction).
+  std::size_t stagingBytesPeak() const noexcept {
+    return stagingPeak_.load(std::memory_order_relaxed);
+  }
+
+  // --- cooperative (pooled) driving -------------------------------------
+  //
+  // With ClusterConfig::runtime_threads > 0 the cluster drives aggregators
+  // from a small shared pool instead of dedicated per-node threads (a
+  // 4096-node cluster cannot spawn 8192 OS threads). Each pooled node has
+  // exactly ONE driver at a time, so pump() keeps its cadence counter as a
+  // plain member — same single-consumer contract as run().
+
+  /// Make the per-driver staging scratch for this aggregator's queue.
+  SlotRouter::Staging makeStaging() const {
+    return SlotRouter::Staging(fabric_.nodes(), queue_.lanes(),
+                               stagingReserve_);
+  }
+
+  /// Drain up to `maxSlots` ready slots without blocking; returns slots
+  /// routed. Zero means the queue had no published work.
+  std::uint32_t pump(SlotRouter::Staging& staging, std::uint32_t maxSlots) {
+    GravelQueue::SlotRef ref;
+    std::uint32_t done = 0;
+    while (done < maxSlots && queue_.tryAcquireRead(ref)) {
+      processSlot(ref, staging);
+      ++done;
+      if (++pumpSinceTimeoutCheck_ >= timeoutCheckSlots_) {
+        pumpSinceTimeoutCheck_ = 0;
+        router_.checkTimeouts();
+      }
+    }
+    // Record the scratch high-water mark whenever this pump did work — a
+    // short pooled run may never reach the timeout cadence, and the peak is
+    // the scale sweep's staying-O(lanes) evidence (one relaxed CAS-max).
+    if (done > 0) noteStaging(staging);
+    return done;
+  }
+
+  /// Timeout maintenance entry point for pooled drivers (time-based cadence
+  /// lives in the pool loop; dedicated threads keep their own cadence).
+  void checkTimeouts() { router_.checkTimeouts(); }
+
  private:
   void run() {
     GravelQueue::SlotRef ref;
-    SlotRouter::Staging staging(fabric_.nodes(), queue_.lanes(),
-                                stagingReserve_);
+    SlotRouter::Staging staging = makeStaging();
     // Idle polls decay to short sleeps (paper's aggregator polls 65% of the
     // time, §8.1 — no need to burn a core doing it) but stay well under the
     // flush timeout so checkTimeouts() keeps its resolution.
     Backoff backoff(std::chrono::microseconds(20));
-    const YieldFn idle = [this, &backoff] {
+    const YieldFn idle = [this, &backoff, &staging] {
       // While waiting for GPU work, retire buffers that sat past the
       // timeout (the paper's 125 us rule, applied when the queue is idle so
       // a 1-core host's scheduling gaps do not shred aggregation).
       polls_.add(1, std::memory_order_relaxed);
-      router_.checkTimeouts(timeout_);
+      router_.checkTimeouts();
+      noteStaging(staging);
       backoff.wait();
     };
     std::uint32_t slotsSinceTimeoutCheck = 0;
     while (queue_.acquireRead(ref, stopped_, idle)) {
       backoff.reset();
-      const std::span<const NetMessage> msgs =
-          router_.decode(queue_, ref, staging);
-      // The staging owns a copy: hand the slot back to producers before
-      // taking any buffer locks.
-      queue_.release(ref);
-      // active(), not enabled(): the flight recorder wants every message's
-      // aggregate event (id 0 = unsampled; recordStage keeps those out of
-      // the sampled buffers).
-      if (tracer_.active()) {
-        for (const NetMessage& m : msgs)
-          tracer_.recordStage(obs::Stage::kAggregate, m.traceId(),
-                              std::uint16_t(self_), std::uint16_t(m.dest),
-                              m.addr, std::uint8_t(m.command()));
-      }
-      const std::uint32_t dests = router_.routeStaged(staging);
-      messagesRouted_.add(ref.count, std::memory_order_relaxed);
-      destsTouched_.add(dests, std::memory_order_relaxed);
-      // Release-ordered AFTER the buffer appends: quiet() observing this
-      // count may flushAll() immediately, so the slot's messages must
-      // already be in the shared buffers.
-      slotsProcessed_.add(1, std::memory_order_release);  // pairs-with: aggregator.slots-processed
+      processSlot(ref, staging);
       // Busy-path timeout cadence: under sustained load the idle YieldFn
       // above never runs, so without this a single buffered message to a
       // quiet destination would sit until the queue drains (timeout
       // starvation). Every timeoutCheckSlots_ slots bounds that latency.
       if (++slotsSinceTimeoutCheck >= timeoutCheckSlots_) {
         slotsSinceTimeoutCheck = 0;
-        router_.checkTimeouts(timeout_);
+        router_.checkTimeouts();
+        noteStaging(staging);
       }
     }
     // Producers are done and the queue is drained: final flush.
     flushAll();
+  }
+
+  /// Decode, trace, route and count one claimed slot (shared by the
+  /// dedicated-thread run() loop and the pooled pump()).
+  void processSlot(const GravelQueue::SlotRef& ref,
+                   SlotRouter::Staging& staging) {
+    const std::span<const NetMessage> msgs =
+        router_.decode(queue_, ref, staging);
+    // The staging owns a copy: hand the slot back to producers before
+    // taking any buffer locks.
+    queue_.release(ref);
+    // active(), not enabled(): the flight recorder wants every message's
+    // aggregate event (id 0 = unsampled; recordStage keeps those out of
+    // the sampled buffers).
+    if (tracer_.active()) {
+      for (const NetMessage& m : msgs)
+        tracer_.recordStage(obs::Stage::kAggregate, m.traceId(),
+                            std::uint16_t(self_), std::uint16_t(m.dest),
+                            m.addr, std::uint8_t(m.command()));
+    }
+    const std::uint32_t dests = router_.routeStaged(staging);
+    messagesRouted_.add(ref.count, std::memory_order_relaxed);
+    destsTouched_.add(dests, std::memory_order_relaxed);
+    // Release-ordered AFTER the buffer appends: quiet() observing this
+    // count may flushAll() immediately, so the slot's messages must
+    // already be in the shared buffers.
+    slotsProcessed_.add(1, std::memory_order_release);  // pairs-with: aggregator.slots-processed
+  }
+
+  /// Monotonic max of this driver's staging scratch bytes. Relaxed CAS max:
+  /// a stats gauge, no ordering published through it.
+  void noteStaging(const SlotRouter::Staging& staging) {
+    const std::size_t bytes = staging.residentBytes();
+    std::size_t cur = stagingPeak_.load(std::memory_order_relaxed);
+    while (bytes > cur && !stagingPeak_.compare_exchange_weak(
+                              cur, bytes, std::memory_order_relaxed,
+                              std::memory_order_relaxed)) {
+    }
   }
 
   /// SlotRouter flush sink: trace the handoff, then give the batch to the
@@ -217,7 +295,6 @@ class Aggregator {
   net::Fabric& fabric_;
   obs::Tracer& tracer_;
   std::size_t capacityMsgs_;
-  std::chrono::steady_clock::duration timeout_;
   std::uint32_t timeoutCheckSlots_;
   std::uint32_t stagingReserve_;
 
@@ -231,6 +308,10 @@ class Aggregator {
   ShardedCounter messagesRouted_;
   ShardedCounter polls_;
   ShardedCounter destsTouched_;
+  /// Stats-only gauge (relaxed max); see noteStaging().
+  atomic<std::size_t> stagingPeak_{0};
+  /// Plain: pump() has exactly one driver at a time (pool ownership).
+  std::uint32_t pumpSinceTimeoutCheck_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -124,6 +124,7 @@ Cluster::~Cluster() {
     collectWindow();
     dumpTimeSeries();
   }
+  stopPool();
   for (auto& n : nodes_) n->stopThreads();
   // Opt-in exit dump: GRAVEL_FLIGHTREC_DUMP=1 writes the flight record even
   // on clean shutdown (CI smoke uses this to validate the artifact).
@@ -140,11 +141,88 @@ std::uint32_t Cluster::registerHandler(AmHandler handler) {
 
 void Cluster::ensureThreadsStarted() {
   if (threadsStarted_) return;
-  for (auto& n : nodes_) n->startThreads();
+  if (config_.runtime_threads > 0) {
+    // Cooperative pool (DESIGN.md §14): a 4096-node cluster cannot spawn
+    // 8192 dedicated aggregator/network threads, so a fixed pool pumps
+    // every node's runtime instead. validate() rejected the combinations
+    // (reliability) whose machinery needs the dedicated threads.
+    poolStop_.store(false, std::memory_order_relaxed);
+    const std::uint32_t threads =
+        std::min(config_.runtime_threads, config_.nodes);
+    pool_.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t)
+      pool_.emplace_back([this, t] { poolLoop(t); });
+  } else {
+    for (auto& n : nodes_) n->startThreads();
+  }
   const bool gauges = tracer_.enabled() && config_.obs.gauge_period.count() > 0;
   if (gauges || watchdog_ || membership_ || timeseries_)
     monitor_ = std::thread([this] { monitorLoop(); });
   threadsStarted_ = true;
+}
+
+// One pool thread: owns nodes t, t+P, t+2P, ... exclusively (so the
+// aggregator pump and network pumpOnce keep their single-consumer
+// contracts) and alternates GPU-queue draining with network resolution.
+void Cluster::poolLoop(std::uint32_t t) {
+  tracer_.nameThread("pool." + std::to_string(t));
+  const std::uint32_t stride =
+      std::min(config_.runtime_threads, config_.nodes);
+  std::vector<std::uint32_t> mine;
+  for (std::uint32_t i = t; i < config_.nodes; i += stride)
+    mine.push_back(i);
+  std::vector<SlotRouter::Staging> staging;
+  staging.reserve(mine.size());
+  for (std::uint32_t i : mine)
+    staging.push_back(nodes_[i]->aggregator().makeStaging());
+  Backoff backoff(std::chrono::microseconds(200));
+  // Time-based timeout cadence: the per-slot cadence inside pump() only
+  // advances under load, and an idle pass over hundreds of nodes is much
+  // longer than one dedicated thread's poll loop, so the pool re-checks on
+  // a fraction of the flush timeout instead.
+  const auto timeoutPeriod = config_.flush_timeout / 4;
+  auto nextTimeout = std::chrono::steady_clock::now();
+  // pairs-with: cluster.pool-stop
+  while (!poolStop_.load(std::memory_order_acquire)) {
+    bool busy = false;
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      NodeRuntime& n = *nodes_[mine[k]];
+      busy |= n.aggregator().pump(staging[k], /*maxSlots=*/8) > 0;
+      busy |= n.network().pumpOnce();
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= nextTimeout) {
+      for (std::uint32_t i : mine) nodes_[i]->aggregator().checkTimeouts();
+      nextTimeout = now + timeoutPeriod;
+    }
+    if (busy)
+      backoff.reset();
+    else
+      backoff.wait();
+  }
+  // Final drain, mirroring the dedicated threads' stopped-drain: route
+  // whatever the GPU queues still hold, flush it, then resolve the wire
+  // until dry. stopPool() is only called after producers quiesced.
+  for (std::size_t k = 0; k < mine.size(); ++k)
+    while (nodes_[mine[k]]->aggregator().pump(staging[k], 64) > 0) {
+    }
+  for (std::uint32_t i : mine) nodes_[i]->aggregator().flushAll();
+  bool drained = false;
+  while (!drained) {
+    drained = true;
+    for (std::uint32_t i : mine)
+      if (nodes_[i]->network().pumpOnce()) drained = false;
+  }
+}
+
+void Cluster::stopPool() {
+  if (pool_.empty()) return;
+  // Release pairs with the pool threads' acquire loads: everything
+  // published before the stop request is visible to their final drains.
+  poolStop_.store(true, std::memory_order_release);  // pairs-with: cluster.pool-stop
+  for (auto& w : pool_)
+    if (w.joinable()) w.join();
+  pool_.clear();
 }
 
 // --- graceful degradation ---------------------------------------------------
@@ -363,6 +441,13 @@ ClusterRunStats Cluster::runStats() const {
     s.agg_slots += agg.slotsProcessedStat() - ab.slots;
     s.agg_lock_acquisitions += agg.lockAcquisitions() - ab.locks;
     s.agg_dests_touched += agg.destsTouched() - ab.dests;
+    s.agg_timeout_scanned += agg.timeoutScanned() - ab.timeout_scanned;
+    // Levels, not windowed deltas: resident footprint is a gauge and the
+    // staging peak a high-water mark (merge() takes the max of both).
+    s.agg_lazy_buffers += agg.lazyBuffers();
+    s.agg_resident_bytes += agg.residentBufferBytes();
+    s.agg_staging_bytes_peak =
+        std::max(s.agg_staging_bytes_peak, agg.stagingBytesPeak());
 
     s.net_resolved += nodes_[i]->network().messagesResolved() -
                       resolvedBase_[i];
@@ -451,7 +536,7 @@ void Cluster::resetStats() {
     devBase_[i] = nodes_[i]->device().stats();
     Aggregator& agg = nodes_[i]->aggregator();
     aggBase_[i] = {agg.slotsProcessedStat(), agg.lockAcquisitions(),
-                   agg.destsTouched()};
+                   agg.destsTouched(), agg.timeoutScanned()};
   }
   fabricBase_ = fabric_->total();
   batchBase_ = fabric_->batchSizeBytes();
@@ -628,6 +713,15 @@ obs::MetricsSnapshot Cluster::collectMetrics() {
                         n.aggregator().lockAcquisitions());
     metrics_.setCounter("agg.dests_touched", node,
                         n.aggregator().destsTouched());
+    metrics_.setCounter("agg.timeout_scanned", node,
+                        n.aggregator().timeoutScanned());
+    metrics_.setCounter("agg.lazy_buffers", node,
+                        n.aggregator().lazyBuffers());
+    metrics_.setGauge("agg.resident_bytes", node,
+                      double(n.aggregator().residentBufferBytes()));
+    metrics_.setGauge("agg.staging_peak_bytes", node,
+                      double(n.aggregator().stagingBytesPeak()));
+    metrics_.setGauge("agg.shards", node, double(n.aggregator().shardCount()));
     metrics_.setCounter("net.messages_resolved", node,
                         n.network().messagesResolved());
   }
@@ -642,19 +736,19 @@ obs::MetricsSnapshot Cluster::collectMetrics() {
   metrics_.setCounter("fabric.acks", "", t.acks);
   metrics_.setGauge("fabric.pending_now", "", double(fabric_->pendingCount()));
   metrics_.setStat("fabric.batch_bytes", "", fabric_->batchSizeBytes());
-  for (std::uint32_t src = 0; src < config_.nodes; ++src) {
-    for (std::uint32_t dst = 0; dst < config_.nodes; ++dst) {
-      const net::LinkStats l = fabric_->link(src, dst);
-      if (l.batches == 0) continue;
-      const std::string link =
-          "link=" + std::to_string(src) + "->" + std::to_string(dst);
-      metrics_.setCounter("link.batches", link, l.batches);
-      metrics_.setCounter("link.messages", link, l.messages);
-      metrics_.setCounter("link.bytes", link, l.bytes);
-      if (l.retransmits)
-        metrics_.setCounter("link.retransmits", link, l.retransmits);
-    }
-  }
+  // Sparse walk (forEachLink): O(links touched), not O(nodes^2) — at 4096
+  // nodes the dense double loop alone was 16M fabric queries per collect.
+  fabric_->forEachLink([this](std::uint32_t src, std::uint32_t dst,
+                              const net::LinkStats& l) {
+    if (l.batches == 0) return;
+    const std::string link =
+        "link=" + std::to_string(src) + "->" + std::to_string(dst);
+    metrics_.setCounter("link.batches", link, l.batches);
+    metrics_.setCounter("link.messages", link, l.messages);
+    metrics_.setCounter("link.bytes", link, l.bytes);
+    if (l.retransmits)
+      metrics_.setCounter("link.retransmits", link, l.retransmits);
+  });
 
   const net::ReliabilityStats r = fabric_->reliabilityStats();
   metrics_.setCounter("rel.acks_sent", "", r.acks_sent);

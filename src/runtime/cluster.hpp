@@ -186,6 +186,8 @@ class Cluster {
 
  private:
   void ensureThreadsStarted();
+  void poolLoop(std::uint32_t t);
+  void stopPool();
   [[noreturn]] void quietDeadlineExpired(const char* stage);
   void monitorLoop();
   obs::WatchdogSample samplePipeline();
@@ -209,6 +211,14 @@ class Cluster {
   std::unique_ptr<net::DeadLetterQueue> dlq_;     ///< degrade policy only
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   bool threadsStarted_ = false;
+
+  /// Cooperative runtime pool (config.runtime_threads > 0): a fixed set of
+  /// threads round-robin-pumping every node's aggregator and network
+  /// resolver, instead of 2N dedicated threads (DESIGN.md §14). Each node
+  /// is owned by exactly one pool thread, preserving the single-consumer
+  /// contracts of pump()/pumpOnce().
+  std::vector<std::thread> pool_;
+  atomic<bool> poolStop_{false};
 
   /// Monitor thread: the run's ONE sampling thread. Gauge sampling + online
   /// latency ingest, watchdog sampling, the membership failure detector and
@@ -241,6 +251,7 @@ class Cluster {
     std::uint64_t slots = 0;
     std::uint64_t locks = 0;
     std::uint64_t dests = 0;
+    std::uint64_t timeout_scanned = 0;
   };
   std::vector<AggBase> aggBase_;
 };

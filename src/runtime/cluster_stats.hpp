@@ -99,8 +99,21 @@ struct ClusterRunStats {
   // agg_lock_acquisitions <= agg_dests_touched <= messages routed — the
   // bench harness (bench/run_benches.py) checks the inequality per window.
   std::uint64_t agg_slots = 0;             ///< queue slots routed
-  std::uint64_t agg_lock_acquisitions = 0; ///< routing-path buffer locks
+  std::uint64_t agg_lock_acquisitions = 0; ///< routing-path shard locks
   std::uint64_t agg_dests_touched = 0;     ///< distinct dests summed per slot
+
+  // Scalability evidence (DESIGN.md §14). timeout_scanned is a windowed
+  // delta like the counters above: timer-wheel entries checkTimeouts()
+  // examined, proportional to buffer-open events rather than the old
+  // nodes x cadence-ticks full scan. The remaining three are LEVELS at the
+  // moment runStats() ran, not deltas — lazy_buffers/resident_bytes sum the
+  // demand-paged per-destination buffers actually allocated (flat in N for
+  // cold destinations), and staging_bytes_peak is the largest per-routing-
+  // thread scratch high-water mark (O(lanes), never O(N)).
+  std::uint64_t agg_timeout_scanned = 0;   ///< wheel entries examined
+  std::uint64_t agg_lazy_buffers = 0;      ///< resident per-dest buffers
+  std::uint64_t agg_resident_bytes = 0;    ///< bytes in resident buffers
+  std::uint64_t agg_staging_bytes_peak = 0;  ///< max per-thread scratch
 
   // Network traffic (summed over links). With a reliability layer these are
   // app-level counts: retransmissions, duplicates and ACK overhead appear in
@@ -181,6 +194,13 @@ struct ClusterRunStats {
     agg_slots += o.agg_slots;
     agg_lock_acquisitions += o.agg_lock_acquisitions;
     agg_dests_touched += o.agg_dests_touched;
+    agg_timeout_scanned += o.agg_timeout_scanned;
+    // Levels/high-water marks, not windowed quantities: max, not sum
+    // (summing a gauge over merged windows would double-count residency).
+    agg_lazy_buffers = std::max(agg_lazy_buffers, o.agg_lazy_buffers);
+    agg_resident_bytes = std::max(agg_resident_bytes, o.agg_resident_bytes);
+    agg_staging_bytes_peak =
+        std::max(agg_staging_bytes_peak, o.agg_staging_bytes_peak);
 
     // Weighted mean before the counts it derives from are summed.
     const double total = double(net_batches) + double(o.net_batches);

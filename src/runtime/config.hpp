@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/units.hpp"
@@ -18,6 +19,11 @@
 #include "simt/types.hpp"
 
 namespace gravel::rt {
+
+/// Conservative per-(src,dst) estimate of the reliability layer's dense
+/// eager state (send/recv link structs, era and stats vectors) used by the
+/// validate() footprint gate.
+inline constexpr std::size_t kReliableLinkEagerBytes = 256;
 
 struct ClusterConfig {
   std::uint32_t nodes = 8;
@@ -55,6 +61,29 @@ struct ClusterConfig {
   /// Initial per-destination reserve (messages) for each routing thread's
   /// staging runs; purely an allocation hint for the slot-batched path.
   std::uint32_t aggregator_staging_reserve = 64;
+
+  /// Shards backing the aggregator's per-destination buffers (DESIGN.md
+  /// §14). Clamped to `nodes`, so clusters up to this size keep the
+  /// historical one-lock-per-destination behaviour exactly; larger
+  /// clusters pay a fixed shard-mutex footprint instead of one per node.
+  /// 0 means the SlotRouter default (64).
+  std::uint32_t aggregator_shards = 0;
+
+  /// Cooperative runtime pool size. 0 (default) keeps the historical
+  /// dedicated aggregator + network thread pair per node. A positive value
+  /// drives all nodes' aggregation and network pumping from this many
+  /// shared threads instead — the only way to run 1024+ simulated nodes on
+  /// a host that cannot spawn 2N OS threads.
+  std::uint32_t runtime_threads = 0;
+
+  /// Upper bound on the cluster's total *eager* allocation footprint
+  /// (bytes): memory validate() can predict from the config alone —
+  /// symmetric heaps, GPU queues, and the reliability layer's dense
+  /// per-link state. Configs over the cap are rejected up front with an
+  /// actionable message instead of OOM-ing mid-construction. 0 disables
+  /// the check. Per-destination aggregation buffers are demand-paged
+  /// (DESIGN.md §14) and deliberately NOT counted.
+  std::size_t max_eager_bytes = std::size_t{65536} * 1_MiB;  // 64 GiB
 
   /// Fault injection on the wire. Inactive (all-zero) means the cluster runs
   /// on PerfectFabric exactly as before; any nonzero knob swaps in
@@ -123,6 +152,35 @@ struct ClusterConfig {
                      "aggregator needs at least one thread");
     GRAVEL_CHECK_MSG(aggregator_timeout_check_slots > 0,
                      "busy-path timeout cadence must be >= 1 slot");
+    // Eager-footprint gate: reject configs that would OOM mid-construction
+    // with a message naming the knobs, instead of dying in an allocator.
+    // Historical note: per-destination aggregation buffers used to dominate
+    // this sum (3 x pernode_queue_bytes x nodes x aggregator_threads); they
+    // are demand-paged now (DESIGN.md §14), so the cap covers only what is
+    // still allocated up front — heaps, GPU queues, and the reliability
+    // layer's dense per-link state.
+    if (max_eager_bytes != 0) {
+      const std::uint64_t perNode =
+          std::uint64_t(heap_bytes) + std::uint64_t(gpu_queue_bytes);
+      std::uint64_t eager = perNode * nodes;
+      if (reliability.enabled)
+        eager += std::uint64_t(nodes) * nodes * kReliableLinkEagerBytes;
+      GRAVEL_CHECK_MSG(
+          eager <= max_eager_bytes,
+          "total eager allocation footprint (" + std::to_string(eager) +
+              " bytes: nodes x (heap_bytes + gpu_queue_bytes)" +
+              (reliability.enabled ? " + nodes^2 reliable-link state" : "") +
+              ") exceeds max_eager_bytes (" +
+              std::to_string(max_eager_bytes) +
+              "); shrink heap_bytes/gpu_queue_bytes for large simulated "
+              "clusters, or raise max_eager_bytes");
+    }
+    if (runtime_threads > 0)
+      GRAVEL_CHECK_MSG(
+          !reliability.enabled,
+          "runtime_threads (cooperative pool) does not drive the "
+          "reliability layer's retransmit/crash-restart machinery; use "
+          "dedicated threads (runtime_threads = 0) with reliability");
     if (reliability.policy == net::FailurePolicy::kDegrade) {
       GRAVEL_CHECK_MSG(reliability.enabled,
                        "the degrade failure policy needs the reliability "

@@ -26,7 +26,19 @@ class NetworkThread {
         fabric_(fabric),
         heap_(heap),
         registry_(registry),
-        tracer_(tracer) {}
+        tracer_(tracer),
+        // Handler-initiated follow-on messages ship immediately as
+        // one-message batches: chained walks are latency-bound, not
+        // bandwidth-bound, and shipping before markResolved() keeps the
+        // quiet protocol's in-flight count from ever touching zero
+        // mid-chain. A member (not a run()-local) because AmContext holds
+        // the SendFn by reference and pumpOnce() needs it thread-free.
+        sendFn_([this](std::uint32_t dest, std::uint32_t handler,
+                       std::uint64_t a0, std::uint64_t a1) {
+          fabric_.send(self_, dest,
+                       {NetMessage::activeMessage(dest, handler, a0, a1)});
+        }),
+        ctx_(heap_, self_, sendFn_) {}
 
   ~NetworkThread() { stop(); }
 
@@ -61,19 +73,24 @@ class NetworkThread {
     return !stopped_.load(std::memory_order_acquire);  // pairs-with: netthread.stopped
   }
 
+  /// Cooperative (pooled) drive: one fabric poll plus at most one delivery
+  /// batch, never blocking. Returns true when messages were resolved. The
+  /// pool guarantees one driver per node at a time, so this shares the
+  /// dedicated worker's single-consumer contract (they are never mixed:
+  /// pooled clusters never start() the worker).
+  bool pumpOnce() {
+    fabric_.poll(self_);
+    net::Delivery d;
+    if (!fabric_.tryReceive(self_, d)) return false;
+    for (const NetMessage& m : d.messages) resolve(ctx_, m);
+    fabric_.markResolved(self_, d);
+    resolved_.fetch_add(d.messages.size(), std::memory_order_relaxed);
+    return true;
+  }
+
  private:
   void run() {
     tracer_.nameThread("net." + std::to_string(self_));
-    // Handler-initiated follow-on messages ship immediately as one-message
-    // batches: chained walks are latency-bound, not bandwidth-bound, and
-    // shipping before markResolved() keeps the quiet protocol's in-flight
-    // count from ever touching zero mid-chain.
-    const AmContext::SendFn send = [this](std::uint32_t dest,
-                                          std::uint32_t handler,
-                                          std::uint64_t a0, std::uint64_t a1) {
-      fabric_.send(self_, dest, {NetMessage::activeMessage(dest, handler, a0, a1)});
-    };
-    AmContext ctx(heap_, self_, send);
     net::Delivery d;
     // Bounded backoff: an idle network thread decays to ~100 us sleeps
     // (cheap CPU) but snaps back to hot spinning on the first delivery.
@@ -83,7 +100,7 @@ class NetworkThread {
       // timers) even while traffic keeps us busy.
       fabric_.poll(self_);
       if (fabric_.tryReceive(self_, d)) {
-        for (const NetMessage& m : d.messages) resolve(ctx, m);
+        for (const NetMessage& m : d.messages) resolve(ctx_, m);
         fabric_.markResolved(self_, d);
         resolved_.fetch_add(d.messages.size(), std::memory_order_relaxed);
         backoff.reset();
@@ -92,7 +109,7 @@ class NetworkThread {
         // Drain once more after observing stop; quiet() guarantees no new
         // sends race this.
         if (!fabric_.tryReceive(self_, d)) return;
-        for (const NetMessage& m : d.messages) resolve(ctx, m);
+        for (const NetMessage& m : d.messages) resolve(ctx_, m);
         fabric_.markResolved(self_, d);
         resolved_.fetch_add(d.messages.size(), std::memory_order_relaxed);
       } else {
@@ -136,6 +153,9 @@ class NetworkThread {
   SymmetricHeap& heap_;
   const AmRegistry& registry_;
   obs::Tracer& tracer_;
+  /// Declared before ctx_: AmContext stores the SendFn by reference.
+  AmContext::SendFn sendFn_;
+  AmContext ctx_;
   atomic<bool> stopped_{true};
   atomic<std::uint64_t> resolved_{0};
   std::thread worker_;

@@ -66,7 +66,7 @@ const MutationRow kMatrix[] = {
     {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 146, "release"},
     {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 185, "acquire"},
     {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 201, "acquire"},
-    {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 223, "release"},
+    {"gravelRoundTrip", &gravelRoundTrip, 1, "gravel_queue.hpp", 257, "release"},
     // Reliable layer: the ACK path's outstanding-counter decrement and the
     // quiescent() read that consumers use as a "all settled" barrier.
     {"reliableQuiescentVisibility", &reliableQuiescentVisibility, 1,

@@ -510,10 +510,14 @@ inline ExploreResult slotRoutedAggregation(const ExploreOptions& opts) {
       std::vector<std::vector<std::uint64_t>> flushed;  // per-dest values
       std::size_t maxBatch = 0;
       State()
-          : router(2, /*capacityMsgs=*/2,
+          // A flush timeout far past the exploration keeps the timer wheel
+          // inert: the scenario owns flushing via capacity + flushAll, and
+          // with shards defaulting to min(nodes, 64) = 2 the sharded
+          // router keeps the historical one-lock-per-destination shape.
+          : router(2, /*capacityMsgs=*/2, std::chrono::seconds(3600),
                    [this](std::uint32_t dst,
                           std::vector<rt::NetMessage>&& batch) {
-                     // Runs with the destination's buffer lock held.
+                     // Runs with the destination's shard lock held.
                      maxBatch = std::max(maxBatch, batch.size());
                      for (const rt::NetMessage& m : batch)
                        flushed[dst].push_back(m.value);

@@ -52,15 +52,28 @@ def fmt_ns(ns: float) -> str:
 class Rates:
     """Per-node rates from successive polls (resolved msgs/s etc.)."""
 
+    # Two successive polls can land within the clock's resolution (coarse
+    # monotonic clocks, or a fast --once loop), making dt zero — or, on a
+    # clock that steps, negative. Dividing by it would blow up or produce
+    # nonsense spikes, so clamp to a floor and carry the previous rates for
+    # the degenerate poll instead of recomputing from a ~0 window.
+    MIN_DT = 1e-3  # seconds; below this a delta-based rate is meaningless
+
     def __init__(self) -> None:
         self.prev: dict | None = None
         self.prev_t = 0.0
+        self.last_rates: dict[int, float] = {}
 
     def update(self, status: dict) -> dict[int, float]:
         now = time.monotonic()
-        rates: dict[int, float] = {}
-        if self.prev is not None and now > self.prev_t:
+        if self.prev is not None:
             dt = now - self.prev_t
+            if dt <= self.MIN_DT:
+                # Degenerate window: keep showing the last good rates and do
+                # NOT advance prev/prev_t, so the next poll accumulates a
+                # usable dt instead of chaining tiny windows.
+                return dict(self.last_rates)
+            rates: dict[int, float] = {}
             before = {m["node"]: m for m in self.prev.get("membership", [])}
             for m in status.get("membership", []):
                 b = before.get(m["node"])
@@ -68,9 +81,10 @@ class Rates:
                     continue
                 rates[m["node"]] = max(
                     0.0, (m.get("resolved", 0) - b.get("resolved", 0)) / dt)
+            self.last_rates = rates
         self.prev = status
         self.prev_t = now
-        return rates
+        return dict(self.last_rates)
 
 
 def render(status: dict, rates: dict[int, float], url: str) -> list[str]:
