@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "common.hpp"
+#include "common/atomic.hpp"
 #include "common/cacheline.hpp"
 #include "common/table.hpp"
+#include "obs/profiler.hpp"
 #include "queue/gravel_queue.hpp"
 #include "queue/mpmc_queue.hpp"
 #include "queue/spsc_queue.hpp"
@@ -45,7 +47,7 @@ void benchmarkSink(std::uint64_t v) {
   sink.fetch_add(v, std::memory_order_relaxed);
 }
 
-double measureGravel(std::size_t msgBytes) {
+double measureGravel(std::size_t msgBytes, obs::Profiler* prof = nullptr) {
   const std::uint32_t rows = std::uint32_t(std::max<std::size_t>(1, msgBytes / 8));
   const std::uint32_t lanes = 256;
   GravelQueue q(GravelQueueConfig{1 << 20, lanes, rows});
@@ -70,6 +72,10 @@ double measureGravel(std::size_t msgBytes) {
   std::uint64_t producedSlots = 0;
   while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
              .count() < runSeconds()) {
+    // One region per produced slot: the heaviest plausible instrumentation
+    // cadence (every slot, not every batch), so gravel_gbs_prof bounds the
+    // profiler's worst-case throughput cost from above.
+    obs::ScopedRegion slotRegion(prof, obs::Region::kBenchSlot);
     auto w = q.acquireWrite(lanes);
     for (std::uint32_t row = 0; row < rows; ++row)
       for (std::uint32_t l = 0; l < lanes; ++l)
@@ -83,6 +89,21 @@ double measureGravel(std::size_t msgBytes) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return double(producedSlots) * lanes * msgBytes / dt / 1e9;
+}
+
+/// Same measurement with the continuous profiler enabled (region timer on
+/// every produced slot + lock-contention accounting armed process-wide).
+/// The gravel_gbs / gravel_gbs_prof pair is the overhead evidence for
+/// DESIGN.md section 15: enabling profiling must stay within a few percent.
+double measureGravelProfiled(std::size_t msgBytes) {
+  obs::ProfilerConfig cfg;
+  cfg.enabled = true;
+  obs::Profiler prof(cfg);
+  const bool lockprofWas = lockprof::enabled();
+  lockprof::setEnabled(true);
+  const double gbs = measureGravel(msgBytes, &prof);
+  lockprof::setEnabled(lockprofWas);
+  return gbs;
 }
 
 double measureSpsc(std::size_t msgBytes) {
@@ -160,11 +181,12 @@ int main() {
   json.meta("artifact", "Figure 8");
   json.meta("run_seconds", runSeconds());
 
-  TextTable table({"msg bytes", "Gravel GB/s", "SPSC GB/s", "MPMC GB/s",
-                   "lines/msg Gravel", "lines/msg padded"});
+  TextTable table({"msg bytes", "Gravel GB/s", "profiled GB/s", "SPSC GB/s",
+                   "MPMC GB/s", "lines/msg Gravel", "lines/msg padded"});
   for (std::size_t bytes : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u,
                             4096u, 16384u, 65536u}) {
     const double g = measureGravel(bytes);
+    const double gp = measureGravelProfiled(bytes);
     const double s = measureSpsc(bytes);
     const double m = measureMpmc(bytes);
     // Cache-line accounting (§4.3): Gravel packs a work-group's messages
@@ -176,13 +198,16 @@ int main() {
     json.beginRow();
     json.cell("msg_bytes", double(bytes));
     json.cell("gravel_gbs", g);
+    // Schema v4: the same queue measured with continuous profiling on —
+    // run_benches.py checks the pair stays within noise of each other.
+    json.cell("gravel_gbs_prof", gp);
     json.cell("spsc_gbs", s);
     json.cell("mpmc_gbs", m);
     json.cell("gravel_lines_per_msg", gravelLines);
     json.cell("padded_lines_per_msg", paddedLines);
     table.addRow({std::to_string(bytes), TextTable::num(g, 3),
-                  TextTable::num(s, 3), TextTable::num(m, 3),
-                  TextTable::num(gravelLines, 3),
+                  TextTable::num(gp, 3), TextTable::num(s, 3),
+                  TextTable::num(m, 3), TextTable::num(gravelLines, 3),
                   TextTable::num(paddedLines, 1)});
     std::fflush(stdout);
   }

@@ -142,6 +142,11 @@ inline rt::ClusterConfig benchCluster(std::uint32_t nodes,
     // monitor thread, off every hot path.
     c.timeseries.enabled = true;
     c.timeseries.period = std::chrono::milliseconds(50);
+    // Continuous profiler (schema v4): per-thread busy/idle attribution and
+    // named-mutex wait totals back the cpu_ns_per_msg / lock_wait_share
+    // columns. Region timers are scoped and single-writer — same noise
+    // floor as the sampled tracing above.
+    c.profiler.enabled = true;
   }
   return c;  // Table 3 defaults otherwise (256-lane WGs, 1 MB queue, ...)
 }

@@ -17,6 +17,12 @@
 // windowed collector, dumped as gravel_timeseries.json at exit);
 // GRAVEL_HOLD_MS=N parks the quiescent cluster for N ms after the workload
 // so the endpoints can be scraped.
+//
+// Profiling: GRAVEL_PROFILE=1 enables the continuous profiler — per-thread
+// region self-time, lock-wait histograms and duty cycle — served at
+// /profile when the status server is up and written as gravel_profile.json
+// at exit (GRAVEL_PROFILE_DIR picks the directory; render with
+// tools/profile_report.py, --collapse for flamegraph input).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>

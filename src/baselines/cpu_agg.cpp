@@ -12,7 +12,8 @@ CpuCluster::CpuCluster(const CpuClusterConfig& config) : config_(config) {
                 std::vector<std::uint64_t>(config.heap_words, 0));
   heapMutex_.reserve(config.nodes);
   for (std::uint32_t i = 0; i < config.nodes; ++i)
-    heapMutex_.push_back(std::make_unique<gravel::mutex>());
+    heapMutex_.push_back(
+        std::make_unique<gravel::mutex>("CpuCluster::heapMutex_"));
 }
 
 std::uint64_t CpuCluster::loadWord(std::uint32_t node,

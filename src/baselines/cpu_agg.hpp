@@ -115,7 +115,7 @@ class CpuCluster {
   std::vector<std::vector<std::uint64_t>> heaps_;
   std::vector<std::unique_ptr<gravel::mutex>> heapMutex_;
   std::vector<CpuHandler> handlers_;
-  mutable gravel::mutex statsMutex_;
+  mutable gravel::mutex statsMutex_{"CpuCluster::statsMutex_"};
   CpuRunStats stats_ GRAVEL_GUARDED_BY(statsMutex_);
 };
 

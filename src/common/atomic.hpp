@@ -31,6 +31,159 @@
 
 #include "common/annotations.hpp"
 
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+
+namespace gravel::lockprof {
+
+// Lock-contention accounting (DESIGN.md §15): every gravel::mutex
+// constructed with a site name — by convention its TSA capability name,
+// e.g. "SlotRouter::Shard::mutex" — reports acquisition counts and a Pow2
+// wait-time histogram for free whenever lock profiling is enabled. Sites
+// are deduplicated by content, so the N shard-mutex instances of one class
+// fold into a single row. Unnamed mutexes never touch any of this.
+//
+// Raw std::atomic on purpose (lint SHIM_HOME): registration runs from
+// arbitrary constructors outside any model-checked schedule, and the table
+// is process-global — the verify shim must not turn every site update into
+// a schedule point.
+
+inline constexpr int kMaxSites = 64;
+inline constexpr int kWaitBuckets = 40;  // == Pow2Histogram::kBuckets
+
+/// One named lock site. Counters are relaxed monotonic: a dumper may see
+/// them lag each other by one update, which is fine for a profile.
+struct SiteStats {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::atomic<std::uint64_t> contended{0};
+  std::atomic<std::uint64_t> wait_ns_total{0};
+  std::atomic<std::uint64_t> wait_hist[kWaitBuckets]{};
+};
+
+inline SiteStats* table() noexcept {
+  static SiteStats sites[kMaxSites];
+  return sites;
+}
+
+inline std::atomic<bool>& enabledFlag() noexcept {
+  static std::atomic<bool> on{false};
+  return on;
+}
+
+inline bool enabled() noexcept {
+  return enabledFlag().load(std::memory_order_relaxed);
+}
+
+inline void setEnabled(bool on) noexcept {
+  enabledFlag().store(on, std::memory_order_relaxed);
+}
+
+/// Find-or-claim the row for a site name, deduplicating by content so each
+/// translation unit's copy of the same literal shares one row. Returns
+/// nullptr when the table is full — that mutex then profiles nothing
+/// rather than misattributing.
+inline SiteStats* registerSite(const char* site) noexcept {
+  if (site == nullptr) return nullptr;
+  SiteStats* sites = table();
+  for (int i = 0; i < kMaxSites; ++i) {
+    // pairs-with: lockprof.site
+    const char* cur = sites[i].name.load(std::memory_order_acquire);
+    if (cur == nullptr) {
+      const char* expected = nullptr;
+      if (sites[i].name.compare_exchange_strong(
+              expected, site,
+              // pairs-with: lockprof.site
+              std::memory_order_release, std::memory_order_acquire))
+        return &sites[i];
+      cur = expected;  // lost the claim race; fall through to compare
+    }
+    if (std::strcmp(cur, site) == 0) return &sites[i];
+  }
+  return nullptr;
+}
+
+inline void recordWait(SiteStats* s, std::uint64_t wait_ns) noexcept {
+  s->contended.fetch_add(1, std::memory_order_relaxed);
+  s->wait_ns_total.fetch_add(wait_ns, std::memory_order_relaxed);
+  int bucket = wait_ns == 0 ? 0 : 64 - std::countl_zero(wait_ns);
+  if (bucket >= kWaitBuckets) bucket = kWaitBuckets - 1;
+  s->wait_hist[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Copied-out view of one site for dumpers.
+struct SiteSample {
+  const char* name = nullptr;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended = 0;
+  std::uint64_t wait_ns_total = 0;
+  std::uint64_t wait_hist[kWaitBuckets] = {};
+
+  /// Estimated q-quantile of the wait distribution, in ns — the same
+  /// bucket interpolation as Pow2Histogram::quantile (common/stats.hpp):
+  /// bucket 0 holds {0}, bucket i>=1 covers [2^(i-1), 2^i).
+  double waitQuantileNs(double q) const noexcept {
+    std::uint64_t total = 0;
+    for (int i = 0; i < kWaitBuckets; ++i) total += wait_hist[i];
+    if (total == 0) return 0.0;
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    const double target = q * double(total);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kWaitBuckets; ++i) {
+      if (wait_hist[i] == 0) continue;
+      const double before = double(cum);
+      cum += wait_hist[i];
+      if (double(cum) >= target) {
+        const double lo = i == 0 ? 0.0 : double(std::uint64_t{1} << (i - 1));
+        const double hi = i == 0 ? 1.0 : double(std::uint64_t{1} << i);
+        double frac = (target - before) / double(wait_hist[i]);
+        frac = frac < 0.0 ? 0.0 : (frac > 1.0 ? 1.0 : frac);
+        return lo + frac * (hi - lo);
+      }
+    }
+    return double(std::uint64_t{1} << (kWaitBuckets - 1));
+  }
+};
+
+/// Visits every claimed site with a consistent-enough copy. Sites are
+/// claimed left to right, so the first empty slot ends the table.
+template <typename Fn>
+inline void forEachSite(Fn&& fn) {
+  SiteStats* sites = table();
+  for (int i = 0; i < kMaxSites; ++i) {
+    // pairs-with: lockprof.site
+    const char* name = sites[i].name.load(std::memory_order_acquire);
+    if (name == nullptr) break;
+    SiteSample s;
+    s.name = name;
+    s.acquisitions = sites[i].acquisitions.load(std::memory_order_relaxed);
+    s.contended = sites[i].contended.load(std::memory_order_relaxed);
+    s.wait_ns_total =
+        sites[i].wait_ns_total.load(std::memory_order_relaxed);
+    for (int b = 0; b < kWaitBuckets; ++b)
+      s.wait_hist[b] = sites[i].wait_hist[b].load(std::memory_order_relaxed);
+    fn(s);
+  }
+}
+
+/// Zeroes every site's counters (names stay claimed) — benches and tests
+/// window their measurements with this.
+inline void reset() noexcept {
+  SiteStats* sites = table();
+  for (int i = 0; i < kMaxSites; ++i) {
+    sites[i].acquisitions.store(0, std::memory_order_relaxed);
+    sites[i].contended.store(0, std::memory_order_relaxed);
+    sites[i].wait_ns_total.store(0, std::memory_order_relaxed);
+    for (int b = 0; b < kWaitBuckets; ++b)
+      sites[i].wait_hist[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace gravel::lockprof
+
 #if defined(GRAVEL_VERIFY) && GRAVEL_VERIFY
 
 #include "verify/shim.hpp"
@@ -49,19 +202,44 @@ using atomic = std::atomic<T>;
 using atomic_flag = std::atomic_flag;
 
 /// std::mutex with clang thread-safety capability attributes. lock/unlock
-/// are inline forwarders — same codegen as the bare std::mutex this
-/// replaced; the attributes exist purely for -Wthread-safety.
+/// are inline forwarders; the attributes exist purely for -Wthread-safety.
+///
+/// A mutex constructed with a site name (by convention its TSA capability
+/// path, e.g. "SlotRouter::Shard::mutex") additionally feeds the lockprof
+/// contention table: when lock profiling is enabled, lock() counts the
+/// acquisition, tries the uncontended try_lock fast path, and only on a
+/// miss reads the clock around the blocking acquire and records the wait
+/// into the site's Pow2 histogram. Unnamed mutexes keep exactly one extra
+/// predicted branch (site_ == nullptr) over the bare std::mutex; named
+/// mutexes with profiling off add one more relaxed load.
 class GRAVEL_CAPABILITY("mutex") mutex {
  public:
   mutex() = default;
+  explicit mutex(const char* site) : site_(lockprof::registerSite(site)) {}
   mutex(const mutex&) = delete;
   mutex& operator=(const mutex&) = delete;
 
-  void lock() GRAVEL_ACQUIRE() { m_.lock(); }
+  void lock() GRAVEL_ACQUIRE() {
+    lockprof::SiteStats* s = site_;
+    if (s == nullptr || !lockprof::enabled()) {
+      m_.lock();
+      return;
+    }
+    s->acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (m_.try_lock()) return;  // uncontended: no clock reads at all
+    const auto t0 = std::chrono::steady_clock::now();
+    m_.lock();
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    lockprof::recordWait(
+        s, std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             waited)
+                             .count()));
+  }
   void unlock() GRAVEL_RELEASE() { m_.unlock(); }
 
  private:
   std::mutex m_;
+  lockprof::SiteStats* site_ = nullptr;
 };
 
 namespace verify {

@@ -64,7 +64,7 @@ class Repacker {
   std::uint32_t self_;
   net::Fabric& fabric_;
   std::size_t capacity_;
-  gravel::mutex mutex_;
+  gravel::mutex mutex_{"model::Repacker::mutex_"};
   std::vector<std::vector<NetMessage>> buffers_ GRAVEL_GUARDED_BY(mutex_);
 };
 

@@ -154,7 +154,7 @@ class DeadLetterQueue {
  private:
   std::uint32_t nodes_;
   std::uint64_t capacity_;
-  mutable gravel::mutex mutex_;
+  mutable gravel::mutex mutex_{"DeadLetterQueue::mutex_"};
   /// Indexed by destination.
   std::vector<std::deque<Entry>> perDest_ GRAVEL_GUARDED_BY(mutex_);
   std::vector<std::uint64_t> storedPerDest_ GRAVEL_GUARDED_BY(mutex_);

@@ -338,7 +338,7 @@ class PerfectFabric : public Fabric {
 
  private:
   struct Inbox {
-    gravel::mutex mutex;
+    gravel::mutex mutex{"PerfectFabric::Inbox::mutex"};
     std::deque<Parcel> pending GRAVEL_GUARDED_BY(mutex);
   };
 
@@ -348,7 +348,7 @@ class PerfectFabric : public Fabric {
 
   std::uint32_t nodes_;
   mutable std::vector<Inbox> inboxes_;
-  mutable gravel::mutex linkMutex_;
+  mutable gravel::mutex linkMutex_{"PerfectFabric::linkMutex_"};
   /// Sparse on purpose: a dense N^2 LinkStats matrix is ~400 MiB at 65536
   /// nodes even when the traffic pattern touches a handful of links.
   std::unordered_map<std::uint64_t, LinkStats> links_

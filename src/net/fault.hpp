@@ -193,7 +193,7 @@ class FaultyFabric : public PerfectFabric {
 
   FaultConfig config_;
   std::chrono::steady_clock::time_point start_;
-  mutable gravel::mutex rngMutex_;
+  mutable gravel::mutex rngMutex_{"FaultyFabric::rngMutex_"};
   std::vector<Xoshiro256> rngs_ GRAVEL_GUARDED_BY(rngMutex_);
   FaultStats stats_ GRAVEL_GUARDED_BY(rngMutex_);
 };

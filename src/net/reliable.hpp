@@ -541,7 +541,7 @@ class ReliableFabric : public Fabric {
       std::uint32_t(rt::NetMessage::kEraFieldMask);
 
   struct SendLink {
-    mutable gravel::mutex mutex;
+    mutable gravel::mutex mutex{"ReliableFabric::SendLink::mutex"};
     std::uint64_t nextSeq GRAVEL_GUARDED_BY(mutex) = 1;
     std::map<std::uint64_t, std::vector<rt::NetMessage>> unacked
         GRAVEL_GUARDED_BY(mutex);
@@ -560,7 +560,7 @@ class ReliableFabric : public Fabric {
     std::chrono::steady_clock::time_point openedAt GRAVEL_GUARDED_BY(mutex){};
   };
   struct RecvLink {
-    mutable gravel::mutex mutex;
+    mutable gravel::mutex mutex{"ReliableFabric::RecvLink::mutex"};
     /// Highest seq handed upward (contiguous).
     std::uint64_t delivered GRAVEL_GUARDED_BY(mutex) = 0;
     std::map<std::uint64_t, std::vector<rt::NetMessage>> reorder
@@ -570,7 +570,7 @@ class ReliableFabric : public Fabric {
     atomic<std::uint64_t> resolved{0};
   };
   struct ReadyQueue {
-    mutable gravel::mutex mutex;
+    mutable gravel::mutex mutex{"ReliableFabric::ReadyQueue::mutex"};
     std::deque<Delivery> pending GRAVEL_GUARDED_BY(mutex);
   };
 
@@ -857,12 +857,12 @@ class ReliableFabric : public Fabric {
   atomic<std::uint64_t> outstanding_{0};
   atomic<std::uint64_t> readyCount_{0};
 
-  mutable gravel::mutex statsMutex_;
+  mutable gravel::mutex statsMutex_{"ReliableFabric::statsMutex_"};
   std::vector<LinkStats> links_ GRAVEL_GUARDED_BY(statsMutex_);
   RunningStat batchBytes_ GRAVEL_GUARDED_BY(statsMutex_);
   ReliabilityStats relStats_ GRAVEL_GUARDED_BY(statsMutex_);
 
-  mutable gravel::mutex failureMutex_;
+  mutable gravel::mutex failureMutex_{"ReliableFabric::failureMutex_"};
   std::optional<LinkFailureInfo> failure_ GRAVEL_GUARDED_BY(failureMutex_);
 };
 

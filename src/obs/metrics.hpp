@@ -286,7 +286,7 @@ class MetricsRegistry {
     return m;
   }
 
-  mutable gravel::mutex mutex_;
+  mutable gravel::mutex mutex_{"MetricsRegistry::mutex_"};
   std::map<MetricKey, MetricValue> metrics_ GRAVEL_GUARDED_BY(mutex_);
 };
 

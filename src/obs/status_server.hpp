@@ -11,6 +11,9 @@
 //             (writePrometheusText below, unit-testable without sockets)
 //   /status   JSON: membership, breakers, DLQ, latency gauges, watchdog
 //   /timeseries  recent collector windows (gravel-top rate columns)
+//   /profile  JSON: profiler threads/paths + lock-contention table
+// and the server itself answers /healthz (200 "ok\n") before dispatching
+// to the embedder — a liveness probe that never pays for a snapshot.
 //
 // Lifecycle: start() binds (port 0 = ephemeral; port() reports the actual
 // choice so tests need no fixed port) and spawns one service thread that
@@ -364,9 +367,15 @@ class StatusServer {
       std::string path(req.substr(pathStart, pathEnd - pathStart));
       const std::size_t query = path.find('?');
       if (query != std::string::npos) path.resize(query);
-      resp = handler_ ? handler_(path)
-                      : StatusResponse{404, "text/plain; charset=utf-8",
-                                       "no handler\n"};
+      // Liveness probe answered here, before the embedder's handler: a
+      // load balancer / CI health check must get its 200 without paying
+      // for (or depending on) a registry snapshot.
+      if (path == "/healthz")
+        resp = {200, "text/plain; charset=utf-8", "ok\n"};
+      else
+        resp = handler_ ? handler_(path)
+                        : StatusResponse{404, "text/plain; charset=utf-8",
+                                         "no handler\n"};
     }
     sendResponse(client, resp);
     requests_.fetch_add(1, std::memory_order_relaxed);

@@ -312,7 +312,7 @@ class TimeSeries {
   std::map<std::uint32_t, HealthSample> lastHealth_;
   std::map<std::uint64_t, BreakerSample> lastBreaker_;
 
-  mutable gravel::mutex mutex_;
+  mutable gravel::mutex mutex_{"TimeSeries::mutex_"};
   std::deque<TimeSeriesWindow> ring_ GRAVEL_GUARDED_BY(mutex_);
   std::uint64_t nextSeq_ GRAVEL_GUARDED_BY(mutex_) = 0;
   std::uint64_t dropped_ GRAVEL_GUARDED_BY(mutex_) = 0;

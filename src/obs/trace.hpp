@@ -267,7 +267,7 @@ class Tracer {
   atomic<std::uint64_t> candidates_{0};
   atomic<std::uint32_t> nextId_{1};
 
-  mutable gravel::mutex mutex_;  // gravel-lint: allow(hot-path-blocking)
+  mutable gravel::mutex mutex_{"Tracer::mutex_"};  // gravel-lint: allow(hot-path-blocking)
   std::vector<std::unique_ptr<TraceBuffer>> buffers_ GRAVEL_GUARDED_BY(mutex_);
 };
 

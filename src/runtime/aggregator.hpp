@@ -24,6 +24,7 @@
 #include "common/backoff.hpp"
 #include "common/stats.hpp"
 #include "net/fabric.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "queue/gravel_queue.hpp"
 #include "runtime/config.hpp"
@@ -35,11 +36,13 @@ namespace gravel::rt {
 class Aggregator {
  public:
   Aggregator(std::uint32_t self, GravelQueue& queue, net::Fabric& fabric,
-             const ClusterConfig& config, obs::Tracer& tracer)
+             const ClusterConfig& config, obs::Tracer& tracer,
+             obs::Profiler* profiler = nullptr)
       : self_(self),
         queue_(queue),
         fabric_(fabric),
         tracer_(tracer),
+        prof_(profiler),
         capacityMsgs_(config.pernode_queue_bytes / sizeof(NetMessage)),
         timeoutCheckSlots_(config.aggregator_timeout_check_slots),
         stagingReserve_(config.aggregator_staging_reserve),
@@ -61,8 +64,10 @@ class Aggregator {
     stopped_.store(false, std::memory_order_relaxed);
     for (std::uint32_t t = 0; t < threads; ++t)
       workers_.emplace_back([this, t] {
-        tracer_.nameThread("agg." + std::to_string(self_) + "." +
-                           std::to_string(t));
+        const std::string name =
+            "agg." + std::to_string(self_) + "." + std::to_string(t);
+        tracer_.nameThread(name);
+        if (prof_ != nullptr) prof_->nameThread(name);
         run();
       });
   }
@@ -190,7 +195,7 @@ class Aggregator {
       ++done;
       if (++pumpSinceTimeoutCheck_ >= timeoutCheckSlots_) {
         pumpSinceTimeoutCheck_ = 0;
-        router_.checkTimeouts();
+        scannedCheckTimeouts();
       }
     }
     // Record the scratch high-water mark whenever this pump did work — a
@@ -202,9 +207,16 @@ class Aggregator {
 
   /// Timeout maintenance entry point for pooled drivers (time-based cadence
   /// lives in the pool loop; dedicated threads keep their own cadence).
-  void checkTimeouts() { router_.checkTimeouts(); }
+  void checkTimeouts() { scannedCheckTimeouts(); }
 
  private:
+  /// Timer-wheel scan under its profiler region (every cadence path —
+  /// idle, busy, pooled — funnels through here).
+  void scannedCheckTimeouts() {
+    obs::ScopedRegion scanRegion(prof_, obs::Region::kAggTimerScan);
+    router_.checkTimeouts();
+  }
+
   void run() {
     GravelQueue::SlotRef ref;
     SlotRouter::Staging staging = makeStaging();
@@ -217,8 +229,9 @@ class Aggregator {
       // timeout (the paper's 125 us rule, applied when the queue is idle so
       // a 1-core host's scheduling gaps do not shred aggregation).
       polls_.add(1, std::memory_order_relaxed);
-      router_.checkTimeouts();
+      scannedCheckTimeouts();
       noteStaging(staging);
+      obs::ScopedRegion idleRegion(prof_, obs::Region::kIdle);
       backoff.wait();
     };
     std::uint32_t slotsSinceTimeoutCheck = 0;
@@ -231,7 +244,7 @@ class Aggregator {
       // starvation). Every timeoutCheckSlots_ slots bounds that latency.
       if (++slotsSinceTimeoutCheck >= timeoutCheckSlots_) {
         slotsSinceTimeoutCheck = 0;
-        router_.checkTimeouts();
+        scannedCheckTimeouts();
         noteStaging(staging);
       }
     }
@@ -243,6 +256,7 @@ class Aggregator {
   /// dedicated-thread run() loop and the pooled pump()).
   void processSlot(const GravelQueue::SlotRef& ref,
                    SlotRouter::Staging& staging) {
+    obs::ScopedRegion slotRegion(prof_, obs::Region::kAggSlot);
     const std::span<const NetMessage> msgs =
         router_.decode(queue_, ref, staging);
     // The staging owns a copy: hand the slot back to producers before
@@ -257,7 +271,11 @@ class Aggregator {
                             std::uint16_t(self_), std::uint16_t(m.dest),
                             m.addr, std::uint8_t(m.command()));
     }
-    const std::uint32_t dests = router_.routeStaged(staging);
+    std::uint32_t dests;
+    {
+      obs::ScopedRegion routeRegion(prof_, obs::Region::kAggRoute);
+      dests = router_.routeStaged(staging);
+    }
     messagesRouted_.add(ref.count, std::memory_order_relaxed);
     destsTouched_.add(dests, std::memory_order_relaxed);
     // Release-ordered AFTER the buffer appends: quiet() observing this
@@ -281,6 +299,7 @@ class Aggregator {
   /// fabric. Runs with the destination's buffer lock held (per-destination
   /// batch order == append order).
   void onFlush(std::uint32_t dst, std::vector<NetMessage>&& batch) {
+    obs::ScopedRegion flushRegion(prof_, obs::Region::kAggFlush);
     if (tracer_.active()) {
       for (const NetMessage& m : batch)
         tracer_.recordStage(obs::Stage::kFlush, m.traceId(),
@@ -294,6 +313,7 @@ class Aggregator {
   GravelQueue& queue_;
   net::Fabric& fabric_;
   obs::Tracer& tracer_;
+  obs::Profiler* prof_;
   std::size_t capacityMsgs_;
   std::uint32_t timeoutCheckSlots_;
   std::uint32_t stagingReserve_;

@@ -66,6 +66,19 @@ Cluster::Cluster(const ClusterConfig& config)
       config_.timeseries.enabled = true;
     }
   }
+  // Continuous profiler (README "Profiling a run"): region attribution and
+  // the process-wide named-mutex contention table switch on together —
+  // lock-wait histograms without cycle attribution answer half the
+  // question.
+  if (envTruthy("GRAVEL_PROFILE")) config_.profiler.enabled = true;
+  if (config_.profiler.enabled) {
+    profiler_.setEnabled(true);
+    // The contention table is process-global; window it to this cluster's
+    // lifetime so sequential profiled runs in one process (the bench
+    // sweeps) don't inherit each other's wait totals.
+    lockprof::reset();
+    lockprof::setEnabled(true);
+  }
   if (config_.fault.active())
     wire_ = std::make_unique<net::FaultyFabric>(config_.nodes, config_.fault);
   else
@@ -92,7 +105,8 @@ Cluster::Cluster(const ClusterConfig& config)
   nodes_.reserve(config.nodes);
   for (std::uint32_t i = 0; i < config.nodes; ++i) {
     nodes_.push_back(std::make_unique<NodeRuntime>(i, config_, *fabric_,
-                                                   registry_, tracer_));
+                                                   registry_, tracer_,
+                                                   &profiler_));
     if (membership_) nodes_.back()->attachAdmission(membership_.get(),
                                                     dlq_.get());
   }
@@ -126,6 +140,9 @@ Cluster::~Cluster() {
   }
   stopPool();
   for (auto& n : nodes_) n->stopThreads();
+  // Exit artifact for a profiled run, written after every instrumented
+  // thread has joined so the accumulators are final.
+  if (profiler_.enabled()) dumpProfile();
   // Opt-in exit dump: GRAVEL_FLIGHTREC_DUMP=1 writes the flight record even
   // on clean shutdown (CI smoke uses this to validate the artifact).
   if (const char* env = std::getenv("GRAVEL_FLIGHTREC_DUMP"))
@@ -165,7 +182,9 @@ void Cluster::ensureThreadsStarted() {
 // aggregator pump and network pumpOnce keep their single-consumer
 // contracts) and alternates GPU-queue draining with network resolution.
 void Cluster::poolLoop(std::uint32_t t) {
-  tracer_.nameThread("pool." + std::to_string(t));
+  const std::string name = "pool." + std::to_string(t);
+  tracer_.nameThread(name);
+  if (profiler_.enabled()) profiler_.nameThread(name);
   const std::uint32_t stride =
       std::min(config_.runtime_threads, config_.nodes);
   std::vector<std::uint32_t> mine;
@@ -185,20 +204,27 @@ void Cluster::poolLoop(std::uint32_t t) {
   // pairs-with: cluster.pool-stop
   while (!poolStop_.load(std::memory_order_acquire)) {
     bool busy = false;
-    for (std::size_t k = 0; k < mine.size(); ++k) {
-      NodeRuntime& n = *nodes_[mine[k]];
-      busy |= n.aggregator().pump(staging[k], /*maxSlots=*/8) > 0;
-      busy |= n.network().pumpOnce();
+    {
+      // One pump pass over this thread's nodes; the per-node aggregator
+      // and network regions nest underneath for path-level attribution.
+      obs::ScopedRegion pumpRegion(&profiler_, obs::Region::kPoolPump);
+      for (std::size_t k = 0; k < mine.size(); ++k) {
+        NodeRuntime& n = *nodes_[mine[k]];
+        busy |= n.aggregator().pump(staging[k], /*maxSlots=*/8) > 0;
+        busy |= n.network().pumpOnce();
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= nextTimeout) {
+        for (std::uint32_t i : mine) nodes_[i]->aggregator().checkTimeouts();
+        nextTimeout = now + timeoutPeriod;
+      }
     }
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= nextTimeout) {
-      for (std::uint32_t i : mine) nodes_[i]->aggregator().checkTimeouts();
-      nextTimeout = now + timeoutPeriod;
-    }
-    if (busy)
+    if (busy) {
       backoff.reset();
-    else
+    } else {
+      obs::ScopedRegion idleRegion(&profiler_, obs::Region::kIdle);
       backoff.wait();
+    }
   }
   // Final drain, mirroring the dedicated threads' stopped-drain: route
   // whatever the GPU queues still hold, flush it, then resolve the wire
@@ -511,6 +537,20 @@ ClusterRunStats Cluster::runStats() const {
     s.lat_samples = ls.e2e_count;
   }
 
+  // Profiler roll-up (cluster-lifetime, like the quantiles above): summed
+  // duty split plus the named-mutex contention totals behind the bench
+  // harness's CPU-efficiency columns.
+  if (profiler_.enabled()) {
+    for (const obs::Profiler::ThreadSample& t : profiler_.sample()) {
+      s.prof_busy_ns += t.busy_ns;
+      s.prof_idle_ns += t.idle_ns;
+    }
+    lockprof::forEachSite([&s](const lockprof::SiteSample& site) {
+      s.prof_lock_wait_ns += site.wait_ns_total;
+      s.prof_lock_acquisitions += site.acquisitions;
+    });
+  }
+
   // Time-series roll-up: sustained (median-window) vs. peak message rate
   // over the retained ring. Like the quantiles above, these are ring-
   // lifetime values rather than windowed by resetStats().
@@ -562,6 +602,7 @@ void Cluster::resetStats() {
 void Cluster::monitorLoop() {
   using clock = std::chrono::steady_clock;
   tracer_.nameThread("monitor");
+  if (profiler_.enabled()) profiler_.nameThread("monitor");
   const bool gauges = tracer_.enabled() && config_.obs.gauge_period.count() > 0;
   auto nextGauge = clock::now();
   auto nextWatch = clock::now();
@@ -573,32 +614,52 @@ void Cluster::monitorLoop() {
     const bool gaugeDue = gauges && now >= nextGauge;
     const bool watchDue = watchdog_ && now >= nextWatch;
     const bool probeDue = membership_ && now >= nextProbe;
-    if (gaugeDue || watchDue || probeDue) {
-      const obs::WatchdogSample s = samplePipeline();
-      if (gaugeDue) {
-        sampleGauges(s);
-        ingestLatency();
-        nextGauge = now + config_.obs.gauge_period;
+    const bool windowDue = timeseries_ && now >= nextWindow;
+    const bool anyDue = gaugeDue || watchDue || probeDue || windowDue;
+    if (anyDue) {
+      obs::ScopedRegion tickRegion(&profiler_, obs::Region::kMonitorTick);
+      if (gaugeDue || watchDue || probeDue) {
+        const obs::WatchdogSample s = samplePipeline();
+        if (gaugeDue) {
+          sampleGauges(s);
+          ingestLatency();
+          nextGauge = now + config_.obs.gauge_period;
+        }
+        if (watchDue) {
+          watchdog_->observe(s);
+          nextWatch = now + config_.watchdog.period;
+        }
+        if (probeDue) {
+          sampleMembership(s);
+          nextProbe = now + config_.membership.probe_period;
+        }
       }
-      if (watchDue) {
-        watchdog_->observe(s);
-        nextWatch = now + config_.watchdog.period;
+      if (windowDue) {
+        collectWindow();
+        nextWindow = now + config_.timeseries.period;
       }
-      if (probeDue) {
-        sampleMembership(s);
-        nextProbe = now + config_.membership.probe_period;
-      }
-    }
-    if (timeseries_ && now >= nextWindow) {
-      collectWindow();
-      nextWindow = now + config_.timeseries.period;
     }
     auto wake = clock::time_point::max();
     if (gauges) wake = std::min(wake, nextGauge);
     if (watchdog_) wake = std::min(wake, nextWatch);
     if (membership_) wake = std::min(wake, nextProbe);
     if (timeseries_) wake = std::min(wake, nextWindow);
-    const auto cap = clock::now() + std::chrono::milliseconds(10);
+    const auto end = clock::now();
+    if (anyDue) {
+      // Self-overhead accounting: how long the duty work held the sampling
+      // thread, and whether it blew straight through the next deadline (an
+      // overrun means a cadence is too tight for the cluster size).
+      const std::uint64_t tick_ns = std::uint64_t(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - now)
+              .count());
+      monitorTicks_.fetch_add(1, std::memory_order_relaxed);
+      monitorTickNsTotal_.fetch_add(tick_ns, std::memory_order_relaxed);
+      if (tick_ns > monitorTickNsMax_.load(std::memory_order_relaxed))
+        monitorTickNsMax_.store(tick_ns, std::memory_order_relaxed);
+      if (end >= wake)
+        monitorTickOverruns_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const auto cap = end + std::chrono::milliseconds(10);
     std::this_thread::sleep_until(std::min(wake, cap));
   }
 }
@@ -802,6 +863,58 @@ obs::MetricsSnapshot Cluster::collectMetrics() {
                         "", timeseries_->size() + timeseries_->droppedWindows());
     metrics_.setCounter("ts.dropped_windows", "",
                         timeseries_->droppedWindows());
+  }
+
+  // Monitor-loop self-overhead: the sampling thread watching itself. An
+  // overrun is a tick whose duty work ran past the next computed wake.
+  {
+    const std::uint64_t ticks = monitorTicks_.load(std::memory_order_relaxed);
+    if (ticks != 0) {
+      metrics_.setCounter("monitor.ticks", "", ticks);
+      metrics_.setCounter("monitor.tick_overruns", "",
+                          monitorTickOverruns_.load(std::memory_order_relaxed));
+      const std::uint64_t total =
+          monitorTickNsTotal_.load(std::memory_order_relaxed);
+      metrics_.setGauge("monitor.tick_avg_ns", "",
+                        double(total) / double(ticks));
+      metrics_.setGauge("monitor.tick_max_ns", "",
+                        double(monitorTickNsMax_.load(
+                            std::memory_order_relaxed)));
+    }
+  }
+
+  // Continuous profiler (DESIGN.md §15): per-thread duty cycles, per-path
+  // self time, and the named-mutex contention table. Collected only while
+  // profiling so a default run's registry carries no prof.* noise.
+  if (profiler_.enabled()) {
+    for (const obs::Profiler::ThreadSample& t : profiler_.sample()) {
+      const std::string thread = "thread=" + t.name;
+      metrics_.setCounter("prof.busy_ns", thread, t.busy_ns);
+      metrics_.setCounter("prof.idle_ns", thread, t.idle_ns);
+      const std::uint64_t span = t.busy_ns + t.idle_ns;
+      metrics_.setGauge("prof.duty", thread,
+                        span == 0 ? 0.0 : double(t.busy_ns) / double(span));
+      metrics_.setCounter("prof.dropped", thread, t.dropped);
+      for (const obs::Profiler::PathSample& p : t.paths) {
+        std::string path = thread + ",path=";
+        for (int level = 0; level < p.depth; ++level) {
+          if (level != 0) path += ';';
+          path += obs::regionName(p.stack[level]);
+        }
+        metrics_.setCounter("prof.path_count", path, p.count);
+        metrics_.setCounter("prof.path_self_ns", path, p.self_ns);
+      }
+    }
+    lockprof::forEachSite([this](const lockprof::SiteSample& s) {
+      const std::string site = "site=" + std::string(s.name);
+      metrics_.setCounter("prof.lock_acquisitions", site, s.acquisitions);
+      metrics_.setCounter("prof.lock_contended", site, s.contended);
+      metrics_.setCounter("prof.lock_wait_ns", site, s.wait_ns_total);
+      metrics_.setGauge("prof.lock_wait_p50_ns", site,
+                        s.waitQuantileNs(0.50));
+      metrics_.setGauge("prof.lock_wait_p99_ns", site,
+                        s.waitQuantileNs(0.99));
+    });
   }
 
   const net::FaultStats f = fabric_->faultStats();
@@ -1083,6 +1196,26 @@ void Cluster::writeStatusJson(std::ostream& os) {
   w.endArray();
   w.endObject();
 
+  // Per-thread duty cycles for gravel-top's THREADS panel (empty when
+  // profiling is off; the full path/lock detail lives at /profile).
+  w.key("profile").beginObject();
+  w.kv("enabled", profiler_.enabled());
+  w.key("threads").beginArray();
+  if (profiler_.enabled()) {
+    for (const obs::Profiler::ThreadSample& t : profiler_.sample()) {
+      w.beginObject();
+      w.kv("name", t.name);
+      w.kv("busy_ns", t.busy_ns);
+      w.kv("idle_ns", t.idle_ns);
+      const std::uint64_t span = t.busy_ns + t.idle_ns;
+      w.kv("duty", span == 0 ? 0.0 : double(t.busy_ns) / double(span));
+      w.kv("dropped", t.dropped);
+      w.endObject();
+    }
+  }
+  w.endArray();
+  w.endObject();
+
   w.endObject();
 }
 
@@ -1105,9 +1238,14 @@ obs::StatusResponse Cluster::handleStatusRequest(const std::string& path) {
       writeTimeSeries(body);
       return {200, "application/json", body.str()};
     }
+    if (path == "/profile") {
+      writeProfileJson(body);
+      return {200, "application/json", body.str()};
+    }
     if (path == "/" || path == "/index.html")
       return {200, "text/plain; charset=utf-8",
-              "gravel status endpoints: /metrics /status /timeseries\n"};
+              "gravel status endpoints: /metrics /status /timeseries "
+              "/profile /healthz\n"};
     return {404, "text/plain; charset=utf-8", "unknown path: " + path + "\n"};
   } catch (const std::exception& e) {
     return {500, "text/plain; charset=utf-8",
@@ -1128,6 +1266,26 @@ void Cluster::dumpFlightRecorder(const char* reason) const noexcept {
     writeFlightRecorder(os, reason);
   } catch (...) {
     // Swallow: a failed dump must not mask the error being reported.
+  }
+}
+
+void Cluster::writeProfileJson(std::ostream& os) const {
+  obs::writeProfilerJson(os, profiler_, obs::Profiler::nowNs());
+}
+
+// Exit artifact for a profiled run:
+// ${GRAVEL_PROFILE_DIR:-.}/gravel_profile.json — the same document /profile
+// serves, taken after every instrumented thread joined. Best-effort (runs
+// in the destructor).
+void Cluster::dumpProfile() const noexcept {
+  try {
+    const char* dir = std::getenv("GRAVEL_PROFILE_DIR");
+    std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
+    path += "/gravel_profile.json";
+    std::ofstream os(path);
+    if (!os) return;
+    writeProfileJson(os);
+  } catch (...) {
   }
 }
 

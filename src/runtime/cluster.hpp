@@ -19,6 +19,7 @@
 #include "net/reliable.hpp"
 #include "obs/latency.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/status_server.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -184,6 +185,18 @@ class Cluster {
   /// collector windows with rate columns. Safe while the run is live.
   void writeStatusJson(std::ostream& os);
 
+  /// The continuous profiler (config.profiler / GRAVEL_PROFILE=1):
+  /// per-thread cycle attribution plus the named-mutex contention table.
+  /// Always constructed — disabled it costs one predicted branch per
+  /// region bracket — so it can be flipped on mid-run.
+  obs::Profiler& profiler() noexcept { return profiler_; }
+  const obs::Profiler& profiler() const noexcept { return profiler_; }
+
+  /// The /profile document (also gravel_profile.json at destruction when
+  /// profiling is on): per-thread region paths, duty cycles, and per-site
+  /// lock-wait histograms. Safe while the run is live.
+  void writeProfileJson(std::ostream& os) const;
+
  private:
   void ensureThreadsStarted();
   void poolLoop(std::uint32_t t);
@@ -198,9 +211,11 @@ class Cluster {
   obs::StatusResponse handleStatusRequest(const std::string& path);
   void dumpFlightRecorder(const char* reason) const noexcept;
   void dumpTimeSeries() const noexcept;
+  void dumpProfile() const noexcept;
 
   ClusterConfig config_;
   obs::Tracer tracer_;        ///< must outlive nodes_/fabric (they hold refs)
+  obs::Profiler profiler_;    ///< must outlive nodes_ (they hold pointers)
   obs::MetricsRegistry metrics_;
   std::unique_ptr<net::Fabric> wire_;             ///< transport (maybe faulty)
   std::unique_ptr<net::ReliableFabric> reliable_; ///< optional sublayer
@@ -226,6 +241,13 @@ class Cluster {
   /// duties due on the same tick share a single pipeline sample.
   std::thread monitor_;
   atomic<bool> monitorStop_{false};
+  /// Monitor-loop self-overhead (satellite of DESIGN.md §15): ticks whose
+  /// work ran past the computed wake deadline, plus a duration stat. Both
+  /// written by the monitor thread only; read by collectMetrics().
+  atomic<std::uint64_t> monitorTickOverruns_{0};
+  atomic<std::uint64_t> monitorTicks_{0};
+  atomic<std::uint64_t> monitorTickNsTotal_{0};
+  atomic<std::uint64_t> monitorTickNsMax_{0};
 
   std::unique_ptr<obs::Watchdog> watchdog_;
   std::unique_ptr<obs::TimeSeries> timeseries_;
@@ -235,7 +257,7 @@ class Cluster {
   // the mutex serializes the monitor thread's incremental ingest against
   // collectMetrics()/runStats() readers. Mutable because runStats() is
   // const but wants a fresh ingest.
-  mutable gravel::mutex latencyMutex_;
+  mutable gravel::mutex latencyMutex_{"Cluster::latencyMutex_"};
   mutable obs::LatencyAttribution latency_ GRAVEL_GUARDED_BY(latencyMutex_);
 
   // Snapshot baselines so runStats() reports per-window deltas.

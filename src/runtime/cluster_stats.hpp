@@ -161,6 +161,18 @@ struct ClusterRunStats {
   double lat_e2e_p99_ns = 0;
   std::uint64_t lat_samples = 0;  ///< e2e-paired samples behind the quantiles
 
+  // Continuous-profiler roll-up (zero when config.profiler is off). Like
+  // the latency quantiles these are cluster-lifetime values, not windowed
+  // by resetStats(): benches that want per-workload CPU efficiency build a
+  // fresh cluster per workload (bench/common.hpp does). busy/idle sum every
+  // profiled thread's duty split; the lock pair sums the named-mutex
+  // contention table — bench schema v4's cpu_ns_per_msg and
+  // lock_wait_share columns derive from these.
+  std::uint64_t prof_busy_ns = 0;           ///< region self time, busy paths
+  std::uint64_t prof_idle_ns = 0;           ///< backoff/spin self time
+  std::uint64_t prof_lock_wait_ns = 0;      ///< named-mutex blocking waits
+  std::uint64_t prof_lock_acquisitions = 0; ///< named-mutex lock() calls
+
   // Time-series collector roll-up (zero when config.timeseries is off):
   // per-window fabric.messages rates over the retained ring, so serving
   // benches report sustained vs. peak throughput rather than one mean.
@@ -241,6 +253,11 @@ struct ClusterRunStats {
     lat_e2e_p50_ns = std::max(lat_e2e_p50_ns, o.lat_e2e_p50_ns);
     lat_e2e_p99_ns = std::max(lat_e2e_p99_ns, o.lat_e2e_p99_ns);
     lat_samples += o.lat_samples;
+
+    prof_busy_ns += o.prof_busy_ns;
+    prof_idle_ns += o.prof_idle_ns;
+    prof_lock_wait_ns += o.prof_lock_wait_ns;
+    prof_lock_acquisitions += o.prof_lock_acquisitions;
 
     // Rates follow the worst-shard (max) convention of the quantiles above;
     // window counts are quantities and sum.

@@ -10,6 +10,7 @@
 #include "common/units.hpp"
 #include "net/fault.hpp"
 #include "net/reliable.hpp"
+#include "obs/profiler.hpp"
 #include "obs/status_server.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -128,6 +129,12 @@ struct ClusterConfig {
   /// GRAVEL_STATUS_PORT=<port> enables it (and the collector) from the
   /// environment; port 0 binds an ephemeral port.
   obs::StatusServerConfig status_server{};
+
+  /// Continuous profiler (src/obs/profiler.hpp): per-thread cycle
+  /// attribution over region paths plus named-mutex lock-contention
+  /// histograms. Off by default (one predicted branch per region bracket);
+  /// GRAVEL_PROFILE=1 enables it from the environment.
+  obs::ProfilerConfig profiler{};
 
   simt::DeviceConfig device{};
 

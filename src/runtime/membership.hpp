@@ -187,7 +187,8 @@ class Membership {
 
   std::uint32_t nodes_;
   mutable std::vector<NodeState> states_;
-  mutable gravel::mutex mutex_;  ///< serializes transitions + the log
+  mutable gravel::mutex mutex_{
+      "Membership::mutex_"};  ///< serializes transitions + the log
   std::vector<MembershipTransition> log_ GRAVEL_GUARDED_BY(mutex_);
   atomic<std::uint64_t> version_{0};
 };

@@ -11,6 +11,7 @@
 #include "common/atomic.hpp"
 #include "common/backoff.hpp"
 #include "net/fabric.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "runtime/active_message.hpp"
 #include "runtime/message.hpp"
@@ -21,12 +22,14 @@ namespace gravel::rt {
 class NetworkThread {
  public:
   NetworkThread(std::uint32_t self, net::Fabric& fabric, SymmetricHeap& heap,
-                const AmRegistry& registry, obs::Tracer& tracer)
+                const AmRegistry& registry, obs::Tracer& tracer,
+                obs::Profiler* profiler = nullptr)
       : self_(self),
         fabric_(fabric),
         heap_(heap),
         registry_(registry),
         tracer_(tracer),
+        prof_(profiler),
         // Handler-initiated follow-on messages ship immediately as
         // one-message batches: chained walks are latency-bound, not
         // bandwidth-bound, and shipping before markResolved() keeps the
@@ -79,9 +82,15 @@ class NetworkThread {
   /// dedicated worker's single-consumer contract (they are never mixed:
   /// pooled clusters never start() the worker).
   bool pumpOnce() {
-    fabric_.poll(self_);
+    {
+      // poll() IS the reliable layer's ack/retransmit scan (a no-op on the
+      // perfect fabric) — attribute it separately from delivery work.
+      obs::ScopedRegion pollRegion(prof_, obs::Region::kRelRetransmit);
+      fabric_.poll(self_);
+    }
     net::Delivery d;
     if (!fabric_.tryReceive(self_, d)) return false;
+    obs::ScopedRegion recvRegion(prof_, obs::Region::kNetRecv);
     for (const NetMessage& m : d.messages) resolve(ctx_, m);
     fabric_.markResolved(self_, d);
     resolved_.fetch_add(d.messages.size(), std::memory_order_relaxed);
@@ -90,16 +99,23 @@ class NetworkThread {
 
  private:
   void run() {
-    tracer_.nameThread("net." + std::to_string(self_));
+    const std::string name = "net." + std::to_string(self_);
+    tracer_.nameThread(name);
+    if (prof_ != nullptr) prof_->nameThread(name);
     net::Delivery d;
     // Bounded backoff: an idle network thread decays to ~100 us sleeps
     // (cheap CPU) but snaps back to hot spinning on the first delivery.
     Backoff backoff(std::chrono::microseconds(100));
     for (;;) {
-      // Drive the fabric's housekeeping (reliability-layer retransmit
-      // timers) even while traffic keeps us busy.
-      fabric_.poll(self_);
+      {
+        // Drive the fabric's housekeeping even while traffic keeps us
+        // busy. poll() IS the reliability layer's ack/retransmit scan (a
+        // no-op on the perfect fabric), so it gets its own region.
+        obs::ScopedRegion pollRegion(prof_, obs::Region::kRelRetransmit);
+        fabric_.poll(self_);
+      }
       if (fabric_.tryReceive(self_, d)) {
+        obs::ScopedRegion recvRegion(prof_, obs::Region::kNetRecv);
         for (const NetMessage& m : d.messages) resolve(ctx_, m);
         fabric_.markResolved(self_, d);
         resolved_.fetch_add(d.messages.size(), std::memory_order_relaxed);
@@ -109,10 +125,12 @@ class NetworkThread {
         // Drain once more after observing stop; quiet() guarantees no new
         // sends race this.
         if (!fabric_.tryReceive(self_, d)) return;
+        obs::ScopedRegion recvRegion(prof_, obs::Region::kNetRecv);
         for (const NetMessage& m : d.messages) resolve(ctx_, m);
         fabric_.markResolved(self_, d);
         resolved_.fetch_add(d.messages.size(), std::memory_order_relaxed);
       } else {
+        obs::ScopedRegion idleRegion(prof_, obs::Region::kIdle);
         backoff.wait();
       }
     }
@@ -153,6 +171,7 @@ class NetworkThread {
   SymmetricHeap& heap_;
   const AmRegistry& registry_;
   obs::Tracer& tracer_;
+  obs::Profiler* prof_;
   /// Declared before ctx_: AmContext stores the SendFn by reference.
   AmContext::SendFn sendFn_;
   AmContext ctx_;

@@ -46,7 +46,7 @@ class NodeRuntime {
  public:
   NodeRuntime(std::uint32_t id, const ClusterConfig& config,
               net::Fabric& fabric, const AmRegistry& registry,
-              obs::Tracer& tracer)
+              obs::Tracer& tracer, obs::Profiler* profiler = nullptr)
       : id_(id),
         config_(config),
         tracer_(tracer),
@@ -54,8 +54,8 @@ class NodeRuntime {
         queue_(GravelQueueConfig{config.gpu_queue_bytes,
                                  config.device.max_wg_size,
                                  NetMessage::kRows}),
-        aggregator_(id, queue_, fabric, config, tracer),
-        network_(id, fabric, heap_, registry, tracer),
+        aggregator_(id, queue_, fabric, config, tracer, profiler),
+        network_(id, fabric, heap_, registry, tracer, profiler),
         device_(config.device) {}
 
   std::uint32_t id() const noexcept { return id_; }

@@ -386,7 +386,7 @@ class SlotRouter {
   /// purpose; the hint is the one atomic and is advisory-relaxed only.
   struct Shard {
     explicit Shard(std::uint64_t nowTick) : cursor(nowTick) {}
-    gravel::mutex mutex;
+    gravel::mutex mutex{"SlotRouter::Shard::mutex"};
     std::unordered_map<std::uint32_t, Buffer> buffers GRAVEL_GUARDED_BY(mutex);
     std::array<std::vector<TimerEntry>, kWheelSlots> wheel
         GRAVEL_GUARDED_BY(mutex);

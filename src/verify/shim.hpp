@@ -269,6 +269,10 @@ class atomic_flag {
 class GRAVEL_CAPABILITY("mutex") mutex {
  public:
   mutex() = default;
+  /// Site-named construction (lock-contention profiling) is a normal-build
+  /// concern: under the shim the name is accepted for source compatibility
+  /// and ignored — the model checker owns all timing.
+  explicit mutex(const char* /*site*/) {}
   mutex(const mutex&) = delete;
   mutex& operator=(const mutex&) = delete;
 

@@ -5,8 +5,10 @@ Polls ``http://HOST:PORT/status`` (the status server enabled by
 ``GRAVEL_STATUS_PORT``, see src/obs/status_server.hpp) and renders a
 refreshing per-node / per-link table: membership state and incarnation,
 pipeline progress with rate columns computed from successive polls, circuit
-breaker state, dead-letter depths, latency percentiles and open watchdog
-diagnoses. Throughput columns also show the server-side collector windows
+breaker state, dead-letter depths, latency percentiles, open watchdog
+diagnoses and — when the run was started with GRAVEL_PROFILE=1 — a
+per-thread duty-cycle panel (busy vs. idle attribution from the continuous
+profiler). Throughput columns also show the server-side collector windows
 (``timeseries.recent``), which keep their cadence even when polling is slow.
 
 Usage:
@@ -131,6 +133,22 @@ def render(status: dict, rates: dict[int, float], url: str) -> list[str]:
                 f"{l.get('breaker', '?'):<10} {l.get('era', 0):>4} "
                 f"{l.get('unacked', 0):>9} {l.get('retries', 0):>8} "
                 f"{l.get('stalled_ms', 0.0):>8.1f}ms")
+
+    # Per-thread duty cycles from the profiler (GRAVEL_PROFILE=1): which
+    # runtime threads are actually working vs. spinning in backoff. The
+    # block is present-but-empty when profiling is off.
+    prof = status.get("profile", {})
+    threads = prof.get("threads", [])
+    if prof.get("enabled") and threads:
+        lines.append("")
+        lines.append(f"{'thread':<14} {'duty':>6} {'busy':>10} {'idle':>10} "
+                     f"{'dropped':>8}")
+        for t in sorted(threads, key=lambda t: -t.get("busy_ns", 0))[:16]:
+            lines.append(
+                f"{t.get('name', '?'):<14} {t.get('duty', 0.0) * 100:>5.1f}% "
+                f"{fmt_ns(t.get('busy_ns', 0)):>10} "
+                f"{fmt_ns(t.get('idle_ns', 0)):>10} "
+                f"{t.get('dropped', 0):>8}")
 
     dlq = status.get("dead_letter", {})
     if dlq.get("dead_lettered", 0) or dlq.get("stored", 0) or \

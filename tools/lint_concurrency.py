@@ -61,6 +61,7 @@ HOT_PATH_FILES = (
     "obs/flight_recorder.hpp",
     "obs/latency.hpp",
     "obs/watchdog.hpp",
+    "obs/profiler.hpp",
 )
 # Directories whose headers are covered by the classification drift gate:
 # an atomics-bearing header here must be hot-path or explicitly cold-path.

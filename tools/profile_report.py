@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Human/flamegraph report over a gravel_profile.json document.
+
+Reads the continuous profiler's export (src/obs/profiler.hpp, served at
+/profile and dumped as gravel_profile.json at cluster destruction when
+GRAVEL_PROFILE=1): per-thread region-path accumulators with duty-cycle
+splits, plus the process-wide named-mutex lock-contention table.
+
+Usage:
+    profile_report.py [gravel_profile.json]
+    profile_report.py --collapse [gravel_profile.json] > stacks.collapsed
+    profile_report.py --check [gravel_profile.json]
+
+Default mode prints three tables: per-thread duty cycles, the top region
+paths by self time, and the lock-contention table (acquisitions, contended
+count, wait p50/p99).
+
+``--collapse`` emits collapsed-stack lines — ``thread;region;region N``
+with N the path's self time in nanoseconds — the exact input format of
+flamegraph.pl and speedscope's "collapsed" importer.
+
+``--check`` validates the document's schema (CI's prof-smoke gate): kind,
+schema_version, thread/path/lock field shapes, stack depth bounds, and
+that busy_ns + idle_ns equals the sum of the thread's path self times.
+
+Exit status: 0 on success, 1 on schema violation (--check) or empty
+profile, 2 on usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+MAX_DEPTH = 8  # Profiler::kMaxDepth
+KNOWN_REGIONS = {
+    "agg.slot", "agg.route", "agg.flush", "agg.timer_scan", "net.recv",
+    "rel.retransmit", "pool.pump", "monitor.tick", "idle", "bench.slot",
+}
+
+
+def load(path: Path) -> dict:
+    try:
+        with path.open() as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"profile_report: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check(doc: dict) -> int:
+    """Schema gate. Prints one line per violation; returns the count."""
+    errors = []
+
+    def need(cond: bool, msg: str) -> None:
+        if not cond:
+            errors.append(msg)
+
+    need(doc.get("kind") == "gravel-profile",
+         f"kind is {doc.get('kind')!r}, want 'gravel-profile'")
+    need(doc.get("schema_version") == SCHEMA_VERSION,
+         f"schema_version is {doc.get('schema_version')!r}, "
+         f"want {SCHEMA_VERSION}")
+    need(isinstance(doc.get("enabled"), bool), "enabled must be a bool")
+    need(isinstance(doc.get("lock_profiling"), bool),
+         "lock_profiling must be a bool")
+    need(isinstance(doc.get("now_ns"), int) and doc.get("now_ns", -1) >= 0,
+         "now_ns must be a non-negative integer")
+    threads = doc.get("threads")
+    need(isinstance(threads, list), "threads must be an array")
+    for t in threads if isinstance(threads, list) else []:
+        name = t.get("name", "?")
+        for field in ("busy_ns", "idle_ns", "dropped"):
+            need(isinstance(t.get(field), int) and t.get(field, -1) >= 0,
+                 f"thread {name}: {field} must be a non-negative integer")
+        need(isinstance(t.get("duty"), (int, float))
+             and 0.0 <= t.get("duty", -1) <= 1.0,
+             f"thread {name}: duty must be in [0, 1]")
+        paths = t.get("paths")
+        need(isinstance(paths, list), f"thread {name}: paths must be an array")
+        self_total = 0
+        for p in paths if isinstance(paths, list) else []:
+            stack = p.get("stack")
+            need(isinstance(stack, list) and 1 <= len(stack) <= MAX_DEPTH,
+                 f"thread {name}: stack depth must be 1..{MAX_DEPTH}")
+            for frame in stack if isinstance(stack, list) else []:
+                need(frame in KNOWN_REGIONS,
+                     f"thread {name}: unknown region {frame!r}")
+            for field in ("count", "self_ns"):
+                need(isinstance(p.get(field), int) and p.get(field, -1) >= 0,
+                     f"thread {name}: path {field} must be a non-negative "
+                     "integer")
+            if isinstance(p.get("self_ns"), int):
+                self_total += p["self_ns"]
+        # The duty split is derived from the same rows, so the totals must
+        # reconcile exactly (sample() copies each row once).
+        if isinstance(t.get("busy_ns"), int) and isinstance(
+                t.get("idle_ns"), int):
+            need(t["busy_ns"] + t["idle_ns"] == self_total,
+                 f"thread {name}: busy+idle ({t['busy_ns'] + t['idle_ns']}) "
+                 f"!= sum of path self_ns ({self_total})")
+    locks = doc.get("locks")
+    need(isinstance(locks, list), "locks must be an array")
+    for s in locks if isinstance(locks, list) else []:
+        site = s.get("site", "?")
+        need(isinstance(s.get("site"), str) and s.get("site"),
+             "lock site must be a non-empty string")
+        for field in ("acquisitions", "contended", "wait_ns_total"):
+            need(isinstance(s.get(field), int) and s.get(field, -1) >= 0,
+                 f"lock {site}: {field} must be a non-negative integer")
+        # Cross-field lock invariants hold exactly on a quiesced exit dump;
+        # a /profile served mid-run reads relaxed counters that may lag
+        # each other by in-flight acquisitions, so allow a small skew.
+        skew = 64
+        need(s.get("contended", 0) <= s.get("acquisitions", 0) + skew,
+             f"lock {site}: contended exceeds acquisitions")
+        hist = s.get("wait_hist")
+        need(isinstance(hist, list)
+             and all(isinstance(b, int) and b >= 0 for b in hist),
+             f"lock {site}: wait_hist must be non-negative integers")
+        if isinstance(hist, list) and isinstance(s.get("contended"), int):
+            need(abs(sum(hist) - s["contended"]) <= skew,
+                 f"lock {site}: wait_hist sums to {sum(hist)}, "
+                 f"contended is {s['contended']}")
+    for e in errors:
+        print(f"profile_report: CHECK FAILED: {e}", file=sys.stderr)
+    return len(errors)
+
+
+def collapse(doc: dict) -> list[str]:
+    """Collapsed-stack lines for flamegraph.pl / speedscope."""
+    lines = []
+    for t in doc.get("threads", []):
+        for p in t.get("paths", []):
+            if p.get("self_ns", 0) == 0:
+                continue
+            frames = [t.get("name", "?")] + list(p.get("stack", []))
+            lines.append(f"{';'.join(frames)} {p['self_ns']}")
+    return lines
+
+
+def fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def report(doc: dict) -> None:
+    enabled = doc.get("enabled", False)
+    print(f"gravel profile  (enabled={str(enabled).lower()}, "
+          f"lock_profiling={str(doc.get('lock_profiling', False)).lower()})")
+    threads = doc.get("threads", [])
+    print(f"\nTHREADS ({len(threads)})")
+    print(f"  {'name':<14} {'duty':>6} {'busy':>10} {'idle':>10} "
+          f"{'dropped':>8}")
+    for t in sorted(threads, key=lambda t: -t.get("busy_ns", 0)):
+        print(f"  {t.get('name', '?'):<14} {t.get('duty', 0) * 100:>5.1f}% "
+              f"{fmt_ns(t.get('busy_ns', 0)):>10} "
+              f"{fmt_ns(t.get('idle_ns', 0)):>10} "
+              f"{t.get('dropped', 0):>8}")
+
+    rows = []
+    for t in threads:
+        for p in t.get("paths", []):
+            rows.append((t.get("name", "?"), ";".join(p.get("stack", [])),
+                         p.get("count", 0), p.get("self_ns", 0)))
+    rows.sort(key=lambda r: -r[3])
+    print(f"\nTOP PATHS by self time ({len(rows)} total)")
+    print(f"  {'thread':<14} {'path':<40} {'count':>10} {'self':>10}")
+    for name, path, count, self_ns in rows[:20]:
+        print(f"  {name:<14} {path:<40} {count:>10} {fmt_ns(self_ns):>10}")
+
+    locks = doc.get("locks", [])
+    print(f"\nLOCKS ({len(locks)} named sites)")
+    print(f"  {'site':<36} {'acquired':>10} {'contended':>10} "
+          f"{'wait p50':>10} {'wait p99':>10} {'wait total':>11}")
+    for s in sorted(locks, key=lambda s: -s.get("wait_ns_total", 0)):
+        print(f"  {s.get('site', '?'):<36} {s.get('acquisitions', 0):>10} "
+              f"{s.get('contended', 0):>10} "
+              f"{fmt_ns(s.get('wait_p50_ns', 0)):>10} "
+              f"{fmt_ns(s.get('wait_p99_ns', 0)):>10} "
+              f"{fmt_ns(s.get('wait_ns_total', 0)):>11}")
+    if not enabled:
+        print("\n(profiling was disabled; enable with GRAVEL_PROFILE=1)")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="Report over a gravel_profile.json document")
+    ap.add_argument("profile", nargs="?", default="gravel_profile.json",
+                    type=Path, help="profile document (default: ./%(default)s)")
+    mode = ap.add_mutually_exclusive_group()
+    mode.add_argument("--collapse", action="store_true",
+                      help="emit collapsed stacks for flamegraph.pl")
+    mode.add_argument("--check", action="store_true",
+                      help="validate the schema; exit 1 on violation")
+    args = ap.parse_args()
+
+    doc = load(args.profile)
+    if args.check:
+        n = check(doc)
+        if n:
+            return 1
+        threads = doc.get("threads", [])
+        paths = sum(len(t.get("paths", [])) for t in threads)
+        print(f"profile_report: OK — {len(threads)} thread(s), "
+              f"{paths} path(s), {len(doc.get('locks', []))} lock site(s)")
+        return 0
+    if args.collapse:
+        lines = collapse(doc)
+        for line in lines:
+            print(line)
+        if not lines:
+            print("profile_report: no samples to collapse "
+                  "(was GRAVEL_PROFILE=1 set?)", file=sys.stderr)
+            return 1
+        return 0
+    report(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # |head closing stdout is not an error
+        sys.exit(0)
